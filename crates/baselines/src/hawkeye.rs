@@ -1,0 +1,352 @@
+//! Hawkeye (Jain & Lin, ISCA 2016).
+//!
+//! Hawkeye reconstructs what Belady's MIN would have done on a few sampled
+//! sets (OPTgen) and trains a PC-indexed classifier: loads whose blocks
+//! MIN would have kept are "cache-friendly", the rest "cache-averse".
+//! Friendly blocks are inserted protected (RRPV 0), averse blocks at
+//! distant RRPV, over a 3-bit RRIP-like replacement scheme.
+
+use mrp_cache::{AccessInfo, CacheConfig, ReplacementPolicy};
+
+/// 3-bit RRPV maximum.
+const RRPV_MAX: u8 = 7;
+
+/// OPTgen time window per sampled set (8x a 16-way set's capacity).
+const OPTGEN_WINDOW: usize = 128;
+
+/// History entries per sampled set (tracks more blocks than the set holds,
+/// as reuse intervals can exceed residency).
+const HISTORY_ENTRIES: usize = 64;
+
+/// Classifier table entries (PC-indexed 3-bit counters).
+const CLASSIFIER_ENTRIES: usize = 8192;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct HistoryEntry {
+    tag: u16,
+    last_time: u64,
+    last_pc_hash: u32,
+    valid: bool,
+}
+
+#[derive(Debug)]
+struct OptGenSet {
+    /// Ring buffer of occupancy counts, indexed by time % window.
+    occupancy: [u8; OPTGEN_WINDOW],
+    history: [HistoryEntry; HISTORY_ENTRIES],
+    time: u64,
+    capacity: u8,
+}
+
+impl OptGenSet {
+    fn new(capacity: u8) -> Self {
+        OptGenSet {
+            occupancy: [0; OPTGEN_WINDOW],
+            history: [HistoryEntry::default(); HISTORY_ENTRIES],
+            time: 0,
+            capacity,
+        }
+    }
+
+    /// Advances time by one access; returns `Some(would_opt_hit)` when the
+    /// block has a usable previous access, plus the PC hash of that
+    /// previous access.
+    fn access(&mut self, tag: u16, pc_hash: u32) -> Option<(bool, u32)> {
+        let now = self.time;
+        self.time += 1;
+        // Expire the occupancy slot that `now` is about to reuse.
+        self.occupancy[(now % OPTGEN_WINDOW as u64) as usize] = 0;
+
+        let found = self.history.iter().position(|e| e.valid && e.tag == tag);
+        let result = match found {
+            Some(i) => {
+                let prev = self.history[i];
+                let age = now - prev.last_time;
+                if age == 0 || age >= OPTGEN_WINDOW as u64 {
+                    None // interval too long to decide: no training
+                } else {
+                    // Would MIN have kept this block across the interval?
+                    let mut fits = true;
+                    for t in prev.last_time..now {
+                        if self.occupancy[(t % OPTGEN_WINDOW as u64) as usize] >= self.capacity {
+                            fits = false;
+                            break;
+                        }
+                    }
+                    if fits {
+                        for t in prev.last_time..now {
+                            self.occupancy[(t % OPTGEN_WINDOW as u64) as usize] += 1;
+                        }
+                    }
+                    Some((fits, prev.last_pc_hash))
+                }
+            }
+            None => None,
+        };
+
+        // Update / allocate the history entry (LRU by last_time).
+        match found {
+            Some(i) => {
+                self.history[i].last_time = now;
+                self.history[i].last_pc_hash = pc_hash;
+            }
+            None => {
+                let slot = self
+                    .history
+                    .iter()
+                    .position(|e| !e.valid)
+                    .unwrap_or_else(|| {
+                        self.history
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, e)| e.last_time)
+                            .map(|(i, _)| i)
+                            .expect("history nonempty")
+                    });
+                self.history[slot] = HistoryEntry {
+                    tag,
+                    last_time: now,
+                    last_pc_hash: pc_hash,
+                    valid: true,
+                };
+            }
+        }
+        result
+    }
+}
+
+#[inline]
+fn pc_hash(pc: u64) -> u32 {
+    let x = pc ^ (pc >> 17) ^ (pc >> 31);
+    (x & 0xffff_ffff) as u32
+}
+
+/// The Hawkeye policy.
+#[derive(Debug)]
+pub struct Hawkeye {
+    classifier: Vec<u8>,
+    optgen: Vec<OptGenSet>,
+    sample_stride: u32,
+    rrpv: Vec<u8>,
+    block_pc: Vec<u32>,
+    assoc: u32,
+    last_confidence: i32,
+}
+
+impl Hawkeye {
+    /// Creates the policy for `llc` with `sampler_sets` OPTgen sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sampler_sets` is 0 or exceeds the set count.
+    pub fn new(llc: &CacheConfig, sampler_sets: u32) -> Self {
+        assert!(
+            sampler_sets > 0 && sampler_sets <= llc.sets(),
+            "sampler sets out of range"
+        );
+        let slots = llc.sets() as usize * llc.associativity() as usize;
+        Hawkeye {
+            classifier: vec![4u8; CLASSIFIER_ENTRIES], // start neutral-friendly
+            optgen: (0..sampler_sets)
+                .map(|_| OptGenSet::new(llc.associativity() as u8))
+                .collect(),
+            sample_stride: (llc.sets() / sampler_sets).max(1),
+            rrpv: vec![RRPV_MAX; slots],
+            block_pc: vec![0; slots],
+            assoc: llc.associativity(),
+            last_confidence: 0,
+        }
+    }
+
+    /// Classifier counter (0..=7) for a PC; >= 4 means cache-friendly.
+    pub fn counter(&self, pc: u64) -> u8 {
+        self.classifier[pc_hash(pc) as usize % CLASSIFIER_ENTRIES]
+    }
+
+    /// The "confidence" of the last prediction: averse-ness as a positive
+    /// number, comparable in spirit (not scale) to the reuse predictors.
+    pub fn last_confidence(&self) -> i32 {
+        self.last_confidence
+    }
+
+    fn friendly(&mut self, pc: u64) -> bool {
+        let counter = self.counter(pc);
+        self.last_confidence = 7 - i32::from(counter);
+        counter >= 4
+    }
+
+    fn train(&mut self, trained_pc_hash: u32, friendly: bool) {
+        let c = &mut self.classifier[trained_pc_hash as usize % CLASSIFIER_ENTRIES];
+        if friendly {
+            *c = (*c + 1).min(7);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    fn optgen_access(&mut self, info: &AccessInfo) {
+        if !info.set.is_multiple_of(self.sample_stride) {
+            return;
+        }
+        let idx = (info.set / self.sample_stride) as usize;
+        if idx >= self.optgen.len() {
+            return;
+        }
+        let tag = (info.block ^ (info.block >> 16)) as u16;
+        if let Some((opt_hit, prev_pc)) = self.optgen[idx].access(tag, pc_hash(info.pc)) {
+            self.train(prev_pc, opt_hit);
+        }
+    }
+
+    #[inline]
+    fn slot(&self, set: u32, way: u32) -> usize {
+        set as usize * self.assoc as usize + way as usize
+    }
+
+    fn place(&mut self, info: &AccessInfo, way: u32) {
+        let friendly = self.friendly(info.pc);
+        let slot = self.slot(info.set, way);
+        self.block_pc[slot] = pc_hash(info.pc);
+        if friendly {
+            // Age everything else, then protect this block.
+            for w in 0..self.assoc {
+                if w != way {
+                    let s = self.slot(info.set, w);
+                    self.rrpv[s] = (self.rrpv[s] + 1).min(RRPV_MAX - 1);
+                }
+            }
+            self.rrpv[slot] = 0;
+        } else {
+            self.rrpv[slot] = RRPV_MAX;
+        }
+    }
+}
+
+impl ReplacementPolicy for Hawkeye {
+    fn name(&self) -> &str {
+        "hawkeye"
+    }
+
+    fn on_hit(&mut self, info: &AccessInfo, way: u32) {
+        self.optgen_access(info);
+        let friendly = self.friendly(info.pc);
+        let slot = self.slot(info.set, way);
+        self.block_pc[slot] = pc_hash(info.pc);
+        self.rrpv[slot] = if friendly { 0 } else { RRPV_MAX };
+    }
+
+    fn should_bypass(&mut self, info: &AccessInfo) -> bool {
+        // Original Hawkeye does not bypass; it relies on distant insertion.
+        self.optgen_access(info);
+        false
+    }
+
+    fn choose_victim(&mut self, info: &AccessInfo, _occupants: &[u64]) -> u32 {
+        // Prefer an averse block (RRPV 7); otherwise evict the oldest
+        // friendly block and detrain its PC (it was kept but died).
+        let base = self.slot(info.set, 0);
+        for way in 0..self.assoc {
+            if self.rrpv[base + way as usize] == RRPV_MAX {
+                return way;
+            }
+        }
+        let victim = (0..self.assoc)
+            .max_by_key(|&w| self.rrpv[base + w as usize])
+            .expect("associativity nonzero");
+        let victim_pc = self.block_pc[base + victim as usize];
+        self.train(victim_pc, false);
+        victim
+    }
+
+    fn on_fill(&mut self, info: &AccessInfo, way: u32) {
+        self.place(info, way);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrp_cache::Cache;
+    use mrp_trace::MemoryAccess;
+
+    fn llc() -> CacheConfig {
+        CacheConfig::new(64 * 16 * 64, 16)
+    }
+
+    fn load(pc: u64, block: u64) -> MemoryAccess {
+        MemoryAccess::load(pc, block * 64)
+    }
+
+    #[test]
+    fn basic_hit_miss() {
+        let c = llc();
+        let mut cache = Cache::new(c, Box::new(Hawkeye::new(&c, 16)));
+        let a = load(0x400000, 3);
+        assert!(cache.access(&a, false).is_miss());
+        assert!(cache.access(&a, false).is_hit());
+    }
+
+    #[test]
+    fn optgen_classifies_tight_loop_friendly() {
+        let c = llc();
+        let mut h = Hawkeye::new(&c, 16);
+        // Loop over 8 blocks in sampled set 0: MIN keeps them all.
+        for round in 0..100u64 {
+            for b in 0..8u64 {
+                let a = load(0x500000, b * 64); // set 0 via block addr b*64? -> block() = b*64
+                let info = AccessInfo::from_access(&a, &c, false);
+                h.optgen_access(&info);
+            }
+            let _ = round;
+        }
+        assert!(h.counter(0x500000) >= 4, "loop PC should be friendly");
+    }
+
+    #[test]
+    fn optgen_classifies_wide_stream_averse() {
+        let c = llc();
+        let mut h = Hawkeye::new(&c, 16);
+        // Stream over many distinct blocks of sampled set 0: reuse
+        // interval far exceeds capacity, so MIN would miss.
+        for round in 0..50u64 {
+            for b in 0..48u64 {
+                let a = load(0x600000, b * 64 * 64); // all map to set 0
+                let info = AccessInfo::from_access(&a, &c, false);
+                h.optgen_access(&info);
+            }
+            let _ = round;
+        }
+        assert!(h.counter(0x600000) < 4, "streaming PC should be averse");
+    }
+
+    #[test]
+    fn averse_blocks_are_victimized_first() {
+        let c = llc();
+        let mut h = Hawkeye::new(&c, 16);
+        // Force PC 0xbad averse.
+        for _ in 0..20 {
+            h.train(pc_hash(0xbad), false);
+        }
+        let friendly_access = load(0x500000, 0);
+        let averse_access = load(0xbad, 1 << 11); // same set 0, different tag
+        let fi = AccessInfo::from_access(&friendly_access, &c, false);
+        let ai = AccessInfo::from_access(&averse_access, &c, false);
+        h.on_fill(&fi, 0);
+        h.on_fill(&ai, 1);
+        let victim = h.choose_victim(&fi, &[0; 16]);
+        assert_eq!(victim, 1, "averse block should be evicted first");
+    }
+
+    #[test]
+    fn hawkeye_never_bypasses() {
+        let c = llc();
+        let mut cache = Cache::new(c, Box::new(Hawkeye::new(&c, 16)));
+        for i in 0..100_000u64 {
+            assert_ne!(
+                cache.access(&load(0x400000, i), false),
+                mrp_cache::AccessResult::Bypassed
+            );
+        }
+        assert_eq!(cache.stats().bypasses, 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! SHiP: Signature-based Hit Predictor (Wu et al., MICRO 2011).
+//!
+//! Each block carries its fill signature (a PC hash) and an outcome bit.
+//! A table of saturating counters (SHCT) learns, per signature, whether
+//! filled blocks get reused: re-referenced blocks increment their
+//! signature's counter; blocks evicted unreferenced decrement it. Blocks
+//! from zero-counter signatures are inserted at distant RRPV (SRRIP
+//! otherwise).
+
+use mrp_cache::policies::{RripState, RRIP_MAX};
+use mrp_cache::{AccessInfo, CacheConfig, ReplacementPolicy};
+
+/// Signature history counter table size.
+const SHCT_ENTRIES: usize = 16384;
+
+/// 3-bit SHCT counter maximum.
+const SHCT_MAX: u8 = 7;
+
+#[inline]
+fn signature(pc: u64) -> usize {
+    let x = pc ^ (pc >> 14) ^ (pc >> 28);
+    (x as usize) % SHCT_ENTRIES
+}
+
+/// The SHiP-PC policy over SRRIP replacement.
+#[derive(Debug)]
+pub struct Ship {
+    shct: Vec<u8>,
+    rrip: RripState,
+    /// Per-block fill signature.
+    signatures: Vec<u32>,
+    /// Per-block outcome bit: reused since fill?
+    outcome: Vec<bool>,
+    assoc: u32,
+}
+
+impl Ship {
+    /// Creates the policy for `llc`.
+    pub fn new(llc: &CacheConfig) -> Self {
+        let slots = llc.sets() as usize * llc.associativity() as usize;
+        Ship {
+            shct: vec![1u8; SHCT_ENTRIES],
+            rrip: RripState::new(llc.sets(), llc.associativity()),
+            signatures: vec![0; slots],
+            outcome: vec![false; slots],
+            assoc: llc.associativity(),
+        }
+    }
+
+    /// SHCT counter for a PC (tests).
+    pub fn counter(&self, pc: u64) -> u8 {
+        self.shct[signature(pc)]
+    }
+
+    #[inline]
+    fn slot(&self, set: u32, way: u32) -> usize {
+        set as usize * self.assoc as usize + way as usize
+    }
+}
+
+impl ReplacementPolicy for Ship {
+    fn name(&self) -> &str {
+        "ship"
+    }
+
+    fn on_hit(&mut self, info: &AccessInfo, way: u32) {
+        let slot = self.slot(info.set, way);
+        if !self.outcome[slot] {
+            self.outcome[slot] = true;
+            let sig = self.signatures[slot] as usize % SHCT_ENTRIES;
+            self.shct[sig] = (self.shct[sig] + 1).min(SHCT_MAX);
+        }
+        self.rrip.set(info.set, way, 0);
+    }
+
+    fn choose_victim(&mut self, info: &AccessInfo, _occupants: &[u64]) -> u32 {
+        self.rrip.victim(info.set)
+    }
+
+    fn on_evict(&mut self, set: u32, way: u32, _block: u64) {
+        let slot = self.slot(set, way);
+        if !self.outcome[slot] {
+            let sig = self.signatures[slot] as usize % SHCT_ENTRIES;
+            self.shct[sig] = self.shct[sig].saturating_sub(1);
+        }
+    }
+
+    fn on_fill(&mut self, info: &AccessInfo, way: u32) {
+        let slot = self.slot(info.set, way);
+        let sig = signature(info.pc);
+        self.signatures[slot] = sig as u32;
+        self.outcome[slot] = false;
+        let rrpv = if self.shct[sig] == 0 {
+            RRIP_MAX
+        } else {
+            RRIP_MAX - 1
+        };
+        self.rrip.set(info.set, way, rrpv);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrp_cache::Cache;
+    use mrp_trace::MemoryAccess;
+
+    fn llc() -> CacheConfig {
+        CacheConfig::new(64 * 16 * 64, 16)
+    }
+
+    fn load(pc: u64, block: u64) -> MemoryAccess {
+        MemoryAccess::load(pc, block * 64)
+    }
+
+    #[test]
+    fn basic_hit_miss() {
+        let c = llc();
+        let mut cache = Cache::new(c, Box::new(Ship::new(&c)));
+        let a = load(0x400000, 3);
+        assert!(cache.access(&a, false).is_miss());
+        assert!(cache.access(&a, false).is_hit());
+    }
+
+    #[test]
+    fn unreused_signature_counter_decays_to_zero() {
+        let c = llc();
+        let mut cache = Cache::new(c, Box::new(Ship::new(&c)));
+        for i in 0..200_000u64 {
+            let _ = cache.access(&load(0x400000, i), false);
+        }
+        // Downcast impossible through Cache; instead verify behavior: a
+        // fresh policy trained the same way shows counter 0.
+        let mut p = Ship::new(&c);
+        let mut shadow = Cache::new(c, Box::new(Ship::new(&c)));
+        for i in 0..200_000u64 {
+            let _ = shadow.access(&load(0x400000, i), false);
+        }
+        // Train p directly through fill/evict cycles.
+        for i in 0..100u64 {
+            let a = load(0x400000, i);
+            let info = AccessInfo::from_access(&a, &c, false);
+            p.on_fill(&info, 0);
+            p.on_evict(info.set, 0, info.block);
+        }
+        assert_eq!(p.counter(0x400000), 0);
+    }
+
+    #[test]
+    fn reused_signature_counter_grows() {
+        let c = llc();
+        let mut p = Ship::new(&c);
+        for i in 0..100u64 {
+            let a = load(0x500000, i);
+            let info = AccessInfo::from_access(&a, &c, false);
+            p.on_fill(&info, (i % 16) as u32);
+            p.on_hit(&info, (i % 16) as u32);
+        }
+        assert_eq!(p.counter(0x500000), SHCT_MAX);
+    }
+
+    #[test]
+    fn zero_counter_inserts_distant() {
+        let c = llc();
+        let mut p = Ship::new(&c);
+        // Drive counter to zero.
+        for i in 0..100u64 {
+            let a = load(0x600000, i);
+            let info = AccessInfo::from_access(&a, &c, false);
+            p.on_fill(&info, 0);
+            p.on_evict(info.set, 0, info.block);
+        }
+        // Make every way recently used so only the distant insert stands
+        // out as the victim (RripState starts all-distant).
+        let a = load(0x600000, 1000);
+        let info = AccessInfo::from_access(&a, &c, false);
+        for w in 0..16 {
+            p.on_hit(&info, w);
+        }
+        p.on_fill(&info, 3);
+        // Distant blocks are the immediate victim.
+        assert_eq!(p.choose_victim(&info, &[0; 16]), 3);
+    }
+}

@@ -1,0 +1,113 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! sampler set count, weight width, and training threshold. Each variant
+//! runs the same small workload; criterion reports the runtime, and each
+//! body returns the MPKI so `--verbose` output can be eyeballed for the
+//! quality trend.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrp_cache::{Cache, CacheConfig};
+use mrp_core::mpppb::{Mpppb, MpppbConfig};
+use mrp_core::tables::WeightTables;
+use mrp_core::feature_sets;
+use mrp_trace::workloads;
+
+/// Replays a fixed workload prefix against an MPPPB-managed LLC and
+/// returns the demand-miss count.
+fn run_with_config(config: MpppbConfig, llc: &CacheConfig) -> u64 {
+    let workload = &workloads::suite()[14]; // scanhot.protect
+    let mut cache = Cache::new(*llc, Box::new(Mpppb::new(config, llc)));
+    for access in workload.trace(1).take(60_000) {
+        let _ = cache.access(&access, false);
+    }
+    cache.stats().demand_misses
+}
+
+fn bench_sampler_sets(c: &mut Criterion) {
+    let llc = CacheConfig::llc_single();
+    let mut group = c.benchmark_group("ablation_sampler_sets");
+    group.sample_size(10);
+    for sets in [16u32, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(sets), &sets, |b, &sets| {
+            b.iter(|| {
+                let mut config = MpppbConfig::single_thread(&llc);
+                config.sampler_sets = sets;
+                criterion::black_box(run_with_config(config, &llc))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_training_threshold(c: &mut Criterion) {
+    let llc = CacheConfig::llc_single();
+    let mut group = c.benchmark_group("ablation_theta");
+    group.sample_size(10);
+    for theta in [0i32, 35, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(theta), &theta, |b, &theta| {
+            b.iter(|| {
+                let mut config = MpppbConfig::single_thread(&llc);
+                config.training_threshold = theta;
+                criterion::black_box(run_with_config(config, &llc))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_weight_width(c: &mut Criterion) {
+    // Weight-width ablation exercises the table structure directly: the
+    // paper chose 6-bit weights as the accuracy/area sweet spot (§3.4).
+    let features = feature_sets::table_1a();
+    let mut group = c.benchmark_group("ablation_weight_bits");
+    group.sample_size(10);
+    for bits in [4u32, 6, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
+            b.iter(|| {
+                let mut tables = WeightTables::with_weight_bits(&features, bits);
+                for i in 0..5_000u16 {
+                    let index = i % 2;
+                    tables.increment(2, index);
+                    if i % 3 == 0 {
+                        tables.decrement(2, index);
+                    }
+                }
+                criterion::black_box(tables.weight(2, 0))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_raw_vs_adaptive(c: &mut Criterion) {
+    use mrp_core::AdaptiveMpppb;
+    let llc = CacheConfig::llc_single();
+    let mut group = c.benchmark_group("ablation_adaptive_guard");
+    group.sample_size(10);
+    group.bench_function("raw_mpppb", |b| {
+        b.iter(|| {
+            let config = MpppbConfig::single_thread(&llc);
+            criterion::black_box(run_with_config(config, &llc))
+        })
+    });
+    group.bench_function("adaptive_mpppb", |b| {
+        b.iter(|| {
+            let workload = &workloads::suite()[14];
+            let config = MpppbConfig::single_thread(&llc);
+            let mut cache = Cache::new(llc, Box::new(AdaptiveMpppb::new(config, &llc)));
+            for access in workload.trace(1).take(60_000) {
+                let _ = cache.access(&access, false);
+            }
+            criterion::black_box(cache.stats().demand_misses)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sampler_sets,
+    bench_training_threshold,
+    bench_weight_width,
+    bench_raw_vs_adaptive
+);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Bench-scale Figure 3: random feature search + hill climbing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrp_experiments::search_curve::{self, SearchParams};
+
+fn bench(c: &mut Criterion) {
+    let params = SearchParams {
+        candidates: 3,
+        workload_count: 2,
+        instructions: 100_000,
+        patience: 2,
+        max_moves: 3,
+        seed: 17,
+    };
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("search_3_candidates", |b| {
+        b.iter(|| {
+            let curve = search_curve::run(params);
+            criterion::black_box(curve.hillclimbed_mpki)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

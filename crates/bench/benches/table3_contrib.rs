@@ -1,0 +1,20 @@
+//! Bench-scale Table 3: per-workload feature contributions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrp_bench::BENCH_WORKLOADS;
+use mrp_experiments::feature_table;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.bench_function("contrib_2wl", |b| {
+        b.iter(|| {
+            let rows = feature_table::run(BENCH_WORKLOADS, 100_000, 99);
+            criterion::black_box(rows.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Simulator throughput benches: instructions simulated per second for
+//! the hierarchy under each policy class, and the raw predictor hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mrp_cache::{HierarchyConfig};
+use mrp_cpu::SingleCoreSim;
+use mrp_experiments::PolicyKind;
+use mrp_trace::workloads;
+
+fn bench_hierarchy(c: &mut Criterion) {
+    const INSTRUCTIONS: u64 = 200_000;
+    let mut group = c.benchmark_group("hierarchy_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(INSTRUCTIONS));
+    for kind in [PolicyKind::Lru, PolicyKind::Srrip, PolicyKind::MpppbSingle] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let config = HierarchyConfig::single_thread();
+                    let mut sim = SingleCoreSim::new(
+                        config,
+                        kind.build(&config.llc),
+                        workloads::suite()[10].trace(1),
+                    );
+                    criterion::black_box(sim.run(0, INSTRUCTIONS).mpki)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_predictor_indexing(c: &mut Criterion) {
+    use mrp_core::context::FeatureContext;
+    use mrp_core::feature_sets;
+    let features = feature_sets::table_1a();
+    let history: Vec<u64> = (0..18).map(|i| 0x40_0000 + i * 1357).collect();
+    let mut group = c.benchmark_group("predictor_hot_path");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("index_16_features", |b| {
+        let mut out = Vec::with_capacity(16);
+        let mut pc = 0x40_0000u64;
+        b.iter(|| {
+            pc = pc.wrapping_add(4);
+            let ctx = FeatureContext {
+                pc,
+                address: pc << 3,
+                pc_history: &history,
+                is_mru: pc.is_multiple_of(2),
+                is_insert: pc.is_multiple_of(3),
+                last_miss: pc.is_multiple_of(5),
+            };
+            out.clear();
+            out.extend(features.iter().map(|f| f.index(&ctx)));
+            criterion::black_box(out.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hierarchy, bench_predictor_indexing);
+criterion_main!(benches);

@@ -1,0 +1,272 @@
+//! A single set-associative cache with a pluggable policy.
+
+use std::fmt;
+
+use mrp_trace::MemoryAccess;
+
+use crate::config::CacheConfig;
+use crate::policy::{AccessInfo, ReplacementPolicy};
+use crate::stats::CacheStats;
+
+/// Outcome of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessResult {
+    /// The block was resident.
+    Hit,
+    /// The block missed and was filled, possibly evicting another block.
+    Miss {
+        /// Block evicted to make room, if the set was full.
+        evicted: Option<u64>,
+    },
+    /// The block missed and the policy chose not to cache it.
+    Bypassed,
+}
+
+impl AccessResult {
+    /// Whether the access hit.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, AccessResult::Hit)
+    }
+
+    /// Whether the access missed (filled or bypassed).
+    pub fn is_miss(&self) -> bool {
+        !self.is_hit()
+    }
+}
+
+/// One cache level: a tag array plus a replacement policy.
+pub struct Cache {
+    config: CacheConfig,
+    /// `ways[set * assoc + way]` is the resident block, or `None`.
+    ways: Vec<Option<u64>>,
+    policy: Box<dyn ReplacementPolicy + Send>,
+    stats: CacheStats,
+}
+
+impl fmt::Debug for Cache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cache")
+            .field("config", &self.config)
+            .field("policy", &self.policy.name())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Cache {
+    /// Creates the cache with the given geometry and policy.
+    pub fn new(config: CacheConfig, policy: Box<dyn ReplacementPolicy + Send>) -> Self {
+        let slots = config.sets() as usize * config.associativity() as usize;
+        Cache {
+            config,
+            ways: vec![None; slots],
+            policy,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Geometry of this cache.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// The policy driving replacement (for experiment-side introspection).
+    pub fn policy(&self) -> &(dyn ReplacementPolicy + Send) {
+        self.policy.as_ref()
+    }
+
+    /// Mutable access to the policy.
+    pub fn policy_mut(&mut self) -> &mut (dyn ReplacementPolicy + Send) {
+        self.policy.as_mut()
+    }
+
+    #[inline]
+    fn slot(&self, set: u32, way: u32) -> usize {
+        set as usize * self.config.associativity() as usize + way as usize
+    }
+
+    /// Looks a block up without touching policy or stats state.
+    pub fn probe(&self, block: u64) -> bool {
+        let set = self.config.set_of(block);
+        self.set_ways(set).contains(&Some(block))
+    }
+
+    fn set_ways(&self, set: u32) -> &[Option<u64>] {
+        let base = set as usize * self.config.associativity() as usize;
+        &self.ways[base..base + self.config.associativity() as usize]
+    }
+
+    /// Simulates one access. `is_prefetch` marks hardware prefetch
+    /// requests, which fill with the fake prefetch PC and are not counted
+    /// as demand traffic.
+    pub fn access(&mut self, access: &MemoryAccess, is_prefetch: bool) -> AccessResult {
+        let info = AccessInfo::from_access(access, &self.config, is_prefetch);
+        self.policy.on_access(&info);
+
+        // Lookup.
+        let assoc = self.config.associativity();
+        let mut hit_way = None;
+        for way in 0..assoc {
+            if self.ways[self.slot(info.set, way)] == Some(info.block) {
+                hit_way = Some(way);
+                break;
+            }
+        }
+
+        if let Some(way) = hit_way {
+            if is_prefetch {
+                self.stats.prefetch_hits += 1;
+            } else {
+                self.stats.demand_hits += 1;
+            }
+            self.policy.on_hit(&info, way);
+            return AccessResult::Hit;
+        }
+
+        if is_prefetch {
+            self.stats.prefetch_fills += 1;
+        } else {
+            self.stats.demand_misses += 1;
+        }
+
+        if self.policy.should_bypass(&info) {
+            self.stats.bypasses += 1;
+            return AccessResult::Bypassed;
+        }
+
+        // Prefer an invalid way; otherwise ask the policy for a victim.
+        let mut fill_way = None;
+        for way in 0..assoc {
+            if self.ways[self.slot(info.set, way)].is_none() {
+                fill_way = Some(way);
+                break;
+            }
+        }
+        let mut evicted = None;
+        let way = match fill_way {
+            Some(w) => w,
+            None => {
+                let occupants: Vec<u64> = self
+                    .set_ways(info.set)
+                    .iter()
+                    .map(|b| b.expect("set is full"))
+                    .collect();
+                let victim = self.policy.choose_victim(&info, &occupants);
+                assert!(victim < assoc, "policy chose way {victim} of {assoc}");
+                let block = occupants[victim as usize];
+                self.policy.on_evict(info.set, victim, block);
+                self.stats.evictions += 1;
+                evicted = Some(block);
+                victim
+            }
+        };
+        let slot = self.slot(info.set, way);
+        self.ways[slot] = Some(info.block);
+        self.policy.on_fill(&info, way);
+        AccessResult::Miss { evicted }
+    }
+
+    /// Number of resident blocks (for tests and invariant checks).
+    pub fn resident_blocks(&self) -> usize {
+        self.ways.iter().filter(|b| b.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::Lru;
+
+    fn small_cache() -> Cache {
+        let config = CacheConfig::new(64 * 8, 4); // 2 sets x 4 ways
+        Cache::new(
+            config,
+            Box::new(Lru::new(config.sets(), config.associativity())),
+        )
+    }
+
+    fn load(block: u64) -> MemoryAccess {
+        MemoryAccess::load(0x400000, block * 64)
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small_cache();
+        assert!(c.access(&load(10), false).is_miss());
+        assert!(c.access(&load(10), false).is_hit());
+        assert_eq!(c.stats().demand_hits, 1);
+        assert_eq!(c.stats().demand_misses, 1);
+    }
+
+    #[test]
+    fn fills_use_invalid_ways_first() {
+        let mut c = small_cache();
+        // Four blocks in the same set: all fit without eviction.
+        for i in 0..4u64 {
+            let r = c.access(&load(i * 2), false);
+            assert_eq!(r, AccessResult::Miss { evicted: None });
+        }
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.resident_blocks(), 4);
+    }
+
+    #[test]
+    fn full_set_evicts_lru() {
+        let mut c = small_cache();
+        for i in 0..4u64 {
+            c.access(&load(i * 2), false);
+        }
+        // Fifth block in the same set evicts block 0 (the LRU).
+        let r = c.access(&load(8 * 2), false);
+        assert_eq!(r, AccessResult::Miss { evicted: Some(0) });
+        assert!(!c.probe(0));
+        assert!(c.probe(16));
+    }
+
+    #[test]
+    fn hit_refreshes_recency() {
+        let mut c = small_cache();
+        for i in 0..4u64 {
+            c.access(&load(i * 2), false);
+        }
+        c.access(&load(0), false); // touch block 0: now MRU
+        let r = c.access(&load(8 * 2), false);
+        assert_eq!(r, AccessResult::Miss { evicted: Some(2) });
+        assert!(c.probe(0));
+    }
+
+    #[test]
+    fn prefetches_do_not_count_as_demand() {
+        let mut c = small_cache();
+        c.access(&load(4), true);
+        assert_eq!(c.stats().demand_misses, 0);
+        assert_eq!(c.stats().prefetch_fills, 1);
+        // Demand access to a prefetched block hits.
+        assert!(c.access(&load(4), false).is_hit());
+    }
+
+    #[test]
+    fn probe_does_not_mutate() {
+        let mut c = small_cache();
+        c.access(&load(6), false);
+        let before = *c.stats();
+        assert!(c.probe(6));
+        assert!(!c.probe(7));
+        assert_eq!(*c.stats(), before);
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_capacity() {
+        let mut c = small_cache();
+        for i in 0..100u64 {
+            c.access(&load(i), false);
+            assert!(c.resident_blocks() <= 8);
+        }
+        assert_eq!(c.resident_blocks(), 8);
+    }
+}

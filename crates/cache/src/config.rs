@@ -1,0 +1,130 @@
+//! Cache geometry.
+
+use mrp_trace::BLOCK_BYTES;
+
+/// Geometry of one cache level: capacity, associativity, and the derived
+/// set count. Blocks are fixed at 64 bytes throughout the reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    size_bytes: u64,
+    associativity: u32,
+    sets: u32,
+}
+
+impl CacheConfig {
+    /// Creates a configuration for a `size_bytes` cache with
+    /// `associativity` ways of 64-byte blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero size/ways) or the derived
+    /// set count is not a power of two (required for bit-sliced indexing).
+    pub fn new(size_bytes: u64, associativity: u32) -> Self {
+        assert!(size_bytes > 0, "cache size must be nonzero");
+        assert!(associativity > 0, "associativity must be nonzero");
+        let blocks = size_bytes / BLOCK_BYTES;
+        assert!(
+            blocks.is_multiple_of(u64::from(associativity)),
+            "capacity must be a whole number of sets"
+        );
+        let sets = blocks / u64::from(associativity);
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(sets <= u64::from(u32::MAX));
+        CacheConfig {
+            size_bytes,
+            associativity,
+            sets: sets as u32,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Ways per set.
+    pub fn associativity(&self) -> u32 {
+        self.associativity
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u32 {
+        self.sets
+    }
+
+    /// The set a block address maps to.
+    #[inline]
+    pub fn set_of(&self, block: u64) -> u32 {
+        (block & u64::from(self.sets - 1)) as u32
+    }
+
+    /// The tag of a block address (bits above the set index).
+    #[inline]
+    pub fn tag_of(&self, block: u64) -> u64 {
+        block >> self.sets.trailing_zeros()
+    }
+
+    /// Standard L1 data cache from the paper: 32KB, 8-way.
+    pub fn l1d() -> Self {
+        CacheConfig::new(32 * 1024, 8)
+    }
+
+    /// Standard unified L2 from the paper: 256KB, 8-way.
+    pub fn l2() -> Self {
+        CacheConfig::new(256 * 1024, 8)
+    }
+
+    /// Single-thread LLC from the paper: 2MB, 16-way.
+    pub fn llc_single() -> Self {
+        CacheConfig::new(2 * 1024 * 1024, 16)
+    }
+
+    /// 4-core shared LLC from the paper: 8MB, 16-way.
+    pub fn llc_multi() -> Self {
+        CacheConfig::new(8 * 1024 * 1024, 16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometries() {
+        assert_eq!(CacheConfig::l1d().sets(), 64);
+        assert_eq!(CacheConfig::l2().sets(), 512);
+        assert_eq!(CacheConfig::llc_single().sets(), 2048);
+        assert_eq!(CacheConfig::llc_multi().sets(), 8192);
+    }
+
+    #[test]
+    fn set_and_tag_partition_block_address() {
+        let c = CacheConfig::llc_single();
+        for block in [0u64, 1, 2047, 2048, 0xdead_beef] {
+            let set = c.set_of(block);
+            let tag = c.tag_of(block);
+            assert_eq!(tag << 11 | u64::from(set), block);
+        }
+    }
+
+    #[test]
+    fn same_set_different_tags_conflict() {
+        let c = CacheConfig::l1d();
+        let a = 0u64;
+        let b = u64::from(c.sets());
+        assert_eq!(c.set_of(a), c.set_of(b));
+        assert_ne!(c.tag_of(a), c.tag_of(b));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_sets() {
+        let _ = CacheConfig::new(3 * 64 * 5, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of sets")]
+    fn rejects_fractional_sets() {
+        let _ = CacheConfig::new(64 * 7, 4);
+    }
+}

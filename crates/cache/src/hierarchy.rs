@@ -1,0 +1,372 @@
+//! Three-level cache hierarchy with a stream prefetcher.
+
+use std::fmt;
+
+use mrp_trace::MemoryAccess;
+
+use crate::cache::Cache;
+use crate::config::CacheConfig;
+use crate::policies::Lru;
+use crate::policy::ReplacementPolicy;
+use crate::prefetch::StreamPrefetcher;
+use crate::stats::HierarchyStats;
+
+/// Access latencies (cycles) per level, matching the paper's parameters
+/// where given (DRAM: 200 cycles, §4.1). L1/L2/LLC latencies follow
+/// typical contemporaneous designs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelLatencies {
+    /// L1 data hit latency.
+    pub l1: u64,
+    /// Additional cycles for an L2 hit.
+    pub l2: u64,
+    /// Additional cycles for an LLC hit.
+    pub llc: u64,
+    /// Additional cycles for a DRAM access.
+    pub dram: u64,
+}
+
+impl Default for LevelLatencies {
+    fn default() -> Self {
+        LevelLatencies {
+            l1: 4,
+            l2: 12,
+            llc: 38,
+            dram: 200,
+        }
+    }
+}
+
+/// Configuration of the full hierarchy.
+#[derive(Debug, Clone, Copy)]
+pub struct HierarchyConfig {
+    /// L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// Unified L2 geometry.
+    pub l2: CacheConfig,
+    /// Last-level cache geometry.
+    pub llc: CacheConfig,
+    /// Latencies per level.
+    pub latencies: LevelLatencies,
+    /// Whether the stream prefetcher is active.
+    pub prefetch: bool,
+}
+
+impl HierarchyConfig {
+    /// The paper's single-thread configuration: 32KB/8w L1D, 256KB/8w L2,
+    /// 2MB/16w LLC, prefetching on (§6.2 "Prefetching is enabled").
+    pub fn single_thread() -> Self {
+        HierarchyConfig {
+            l1d: CacheConfig::l1d(),
+            l2: CacheConfig::l2(),
+            llc: CacheConfig::llc_single(),
+            latencies: LevelLatencies::default(),
+            prefetch: true,
+        }
+    }
+
+    /// Per-core configuration for the 4-core experiments (8MB shared LLC).
+    pub fn multi_core() -> Self {
+        HierarchyConfig {
+            llc: CacheConfig::llc_multi(),
+            ..HierarchyConfig::single_thread()
+        }
+    }
+}
+
+/// Where an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServicedBy {
+    /// Hit in the L1 data cache.
+    L1,
+    /// Hit in the unified L2.
+    L2,
+    /// Hit in the last-level cache.
+    Llc,
+    /// Satisfied from DRAM.
+    Dram,
+}
+
+/// Result of one demand access through the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyAccess {
+    /// Level that satisfied the access.
+    pub serviced_by: ServicedBy,
+    /// Total latency in cycles.
+    pub latency: u64,
+}
+
+/// A private L1D + L2 in front of an LLC with a pluggable policy.
+///
+/// For single-core runs this owns all three levels. For multi-core runs,
+/// use [`CorePrivate`] per core against a shared [`Cache`] LLC (see
+/// `mrp-cpu`).
+pub struct Hierarchy {
+    private: CorePrivate,
+    llc: Cache,
+    latencies: LevelLatencies,
+}
+
+impl fmt::Debug for Hierarchy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Hierarchy")
+            .field("llc_policy", &self.llc.policy().name())
+            .finish()
+    }
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy; `llc_policy` manages the last level.
+    pub fn new(config: HierarchyConfig, llc_policy: Box<dyn ReplacementPolicy + Send>) -> Self {
+        Hierarchy {
+            private: CorePrivate::new(&config),
+            llc: Cache::new(config.llc, llc_policy),
+            latencies: config.latencies,
+        }
+    }
+
+    /// Simulates one demand access; returns where it was serviced and the
+    /// latency charged.
+    pub fn access(&mut self, access: &MemoryAccess) -> HierarchyAccess {
+        self.private
+            .access_with_llc(access, &mut self.llc, &self.latencies)
+    }
+
+    /// Statistics, combining the private levels and the LLC.
+    pub fn stats(&self) -> HierarchyStats {
+        let mut stats = self.private.stats();
+        stats.llc = *self.llc.stats();
+        stats
+    }
+
+    /// The LLC (for policy introspection in experiments).
+    pub fn llc(&self) -> &Cache {
+        &self.llc
+    }
+
+    /// Mutable LLC access.
+    pub fn llc_mut(&mut self) -> &mut Cache {
+        &mut self.llc
+    }
+}
+
+/// Demand accesses a prefetch fill stays "in flight" before becoming
+/// visible. Models the DRAM round trip a prefetch needs: without it, a
+/// zero-latency prefetcher perfectly covers any stream, which no real
+/// memory system does.
+const PREFETCH_FILL_DELAY_ACCESSES: u64 = 6;
+
+/// The per-core private levels (L1D, L2, prefetcher), decoupled from the
+/// LLC so four cores can share one.
+pub struct CorePrivate {
+    l1d: Cache,
+    l2: Cache,
+    prefetcher: Option<StreamPrefetcher>,
+    /// Prefetch fills waiting out their memory latency: (due, request).
+    in_flight: std::collections::VecDeque<(u64, MemoryAccess)>,
+    accesses: u64,
+    instructions: u64,
+    prefetches_issued: u64,
+}
+
+impl fmt::Debug for CorePrivate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CorePrivate")
+            .field("instructions", &self.instructions)
+            .finish()
+    }
+}
+
+impl CorePrivate {
+    /// Builds the private levels from `config` (LLC geometry ignored).
+    pub fn new(config: &HierarchyConfig) -> Self {
+        CorePrivate {
+            l1d: Cache::new(
+                config.l1d,
+                Box::new(Lru::new(config.l1d.sets(), config.l1d.associativity())),
+            ),
+            l2: Cache::new(
+                config.l2,
+                Box::new(Lru::new(config.l2.sets(), config.l2.associativity())),
+            ),
+            prefetcher: config.prefetch.then(StreamPrefetcher::new),
+            in_flight: std::collections::VecDeque::new(),
+            accesses: 0,
+            instructions: 0,
+            prefetches_issued: 0,
+        }
+    }
+
+    /// L1/L2 statistics plus instruction and prefetch accounting (the
+    /// `llc` field is left zeroed; the caller owns the LLC).
+    pub fn stats(&self) -> HierarchyStats {
+        HierarchyStats {
+            l1d: *self.l1d.stats(),
+            l2: *self.l2.stats(),
+            llc: Default::default(),
+            instructions: self.instructions,
+            prefetches_issued: self.prefetches_issued,
+        }
+    }
+
+    /// Retired instructions attributed to this core's accesses.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Simulates one demand access against these private levels backed by
+    /// `llc`.
+    pub fn access_with_llc(
+        &mut self,
+        access: &MemoryAccess,
+        llc: &mut Cache,
+        latencies: &LevelLatencies,
+    ) -> HierarchyAccess {
+        self.instructions += access.instructions();
+        self.accesses += 1;
+        llc.policy_mut().on_core_access(access);
+
+        // Complete prefetches whose memory latency has elapsed: fill them
+        // into L2 + LLC (not L1, as a stream prefetcher typically fills
+        // beyond the core cache).
+        while let Some(&(due, pf)) = self.in_flight.front() {
+            if due > self.accesses {
+                break;
+            }
+            self.in_flight.pop_front();
+            if self.l2.access(&pf, true).is_miss() {
+                let _ = llc.access(&pf, true);
+            }
+        }
+
+        if self.l1d.access(access, false).is_hit() {
+            return HierarchyAccess {
+                serviced_by: ServicedBy::L1,
+                latency: latencies.l1,
+            };
+        }
+
+        // Train the prefetcher on the L1 miss stream; issued requests
+        // spend PREFETCH_FILL_DELAY_ACCESSES in flight before filling.
+        if let Some(prefetcher) = &mut self.prefetcher {
+            let requests = prefetcher.on_l1_miss(access.block());
+            self.prefetches_issued += requests.len() as u64;
+            for block in requests {
+                let pf = MemoryAccess {
+                    address: block * mrp_trace::BLOCK_BYTES,
+                    ..*access
+                };
+                self.in_flight
+                    .push_back((self.accesses + PREFETCH_FILL_DELAY_ACCESSES, pf));
+            }
+        }
+
+        if self.l2.access(access, false).is_hit() {
+            return HierarchyAccess {
+                serviced_by: ServicedBy::L2,
+                latency: latencies.l1 + latencies.l2,
+            };
+        }
+
+        if llc.access(access, false).is_hit() {
+            return HierarchyAccess {
+                serviced_by: ServicedBy::Llc,
+                latency: latencies.l1 + latencies.l2 + latencies.llc,
+            };
+        }
+
+        HierarchyAccess {
+            serviced_by: ServicedBy::Dram,
+            latency: latencies.l1 + latencies.l2 + latencies.llc + latencies.dram,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hierarchy(prefetch: bool) -> Hierarchy {
+        let mut config = HierarchyConfig::single_thread();
+        config.prefetch = prefetch;
+        let policy = Lru::new(config.llc.sets(), config.llc.associativity());
+        Hierarchy::new(config, Box::new(policy))
+    }
+
+    fn load(block: u64) -> MemoryAccess {
+        MemoryAccess::load(0x400000, block * 64)
+    }
+
+    #[test]
+    fn cold_access_goes_to_dram_then_l1_hits() {
+        let mut h = hierarchy(false);
+        let first = h.access(&load(42));
+        assert_eq!(first.serviced_by, ServicedBy::Dram);
+        assert_eq!(first.latency, 4 + 12 + 38 + 200);
+        let second = h.access(&load(42));
+        assert_eq!(second.serviced_by, ServicedBy::L1);
+    }
+
+    #[test]
+    fn levels_fill_on_miss_path() {
+        let mut h = hierarchy(false);
+        h.access(&load(7));
+        // Immediately re-accessing hits L1 (all levels filled).
+        let r = h.access(&load(7));
+        assert_eq!(r.serviced_by, ServicedBy::L1);
+        assert_eq!(r.latency, 4);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        let mut h = hierarchy(false);
+        h.access(&load(0));
+        // Evict block 0 from L1 (64 sets x 8 ways => 512 blocks): stream
+        // enough same-set blocks through L1.
+        for i in 1..=8u64 {
+            h.access(&load(i * 64)); // same L1 set as block 0
+        }
+        let r = h.access(&load(0));
+        assert_eq!(r.serviced_by, ServicedBy::L2);
+    }
+
+    #[test]
+    fn instruction_counting_accumulates() {
+        let mut h = hierarchy(false);
+        let a = load(1);
+        h.access(&a);
+        h.access(&a);
+        assert_eq!(h.stats().instructions, 2 * a.instructions());
+    }
+
+    #[test]
+    fn sequential_stream_triggers_prefetches_that_hit() {
+        let mut with = hierarchy(true);
+        let mut without = hierarchy(false);
+        let mut latency_with = 0u64;
+        let mut latency_without = 0u64;
+        for b in 0..4096u64 {
+            latency_with += with.access(&load(b)).latency;
+            latency_without += without.access(&load(b)).latency;
+        }
+        let s = with.stats();
+        assert!(s.prefetches_issued > 1000, "prefetches: {}", s.prefetches_issued);
+        assert!(
+            latency_with < latency_without,
+            "prefetching should reduce stream latency ({latency_with} vs {latency_without})"
+        );
+    }
+
+    #[test]
+    fn stats_combine_all_levels() {
+        let mut h = hierarchy(false);
+        for b in 0..100u64 {
+            h.access(&load(b));
+        }
+        let s = h.stats();
+        assert_eq!(s.l1d.demand_misses, 100);
+        assert_eq!(s.l2.demand_misses, 100);
+        assert_eq!(s.llc.demand_misses, 100);
+        assert!(s.llc_mpki() > 0.0);
+    }
+}

@@ -1,0 +1,20 @@
+//! Classic replacement policies.
+//!
+//! These are the paper's baselines and default policies: true LRU (§4.5's
+//! normalization baseline), random, tree-based pseudo-LRU, the RRIP family
+//! (§3.7: SRRIP is the multi-core default), and static MDPP (§3.7: the
+//! single-thread default). The RRIP and PLRU *state* types are exported so
+//! `mrp-core` can drive the same structures with predictor-chosen
+//! placement/promotion positions.
+
+mod lru;
+mod mdpp;
+mod plru;
+mod random;
+mod rrip;
+
+pub use lru::Lru;
+pub use mdpp::{Mdpp, MdppConfig};
+pub use plru::{PlruTree, TreePlru};
+pub use random::RandomPolicy;
+pub use rrip::{Brrip, Drrip, RripState, Srrip, RRIP_BITS, RRIP_MAX};

@@ -1,0 +1,224 @@
+//! Tree-based pseudo-LRU.
+
+use crate::policy::{AccessInfo, ReplacementPolicy};
+
+/// Per-set binary-tree PLRU state, exposed so MDPP (and MPPPB over MDPP)
+/// can drive placement into arbitrary tree positions.
+///
+/// For an `assoc`-way set (`assoc` a power of two) the tree has
+/// `assoc - 1` internal nodes stored heap-style: node 0 is the root, node
+/// `i` has children `2i+1` and `2i+2`. A bit value of `false` means the
+/// *left* subtree is colder (victim side); `true` means the right is.
+#[derive(Debug, Clone)]
+pub struct PlruTree {
+    bits: Vec<bool>,
+    assoc: u32,
+    levels: u32,
+}
+
+impl PlruTree {
+    /// Creates state for `sets` sets of `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assoc` is not a power of two or is less than 2.
+    pub fn new(sets: u32, assoc: u32) -> Self {
+        assert!(assoc.is_power_of_two() && assoc >= 2, "assoc must be a power of two >= 2");
+        PlruTree {
+            bits: vec![false; sets as usize * (assoc as usize - 1)],
+            assoc,
+            levels: assoc.trailing_zeros(),
+        }
+    }
+
+    /// Ways per set.
+    pub fn assoc(&self) -> u32 {
+        self.assoc
+    }
+
+    #[inline]
+    fn base(&self, set: u32) -> usize {
+        set as usize * (self.assoc as usize - 1)
+    }
+
+    /// The victim way: follow the cold pointers from the root.
+    pub fn victim(&self, set: u32) -> u32 {
+        let base = self.base(set);
+        let mut node = 0usize;
+        for _ in 0..self.levels {
+            let bit = self.bits[base + node];
+            node = 2 * node + 1 + usize::from(bit);
+        }
+        (node + 1 - self.assoc as usize) as u32
+    }
+
+    /// Full promotion: point every node on `way`'s path away from it
+    /// (classic PLRU MRU update).
+    pub fn touch(&mut self, set: u32, way: u32) {
+        self.set_position(set, way, 0);
+    }
+
+    /// Places `way` at pseudo-recency `position` (0 = most protected,
+    /// `assoc - 1` = immediate victim).
+    ///
+    /// Each of the `log2(assoc)` path bits is written from the
+    /// corresponding bit of `position` (MSB at the root): a 0 bit points
+    /// the node away from the block (protecting it at that level), a 1 bit
+    /// points at it. This is the placement mechanism of tree-based
+    /// insertion/promotion policies (MDPP).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` or `position` is out of range.
+    pub fn set_position(&mut self, set: u32, way: u32, position: u32) {
+        assert!(way < self.assoc, "way out of range");
+        assert!(position < self.assoc, "position out of range");
+        let base = self.base(set);
+        let mut node = 0usize;
+        for level in 0..self.levels {
+            // Does the path to `way` go right at this level?
+            let goes_right = (way >> (self.levels - 1 - level)) & 1 == 1;
+            let pos_bit = (position >> (self.levels - 1 - level)) & 1 == 1;
+            // bit == goes_right means the node points AT the block.
+            self.bits[base + node] = if pos_bit { goes_right } else { !goes_right };
+            node = 2 * node + 1 + usize::from(goes_right);
+        }
+    }
+
+    /// Promotes `way` to `position` but only rewrites tree levels where
+    /// the node currently points *at* the block (minimal disturbance, per
+    /// MDPP): levels already protecting the block are left untouched.
+    pub fn promote_minimal(&mut self, set: u32, way: u32, position: u32) {
+        assert!(way < self.assoc, "way out of range");
+        assert!(position < self.assoc, "position out of range");
+        let base = self.base(set);
+        let mut node = 0usize;
+        for level in 0..self.levels {
+            let goes_right = (way >> (self.levels - 1 - level)) & 1 == 1;
+            let pos_bit = (position >> (self.levels - 1 - level)) & 1 == 1;
+            let points_at_block = self.bits[base + node] == goes_right;
+            if points_at_block && !pos_bit {
+                self.bits[base + node] = !goes_right;
+            }
+            node = 2 * node + 1 + usize::from(goes_right);
+        }
+    }
+
+    /// The pseudo-recency position of `way` implied by the current bits:
+    /// each path level contributes a 1 where the node points at the block.
+    pub fn position_of(&self, set: u32, way: u32) -> u32 {
+        let base = self.base(set);
+        let mut node = 0usize;
+        let mut position = 0u32;
+        for level in 0..self.levels {
+            let goes_right = (way >> (self.levels - 1 - level)) & 1 == 1;
+            let points_at_block = self.bits[base + node] == goes_right;
+            if points_at_block {
+                position |= 1 << (self.levels - 1 - level);
+            }
+            node = 2 * node + 1 + usize::from(goes_right);
+        }
+        position
+    }
+}
+
+/// Plain tree PLRU as a standalone policy (insert and promote to MRU).
+#[derive(Debug, Clone)]
+pub struct TreePlru {
+    tree: PlruTree,
+}
+
+impl TreePlru {
+    /// Creates the policy for `sets` sets of `assoc` ways.
+    pub fn new(sets: u32, assoc: u32) -> Self {
+        TreePlru {
+            tree: PlruTree::new(sets, assoc),
+        }
+    }
+}
+
+impl ReplacementPolicy for TreePlru {
+    fn name(&self) -> &str {
+        "tree-plru"
+    }
+
+    fn on_hit(&mut self, info: &AccessInfo, way: u32) {
+        self.tree.touch(info.set, way);
+    }
+
+    fn choose_victim(&mut self, info: &AccessInfo, _occupants: &[u64]) -> u32 {
+        self.tree.victim(info.set)
+    }
+
+    fn on_fill(&mut self, info: &AccessInfo, way: u32) {
+        self.tree.touch(info.set, way);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn touched_way_is_not_the_victim() {
+        let mut t = PlruTree::new(1, 16);
+        for way in 0..16 {
+            t.touch(0, way);
+            assert_ne!(t.victim(0), way);
+        }
+    }
+
+    #[test]
+    fn position_zero_is_max_protection() {
+        let mut t = PlruTree::new(1, 16);
+        t.set_position(0, 5, 0);
+        assert_eq!(t.position_of(0, 5), 0);
+        assert_ne!(t.victim(0), 5);
+    }
+
+    #[test]
+    fn position_max_makes_way_the_victim() {
+        let mut t = PlruTree::new(1, 16);
+        t.set_position(0, 9, 15);
+        assert_eq!(t.position_of(0, 9), 15);
+        assert_eq!(t.victim(0), 9);
+    }
+
+    #[test]
+    fn set_position_round_trips() {
+        let mut t = PlruTree::new(1, 16);
+        for pos in 0..16 {
+            t.set_position(0, 3, pos);
+            assert_eq!(t.position_of(0, 3), pos);
+        }
+    }
+
+    #[test]
+    fn minimal_promotion_only_improves() {
+        let mut t = PlruTree::new(1, 16);
+        t.set_position(0, 7, 13);
+        t.promote_minimal(0, 7, 4);
+        assert!(t.position_of(0, 7) <= 4);
+        // Promoting to a worse position does nothing destructive:
+        t.set_position(0, 7, 2);
+        t.promote_minimal(0, 7, 10);
+        assert!(t.position_of(0, 7) <= 10);
+    }
+
+    #[test]
+    fn victim_walk_is_consistent_with_positions() {
+        let mut t = PlruTree::new(1, 8);
+        // Protect ways 0..7 in order; the last-protected is never victim.
+        for way in 0..8 {
+            t.touch(0, way);
+        }
+        let v = t.victim(0);
+        assert_ne!(v, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = PlruTree::new(1, 12);
+    }
+}

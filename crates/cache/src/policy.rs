@@ -1,0 +1,127 @@
+//! The replacement-policy interface.
+
+use mrp_trace::{AccessKind, MemoryAccess};
+
+use crate::config::CacheConfig;
+
+/// Everything a policy may observe about one cache access.
+///
+/// Built by [`crate::Cache`] from the trace record plus the cache geometry;
+/// prefetches carry the fake PC the paper prescribes ("A 'fake' PC address
+/// is used for all hardware prefetches", §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessInfo {
+    /// PC of the memory instruction (or the fake prefetch PC).
+    pub pc: u64,
+    /// Full byte address.
+    pub address: u64,
+    /// Block address (`address >> 6`).
+    pub block: u64,
+    /// Set index in this cache.
+    pub set: u32,
+    /// Issuing core.
+    pub core: u8,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// True for hardware prefetch fills.
+    pub is_prefetch: bool,
+}
+
+/// The fake PC attributed to hardware prefetches.
+pub const PREFETCH_PC: u64 = 0xffff_ffff_f000;
+
+impl AccessInfo {
+    /// Builds the info for `access` against geometry `config`.
+    pub fn from_access(access: &MemoryAccess, config: &CacheConfig, is_prefetch: bool) -> Self {
+        let block = access.block();
+        AccessInfo {
+            pc: if is_prefetch { PREFETCH_PC } else { access.pc },
+            address: access.address,
+            block,
+            set: config.set_of(block),
+            core: access.core,
+            kind: access.kind,
+            is_prefetch,
+        }
+    }
+}
+
+/// A cache replacement (and bypass) policy.
+///
+/// The cache drives the policy through five hooks. For every access the
+/// cache first calls [`ReplacementPolicy::on_access`]; then exactly one of:
+///
+/// * hit — [`ReplacementPolicy::on_hit`];
+/// * miss — [`ReplacementPolicy::should_bypass`]; if `false` and the set is
+///   full, [`ReplacementPolicy::choose_victim`] then
+///   [`ReplacementPolicy::on_evict`]; finally
+///   [`ReplacementPolicy::on_fill`].
+///
+/// Policies are constructed for a fixed geometry; implementations keep
+/// per-set recency state sized accordingly.
+pub trait ReplacementPolicy {
+    /// Short display name (e.g. `"lru"`, `"mpppb-mdpp"`).
+    fn name(&self) -> &str;
+
+    /// Observes every access (hit or miss), before the outcome is known.
+    /// Default: no-op.
+    fn on_access(&mut self, info: &AccessInfo) {
+        let _ = info;
+    }
+
+    /// Observes every *core* demand access, including those that hit in
+    /// levels above this cache. The paper's predictor keeps a per-core
+    /// vector of feature values "updated on every memory access" (§3.4),
+    /// which requires visibility beyond the filtered LLC stream. Default:
+    /// no-op.
+    fn on_core_access(&mut self, access: &MemoryAccess) {
+        let _ = access;
+    }
+
+    /// The access hit in `way`.
+    fn on_hit(&mut self, info: &AccessInfo, way: u32);
+
+    /// The access missed; returning `true` skips the fill entirely
+    /// (bypass). Default: never bypass.
+    fn should_bypass(&mut self, info: &AccessInfo) -> bool {
+        let _ = info;
+        false
+    }
+
+    /// Chooses the victim way for a fill into a full set. `occupants[w]` is
+    /// the block currently in way `w`; every way is valid when this is
+    /// called.
+    fn choose_victim(&mut self, info: &AccessInfo, occupants: &[u64]) -> u32;
+
+    /// `block` is being evicted from (`set`, `way`). Default: no-op.
+    fn on_evict(&mut self, set: u32, way: u32, block: u64) {
+        let _ = (set, way, block);
+    }
+
+    /// The missing block was filled into `way`.
+    fn on_fill(&mut self, info: &AccessInfo, way: u32);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_info_uses_fake_pc_for_prefetches() {
+        let c = CacheConfig::l1d();
+        let a = MemoryAccess::load(0x400100, 0x8040);
+        let demand = AccessInfo::from_access(&a, &c, false);
+        let prefetch = AccessInfo::from_access(&a, &c, true);
+        assert_eq!(demand.pc, 0x400100);
+        assert_eq!(prefetch.pc, PREFETCH_PC);
+        assert_eq!(demand.block, prefetch.block);
+    }
+
+    #[test]
+    fn access_info_derives_set_from_geometry() {
+        let c = CacheConfig::llc_single();
+        let a = MemoryAccess::load(1, 0x1_0000);
+        let info = AccessInfo::from_access(&a, &c, false);
+        assert_eq!(info.set, c.set_of(a.block()));
+    }
+}

@@ -1,0 +1,213 @@
+//! Stream prefetcher.
+//!
+//! Models the paper's prefetcher (§4.1): "It starts a stream on a L1 cache
+//! miss and waits for at most two misses to decide on the direction of the
+//! stream. After that it starts to generate and send prefetch requests. It
+//! can track 16 separate streams. The replacement policy for the streams is
+//! LRU."
+
+/// Maximum simultaneously tracked streams.
+pub const MAX_STREAMS: usize = 16;
+
+/// How far (in blocks) a miss may land from a stream's head and still be
+/// matched to it.
+const MATCH_WINDOW: i64 = 16;
+
+/// Prefetch degree: blocks issued per confirmed-stream advance.
+const DEGREE: usize = 4;
+
+/// Prefetch distance: how far ahead of the stream head requests run.
+/// Must outrun the in-flight fill delay modeled by the hierarchy.
+const DISTANCE: i64 = 16;
+
+#[derive(Debug, Clone, Copy)]
+struct StreamEntry {
+    /// Most recent miss block in this stream.
+    head: i64,
+    /// +1 / -1 once confirmed; 0 while training.
+    direction: i64,
+    /// Misses observed while training (direction decided at 2).
+    training_misses: u32,
+    /// Furthest block already requested, so requests are not re-issued.
+    issued_until: i64,
+    /// LRU stamp.
+    last_used: u64,
+}
+
+/// A 16-entry stream prefetcher trained on L1 miss blocks.
+#[derive(Debug, Default)]
+pub struct StreamPrefetcher {
+    streams: Vec<StreamEntry>,
+    clock: u64,
+    issued: u64,
+}
+
+impl StreamPrefetcher {
+    /// Creates an empty prefetcher.
+    pub fn new() -> Self {
+        StreamPrefetcher::default()
+    }
+
+    /// Total prefetch requests issued.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Observes an L1 miss to `block`; returns the prefetch block
+    /// addresses to issue (possibly empty).
+    pub fn on_l1_miss(&mut self, block: u64) -> Vec<u64> {
+        self.clock += 1;
+        let block = block as i64;
+
+        // Match against an existing stream.
+        let mut best: Option<usize> = None;
+        for (i, s) in self.streams.iter().enumerate() {
+            let delta = block - s.head;
+            if delta != 0 && delta.abs() <= MATCH_WINDOW {
+                // Prefer the stream whose direction agrees.
+                let agrees = s.direction == 0 || delta.signum() == s.direction;
+                if agrees {
+                    best = Some(i);
+                    break;
+                }
+            }
+        }
+
+        if let Some(i) = best {
+            let s = &mut self.streams[i];
+            s.last_used = self.clock;
+            let delta = block - s.head;
+            if s.direction == 0 {
+                s.training_misses += 1;
+                if s.training_misses >= 2 {
+                    s.direction = delta.signum();
+                    s.issued_until = block;
+                }
+                s.head = block;
+                return Vec::new();
+            }
+            s.head = block;
+            // Confirmed stream: run requests up to DISTANCE ahead,
+            // starting strictly beyond both the current miss and anything
+            // already issued.
+            let target = block + s.direction * DISTANCE;
+            let mut requests = Vec::new();
+            let mut next = if s.direction > 0 {
+                (s.issued_until + 1).max(block + 1)
+            } else {
+                (s.issued_until - 1).min(block - 1)
+            };
+            while requests.len() < DEGREE
+                && (s.direction > 0 && next <= target || s.direction < 0 && next >= target)
+            {
+                if next >= 0 {
+                    requests.push(next as u64);
+                }
+                s.issued_until = if s.direction > 0 {
+                    s.issued_until.max(next)
+                } else {
+                    s.issued_until.min(next)
+                };
+                next += s.direction;
+            }
+            self.issued += requests.len() as u64;
+            return requests;
+        }
+
+        // Allocate a new stream (LRU replacement among the 16).
+        let entry = StreamEntry {
+            head: block,
+            direction: 0,
+            training_misses: 1,
+            issued_until: block,
+            last_used: self.clock,
+        };
+        if self.streams.len() < MAX_STREAMS {
+            self.streams.push(entry);
+        } else {
+            let lru = self
+                .streams
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(i, _)| i)
+                .expect("streams nonempty");
+            self.streams[lru] = entry;
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn needs_two_misses_to_confirm_direction() {
+        let mut p = StreamPrefetcher::new();
+        assert!(p.on_l1_miss(100).is_empty()); // allocate
+        assert!(p.on_l1_miss(101).is_empty()); // second miss: direction set
+        let reqs = p.on_l1_miss(102); // confirmed: prefetching starts
+        assert!(!reqs.is_empty(), "confirmed stream should prefetch");
+        assert!(reqs.iter().all(|&b| b > 102));
+        let more = p.on_l1_miss(103);
+        assert!(more.iter().all(|&b| b > 103));
+    }
+
+    #[test]
+    fn descending_streams_prefetch_downward() {
+        let mut p = StreamPrefetcher::new();
+        p.on_l1_miss(1000);
+        p.on_l1_miss(999);
+        p.on_l1_miss(998);
+        let reqs = p.on_l1_miss(997);
+        assert!(!reqs.is_empty());
+        assert!(reqs.iter().all(|&b| b < 997));
+    }
+
+    #[test]
+    fn random_misses_never_prefetch() {
+        let mut p = StreamPrefetcher::new();
+        let mut total = 0;
+        for i in 0..100u64 {
+            // Jumps of 1000 blocks never match the window.
+            total += p.on_l1_miss(i * 1000).len();
+        }
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn requests_are_not_reissued() {
+        let mut p = StreamPrefetcher::new();
+        for b in 0..20u64 {
+            p.on_l1_miss(b);
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut p2 = StreamPrefetcher::new();
+        for b in 0..40u64 {
+            for r in p2.on_l1_miss(b) {
+                assert!(seen.insert(r), "block {r} prefetched twice");
+            }
+        }
+    }
+
+    #[test]
+    fn tracks_at_most_16_streams() {
+        let mut p = StreamPrefetcher::new();
+        for i in 0..40u64 {
+            p.on_l1_miss(i * 10_000);
+        }
+        assert!(p.streams.len() <= MAX_STREAMS);
+    }
+
+    #[test]
+    fn issued_counter_matches_requests() {
+        let mut p = StreamPrefetcher::new();
+        let mut total = 0u64;
+        for b in 0..50u64 {
+            total += p.on_l1_miss(b).len() as u64;
+        }
+        assert_eq!(p.issued(), total);
+        assert!(total > 0);
+    }
+}

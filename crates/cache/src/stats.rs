@@ -1,0 +1,170 @@
+//! Access statistics.
+
+use std::fmt;
+
+/// Counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses that hit.
+    pub demand_hits: u64,
+    /// Demand accesses that missed.
+    pub demand_misses: u64,
+    /// Misses that the policy chose to bypass (LLC only in practice).
+    pub bypasses: u64,
+    /// Prefetch accesses that hit (no fill needed).
+    pub prefetch_hits: u64,
+    /// Prefetch accesses that missed and filled.
+    pub prefetch_fills: u64,
+    /// Evictions performed to make room for fills.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total demand accesses.
+    pub fn demand_accesses(&self) -> u64 {
+        self.demand_hits + self.demand_misses
+    }
+
+    /// Demand miss ratio in `[0, 1]`; 0 when there were no accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.demand_accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.demand_misses as f64 / total as f64
+        }
+    }
+
+    /// Misses per kilo-instruction given a retired-instruction count.
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.demand_misses as f64 * 1000.0 / instructions as f64
+        }
+    }
+
+    /// Accumulates another stats block (used when aggregating cores).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.demand_hits += other.demand_hits;
+        self.demand_misses += other.demand_misses;
+        self.bypasses += other.bypasses;
+        self.prefetch_hits += other.prefetch_hits;
+        self.prefetch_fills += other.prefetch_fills;
+        self.evictions += other.evictions;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} bypasses={} miss_ratio={:.4}",
+            self.demand_hits,
+            self.demand_misses,
+            self.bypasses,
+            self.miss_ratio()
+        )
+    }
+}
+
+/// Statistics for the whole hierarchy plus instruction accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// L1 data cache counters.
+    pub l1d: CacheStats,
+    /// Unified L2 counters.
+    pub l2: CacheStats,
+    /// Last-level cache counters.
+    pub llc: CacheStats,
+    /// Retired instructions attributed to the simulated accesses.
+    pub instructions: u64,
+    /// Prefetch requests issued by the stream prefetcher.
+    pub prefetches_issued: u64,
+}
+
+impl HierarchyStats {
+    /// LLC demand misses per kilo-instruction — the paper's primary miss
+    /// metric.
+    pub fn llc_mpki(&self) -> f64 {
+        self.llc.mpki(self.instructions)
+    }
+
+    /// Accumulates another hierarchy's stats.
+    pub fn merge(&mut self, other: &HierarchyStats) {
+        self.l1d.merge(&other.l1d);
+        self.l2.merge(&other.l2);
+        self.llc.merge(&other.llc);
+        self.instructions += other.instructions;
+        self.prefetches_issued += other.prefetches_issued;
+    }
+}
+
+impl fmt::Display for HierarchyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "instructions={} L1[{}] L2[{}] LLC[{}] mpki={:.3}",
+            self.instructions,
+            self.l1d,
+            self.l2,
+            self.llc,
+            self.llc_mpki()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpki_scales_with_instructions() {
+        let stats = CacheStats {
+            demand_misses: 50,
+            ..CacheStats::default()
+        };
+        assert_eq!(stats.mpki(10_000), 5.0);
+        assert_eq!(stats.mpki(0), 0.0);
+    }
+
+    #[test]
+    fn miss_ratio_handles_empty() {
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+        let s = CacheStats {
+            demand_hits: 3,
+            demand_misses: 1,
+            ..CacheStats::default()
+        };
+        assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates_all_fields() {
+        let mut a = CacheStats {
+            demand_hits: 1,
+            demand_misses: 2,
+            bypasses: 3,
+            prefetch_hits: 4,
+            prefetch_fills: 5,
+            evictions: 6,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.demand_hits, 2);
+        assert_eq!(a.evictions, 12);
+    }
+
+    #[test]
+    fn hierarchy_mpki_uses_llc_misses() {
+        let mut h = HierarchyStats::default();
+        h.llc.demand_misses = 10;
+        h.instructions = 1000;
+        assert_eq!(h.llc_mpki(), 10.0);
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert!(!format!("{}", CacheStats::default()).is_empty());
+        assert!(!format!("{}", HierarchyStats::default()).is_empty());
+    }
+}

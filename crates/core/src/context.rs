@@ -1,0 +1,172 @@
+//! Runtime state features are evaluated against.
+
+/// Snapshot of the inputs one access presents to the feature set.
+///
+/// Borrowed views into the per-core history keep index computation
+/// allocation-free on the hot path.
+#[derive(Debug, Clone, Copy)]
+pub struct FeatureContext<'a> {
+    /// PC of the current memory instruction.
+    pub pc: u64,
+    /// Full byte address of the access.
+    pub address: u64,
+    /// Recent PCs, most recent first; `pc_history[0]` is the current PC
+    /// once recorded. Features index this with their `W` parameter.
+    pub pc_history: &'a [u64],
+    /// Whether the accessed block is the set's most-recently-used block.
+    pub is_mru: bool,
+    /// Whether this access inserts the block (LLC miss fill path).
+    pub is_insert: bool,
+    /// Whether the previous access to this set missed.
+    pub last_miss: bool,
+}
+
+impl FeatureContext<'_> {
+    /// The `which`-th most recent PC (0 = current). Falls back to the
+    /// current PC while the history is still warming up.
+    pub fn history_pc(&self, which: usize) -> u64 {
+        self.pc_history.get(which).copied().unwrap_or(self.pc)
+    }
+}
+
+/// Depth of PC history kept per core: the published feature sets use `W`
+/// up to 17 (Table 2's `pc(13,16,24,17,0)`), so 18 entries cover every
+/// parameterization.
+pub const HISTORY_DEPTH: usize = 18;
+
+/// Per-core history of memory-instruction PCs, most recent first.
+///
+/// A small fixed buffer shifted on push: 17 copies per access is cheaper
+/// and simpler than ring arithmetic at this size, and keeps the history
+/// viewable as a plain slice.
+#[derive(Debug, Clone, Default)]
+pub struct PcHistory {
+    entries: [u64; HISTORY_DEPTH],
+    len: usize,
+}
+
+impl PcHistory {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        PcHistory::default()
+    }
+
+    /// Records the PC of a new memory access (becomes entry 0).
+    pub fn push(&mut self, pc: u64) {
+        self.entries.copy_within(0..HISTORY_DEPTH - 1, 1);
+        self.entries[0] = pc;
+        self.len = (self.len + 1).min(HISTORY_DEPTH);
+    }
+
+    /// The history as a slice, most recent first.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.entries[..self.len]
+    }
+
+    /// Recorded depth so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no accesses have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Per-set tracking needed by the `burst` and `lastmiss` features plus the
+/// MRU determination: the last block accessed in each set and whether the
+/// last access missed ("The lastmiss feature requires keeping a single
+/// extra bit for every set", §3.4).
+#[derive(Debug, Clone)]
+pub struct SetState {
+    last_block: Vec<u64>,
+    last_miss: Vec<bool>,
+}
+
+impl SetState {
+    /// Creates state for `sets` cache sets.
+    pub fn new(sets: u32) -> Self {
+        SetState {
+            last_block: vec![u64::MAX; sets as usize],
+            last_miss: vec![false; sets as usize],
+        }
+    }
+
+    /// Whether `block` is the most recently accessed block of `set`.
+    pub fn is_mru(&self, set: u32, block: u64) -> bool {
+        self.last_block[set as usize] == block
+    }
+
+    /// Whether the last access to `set` missed.
+    pub fn last_miss(&self, set: u32) -> bool {
+        self.last_miss[set as usize]
+    }
+
+    /// Records the outcome of an access to `set`.
+    pub fn record(&mut self, set: u32, block: u64, missed: bool) {
+        self.last_block[set as usize] = block;
+        self.last_miss[set as usize] = missed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn history_is_most_recent_first() {
+        let mut h = PcHistory::new();
+        h.push(1);
+        h.push(2);
+        h.push(3);
+        assert_eq!(h.as_slice(), &[3, 2, 1]);
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut h = PcHistory::new();
+        for pc in 0..100 {
+            h.push(pc);
+        }
+        assert_eq!(h.len(), HISTORY_DEPTH);
+        assert_eq!(h.as_slice()[0], 99);
+        assert_eq!(h.as_slice()[HISTORY_DEPTH - 1], 100 - HISTORY_DEPTH as u64);
+    }
+
+    #[test]
+    fn history_slice_is_contiguous_after_wrap() {
+        let mut h = PcHistory::new();
+        for pc in 0..(HISTORY_DEPTH as u64 * 3) {
+            h.push(pc);
+            assert_eq!(h.as_slice().len(), h.len(), "deque split detected");
+        }
+    }
+
+    #[test]
+    fn context_falls_back_to_current_pc() {
+        let ctx = FeatureContext {
+            pc: 0x42,
+            address: 0,
+            pc_history: &[0x42, 0x41],
+            is_mru: false,
+            is_insert: false,
+            last_miss: false,
+        };
+        assert_eq!(ctx.history_pc(1), 0x41);
+        assert_eq!(ctx.history_pc(9), 0x42);
+    }
+
+    #[test]
+    fn set_state_tracks_mru_and_lastmiss() {
+        let mut s = SetState::new(4);
+        assert!(!s.is_mru(0, 5));
+        s.record(0, 5, true);
+        assert!(s.is_mru(0, 5));
+        assert!(s.last_miss(0));
+        assert!(!s.last_miss(1));
+        s.record(0, 6, false);
+        assert!(!s.is_mru(0, 5));
+        assert!(!s.last_miss(0));
+    }
+}

@@ -1,0 +1,388 @@
+//! The seven parameterized feature types (§3.2).
+
+use std::fmt;
+
+use crate::context::FeatureContext;
+
+/// Maximum index width: "Features that use the PC, physical address, or
+/// exclusive-OR with the PC generate 8-bit indices requiring 256 weights
+/// per table" (§3.4).
+pub const MAX_INDEX_BITS: u32 = 8;
+
+/// Maximum table size implied by [`MAX_INDEX_BITS`].
+pub const MAX_TABLE_SIZE: usize = 1 << MAX_INDEX_BITS;
+
+/// Maximum associativity parameter: "Each set in the sampler has 18 ways"
+/// (§3.3); a feature with `A = 18` never observes a demotion-eviction.
+pub const MAX_ASSOC: u8 = 18;
+
+/// The type-specific part of a feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeatureKind {
+    /// `pc(A, B, E, W, X)`: bits `B..=E` of the PC of the `W`-th most
+    /// recent memory access instruction (`W = 0` is the current access).
+    Pc {
+        /// Low bit of the extracted field.
+        begin: u8,
+        /// High bit of the extracted field (inclusive).
+        end: u8,
+        /// Which history entry: 0 = current access's PC.
+        which: u8,
+    },
+    /// `address(A, B, E, X)`: bits `B..=E` of the physical address.
+    Address {
+        /// Low bit of the extracted field.
+        begin: u8,
+        /// High bit of the extracted field (inclusive).
+        end: u8,
+    },
+    /// `bias(A, X)`: the constant 0. Without XOR this is a single global
+    /// up/down counter; with XOR it degenerates to a PC-indexed predictor
+    /// like SDBP/SHiP.
+    Bias,
+    /// `burst(A, X)`: 1 iff this access is to the set's most-recently-used
+    /// block.
+    Burst,
+    /// `insert(A, X)`: 1 iff this access is an insertion (a miss fill).
+    Insert,
+    /// `lastmiss(A, X)`: 1 iff the previous access to this set missed.
+    LastMiss,
+    /// `offset(A, B, E, X)`: bits `B..=E` of the 6-bit block offset.
+    Offset {
+        /// Low bit of the extracted field.
+        begin: u8,
+        /// High bit of the extracted field (inclusive).
+        end: u8,
+    },
+}
+
+/// One fully parameterized feature: a kind, the per-feature associativity
+/// `A` (the recency position beyond which a block counts as dead for this
+/// feature's table), and the XOR-with-PC flag `X`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Feature {
+    /// Associativity parameter `A` in `1..=18`.
+    pub assoc: u8,
+    /// The parameterized feature body.
+    pub kind: FeatureKind,
+    /// `X`: XOR the feature bits with (a hash of) the current PC.
+    pub xor_pc: bool,
+}
+
+/// Folds an arbitrary-width value down to `bits` bits by XOR-folding.
+#[inline]
+fn fold(mut value: u64, bits: u32) -> u64 {
+    debug_assert!(bits > 0 && bits <= 32);
+    let mask = (1u64 << bits) - 1;
+    let mut out = 0u64;
+    while value != 0 {
+        out ^= value & mask;
+        value >>= bits;
+    }
+    out
+}
+
+/// Extracts bits `begin..=end` of `value` (tolerates out-of-range fields
+/// by masking against what exists).
+#[inline]
+fn field(value: u64, begin: u8, end: u8) -> u64 {
+    debug_assert!(begin <= end);
+    let width = u32::from(end - begin) + 1;
+    let shifted = value >> begin.min(63);
+    if width >= 64 {
+        shifted
+    } else {
+        shifted & ((1u64 << width) - 1)
+    }
+}
+
+impl Feature {
+    /// Creates a feature, validating parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assoc` is outside `1..=18` or a bit range is inverted.
+    pub fn new(assoc: u8, kind: FeatureKind, xor_pc: bool) -> Self {
+        assert!((1..=MAX_ASSOC).contains(&assoc), "assoc must be 1..=18");
+        match kind {
+            FeatureKind::Pc { begin, end, .. }
+            | FeatureKind::Address { begin, end }
+            | FeatureKind::Offset { begin, end } => {
+                assert!(begin <= end, "bit range inverted: {begin}..={end}");
+            }
+            _ => {}
+        }
+        Feature {
+            assoc,
+            kind,
+            xor_pc,
+        }
+    }
+
+    /// Number of raw feature bits before folding/XOR (clamped to 8).
+    pub fn raw_bits(&self) -> u32 {
+        let bits = match self.kind {
+            FeatureKind::Pc { begin, end, .. }
+            | FeatureKind::Address { begin, end }
+            | FeatureKind::Offset { begin, end } => u32::from(end - begin) + 1,
+            FeatureKind::Bias => 0,
+            FeatureKind::Burst | FeatureKind::Insert | FeatureKind::LastMiss => 1,
+        };
+        bits.min(MAX_INDEX_BITS)
+    }
+
+    /// Entries in this feature's weight table: 256 when the PC/address (or
+    /// the XOR flag) is involved, `2^bits` otherwise, 1 for plain bias.
+    pub fn table_size(&self) -> usize {
+        if self.xor_pc {
+            return MAX_TABLE_SIZE;
+        }
+        match self.kind {
+            FeatureKind::Pc { .. } | FeatureKind::Address { .. } => MAX_TABLE_SIZE,
+            FeatureKind::Offset { .. } => 1 << self.raw_bits(),
+            FeatureKind::Burst | FeatureKind::Insert | FeatureKind::LastMiss => 2,
+            FeatureKind::Bias => 1,
+        }
+    }
+
+    /// How deep a PC history this feature requires.
+    pub fn history_depth(&self) -> usize {
+        match self.kind {
+            FeatureKind::Pc { which, .. } => usize::from(which) + 1,
+            _ => 0,
+        }
+    }
+
+    /// Computes this feature's table index for an access context.
+    pub fn index(&self, ctx: &FeatureContext<'_>) -> u16 {
+        let raw = match self.kind {
+            FeatureKind::Pc { begin, end, which } => {
+                let pc = ctx.history_pc(usize::from(which));
+                field(pc, begin, end)
+            }
+            FeatureKind::Address { begin, end } => field(ctx.address, begin, end),
+            FeatureKind::Bias => 0,
+            FeatureKind::Burst => u64::from(ctx.is_mru),
+            FeatureKind::Insert => u64::from(ctx.is_insert),
+            FeatureKind::LastMiss => u64::from(ctx.last_miss),
+            FeatureKind::Offset { begin, end } => {
+                let offset = ctx.address & 0x3f;
+                field(offset, begin.min(5), end.min(5))
+            }
+        };
+        let table_size = self.table_size();
+        if table_size == 1 {
+            return 0;
+        }
+        let bits = table_size.trailing_zeros();
+        let mut value = fold(raw, bits);
+        if self.xor_pc {
+            value ^= fold(ctx.pc, bits);
+        }
+        (value & (table_size as u64 - 1)) as u16
+    }
+}
+
+impl fmt::Display for Feature {
+    /// Formats in the paper's notation, e.g. `pc(10,1,53,10,0)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let x = u8::from(self.xor_pc);
+        match self.kind {
+            FeatureKind::Pc { begin, end, which } => {
+                write!(f, "pc({},{},{},{},{})", self.assoc, begin, end, which, x)
+            }
+            FeatureKind::Address { begin, end } => {
+                write!(f, "address({},{},{},{})", self.assoc, begin, end, x)
+            }
+            FeatureKind::Bias => write!(f, "bias({},{})", self.assoc, x),
+            FeatureKind::Burst => write!(f, "burst({},{})", self.assoc, x),
+            FeatureKind::Insert => write!(f, "insert({},{})", self.assoc, x),
+            FeatureKind::LastMiss => write!(f, "lastmiss({},{})", self.assoc, x),
+            FeatureKind::Offset { begin, end } => {
+                write!(f, "offset({},{},{},{})", self.assoc, begin, end, x)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FeatureContext;
+
+    fn ctx(pc: u64, address: u64) -> FeatureContext<'static> {
+        FeatureContext {
+            pc,
+            address,
+            pc_history: &[],
+            is_mru: false,
+            is_insert: false,
+            last_miss: false,
+        }
+    }
+
+    #[test]
+    fn fold_preserves_small_values() {
+        assert_eq!(fold(5, 8), 5);
+        assert_eq!(fold(0, 8), 0);
+    }
+
+    #[test]
+    fn fold_mixes_high_bits() {
+        assert_ne!(fold(0x1_00, 8), 0x1_00 & 0xff);
+        assert_eq!(fold(0x1_01, 8), 0); // 0x01 ^ 0x01 == 0
+    }
+
+    #[test]
+    fn field_extracts_inclusive_range() {
+        assert_eq!(field(0b1111_0000, 4, 7), 0b1111);
+        assert_eq!(field(0b1010_1010, 1, 3), 0b101);
+    }
+
+    #[test]
+    fn bias_has_one_entry_without_xor() {
+        let f = Feature::new(16, FeatureKind::Bias, false);
+        assert_eq!(f.table_size(), 1);
+        assert_eq!(f.index(&ctx(0x1234, 0)), 0);
+    }
+
+    #[test]
+    fn bias_with_xor_is_pc_indexed() {
+        let f = Feature::new(6, FeatureKind::Bias, true);
+        assert_eq!(f.table_size(), 256);
+        let a = f.index(&ctx(0x400000, 0));
+        let b = f.index(&ctx(0x400004, 0));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn single_bit_features_have_two_entries() {
+        for kind in [FeatureKind::Burst, FeatureKind::Insert, FeatureKind::LastMiss] {
+            let f = Feature::new(9, kind, false);
+            assert_eq!(f.table_size(), 2);
+        }
+    }
+
+    #[test]
+    fn insert_feature_reflects_context() {
+        let f = Feature::new(16, FeatureKind::Insert, false);
+        let mut c = ctx(1, 2);
+        assert_eq!(f.index(&c), 0);
+        c.is_insert = true;
+        assert_eq!(f.index(&c), 1);
+    }
+
+    #[test]
+    fn offset_feature_uses_block_offset_bits() {
+        let f = Feature::new(15, FeatureKind::Offset { begin: 1, end: 5 }, false);
+        assert_eq!(f.table_size(), 32);
+        let a = f.index(&ctx(1, 0b10_0000));
+        let b = f.index(&ctx(1, 0b00_0000));
+        assert_ne!(a, b);
+        // Bit 0 is outside the extracted field.
+        assert_eq!(f.index(&ctx(1, 0b1)), f.index(&ctx(1, 0b0)));
+    }
+
+    #[test]
+    fn pc_feature_uses_history() {
+        let f = Feature::new(
+            7,
+            FeatureKind::Pc {
+                begin: 0,
+                end: 7,
+                which: 1,
+            },
+            false,
+        );
+        let history = [0xaa, 0xbb];
+        let c = FeatureContext {
+            pc: 0xaa,
+            address: 0,
+            pc_history: &history,
+            is_mru: false,
+            is_insert: false,
+            last_miss: false,
+        };
+        assert_eq!(f.index(&c), 0xbb);
+    }
+
+    #[test]
+    fn wide_pc_fields_fold_to_table() {
+        let f = Feature::new(
+            10,
+            FeatureKind::Pc {
+                begin: 1,
+                end: 53,
+                which: 0,
+            },
+            false,
+        );
+        assert_eq!(f.table_size(), 256);
+        for pc in [0u64, 0xdead_beef, u64::MAX] {
+            assert!(f.index(&ctx(pc, 0)) < 256);
+        }
+    }
+
+    #[test]
+    fn xor_distributes_across_pcs() {
+        let f = Feature::new(15, FeatureKind::Offset { begin: 1, end: 5 }, true);
+        assert_eq!(f.table_size(), 256);
+        let a = f.index(&ctx(0x400000, 0x10));
+        let b = f.index(&ctx(0x400abc, 0x10));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let f = Feature::new(
+            10,
+            FeatureKind::Pc {
+                begin: 1,
+                end: 53,
+                which: 10,
+            },
+            false,
+        );
+        assert_eq!(f.to_string(), "pc(10,1,53,10,0)");
+        let g = Feature::new(15, FeatureKind::Offset { begin: 1, end: 6 }, true);
+        assert_eq!(g.to_string(), "offset(15,1,6,1)");
+        let b = Feature::new(16, FeatureKind::Bias, false);
+        assert_eq!(b.to_string(), "bias(16,0)");
+    }
+
+    #[test]
+    #[should_panic(expected = "assoc must be 1..=18")]
+    fn rejects_zero_assoc() {
+        let _ = Feature::new(0, FeatureKind::Bias, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "assoc must be 1..=18")]
+    fn rejects_large_assoc() {
+        let _ = Feature::new(19, FeatureKind::Bias, false);
+    }
+
+    #[test]
+    fn indices_always_fit_table() {
+        let features = [
+            Feature::new(1, FeatureKind::Pc { begin: 0, end: 63, which: 3 }, true),
+            Feature::new(18, FeatureKind::Address { begin: 8, end: 19 }, false),
+            Feature::new(5, FeatureKind::Offset { begin: 0, end: 5 }, false),
+            Feature::new(9, FeatureKind::LastMiss, true),
+        ];
+        let history = [1u64, 2, 3, 4];
+        for f in features {
+            for seed in 0..50u64 {
+                let c = FeatureContext {
+                    pc: seed.wrapping_mul(0x9e37_79b9),
+                    address: seed.wrapping_mul(0x2545_f491),
+                    pc_history: &history,
+                    is_mru: seed % 2 == 0,
+                    is_insert: seed % 3 == 0,
+                    last_miss: seed % 5 == 0,
+                };
+                assert!((f.index(&c) as usize) < f.table_size(), "{f}");
+            }
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! The multiperspective reuse predictor.
+
+use std::fmt;
+
+use crate::context::FeatureContext;
+use crate::feature::Feature;
+use crate::sampler::{clamp_confidence, partial_tag, Sampler, TrainingEvent};
+use crate::tables::WeightTables;
+
+/// Statistics about predictor activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredictorStats {
+    /// Confidence computations performed.
+    pub predictions: u64,
+    /// Sampler accesses (accesses that mapped to a sampled set).
+    pub sampler_accesses: u64,
+    /// Sampler hits.
+    pub sampler_hits: u64,
+    /// Individual weight updates applied.
+    pub weight_updates: u64,
+}
+
+/// The paper's predictor: a set of parameterized features, one hashed
+/// weight table per feature, and a sampler that trains the tables with
+/// per-feature associativity semantics.
+///
+/// The predictor is policy-agnostic: [`crate::mpppb::Mpppb`] drives it for
+/// cache management, while experiments can also query it in measure-only
+/// mode for ROC analysis.
+pub struct MultiperspectivePredictor {
+    features: Vec<Feature>,
+    tables: WeightTables,
+    sampler: Sampler,
+    /// LLC sets between consecutive sampled sets.
+    sample_stride: u32,
+    stats: PredictorStats,
+    events_buf: Vec<TrainingEvent>,
+}
+
+impl fmt::Debug for MultiperspectivePredictor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MultiperspectivePredictor")
+            .field("features", &self.features.len())
+            .field("sampled_sets", &self.sampler.sets())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl MultiperspectivePredictor {
+    /// Creates the predictor.
+    ///
+    /// * `features` — the parameterized feature set (16 in the paper).
+    /// * `llc_sets` — number of sets in the cache being managed.
+    /// * `sampler_sets` — number of sampled sets (64/core in the paper).
+    /// * `theta` — perceptron training threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` is empty or `sampler_sets` is 0 or exceeds
+    /// `llc_sets`.
+    pub fn new(features: Vec<Feature>, llc_sets: u32, sampler_sets: u32, theta: i32) -> Self {
+        assert!(!features.is_empty(), "need at least one feature");
+        assert!(
+            sampler_sets > 0 && sampler_sets <= llc_sets,
+            "sampler sets out of range"
+        );
+        let tables = WeightTables::new(&features);
+        let assocs: Vec<u8> = features.iter().map(|f| f.assoc).collect();
+        MultiperspectivePredictor {
+            features,
+            tables,
+            sampler: Sampler::new(sampler_sets, assocs, theta),
+            sample_stride: (llc_sets / sampler_sets).max(1),
+            stats: PredictorStats::default(),
+            events_buf: Vec::with_capacity(64),
+        }
+    }
+
+    /// The feature set.
+    pub fn features(&self) -> &[Feature] {
+        &self.features
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> PredictorStats {
+        self.stats
+    }
+
+    /// Whether `llc_set` is a sampled set.
+    #[inline]
+    pub fn is_sampled(&self, llc_set: u32) -> bool {
+        llc_set.is_multiple_of(self.sample_stride)
+            && llc_set / self.sample_stride < self.sampler.sets()
+    }
+
+    /// Computes the per-feature table indices for an access into `out`
+    /// (cleared first). Allocation-free on the hot path.
+    pub fn compute_indices(&self, ctx: &FeatureContext<'_>, out: &mut Vec<u16>) {
+        out.clear();
+        out.extend(self.features.iter().map(|f| f.index(ctx)));
+    }
+
+    /// Sums the weights selected by `indices`: the confidence that the
+    /// block is dead (positive) or live (negative).
+    pub fn confidence(&mut self, indices: &[u16]) -> i32 {
+        self.stats.predictions += 1;
+        self.tables.confidence(indices)
+    }
+
+    /// Read-only confidence (no stats bump), for introspection.
+    pub fn confidence_quiet(&self, indices: &[u16]) -> i32 {
+        self.tables.confidence(indices)
+    }
+
+    /// Presents an access to the sampler if its set is sampled, applying
+    /// any resulting training to the weight tables. `confidence` must be
+    /// the value just computed from `indices`.
+    pub fn train(&mut self, llc_set: u32, block: u64, indices: &[u16], confidence: i32) {
+        if !self.is_sampled(llc_set) {
+            return;
+        }
+        let sampler_set = llc_set / self.sample_stride;
+        self.stats.sampler_accesses += 1;
+        self.events_buf.clear();
+        let mut events = std::mem::take(&mut self.events_buf);
+        let outcome = self.sampler.access(
+            sampler_set,
+            partial_tag(block),
+            indices,
+            clamp_confidence(confidence),
+            &mut events,
+        );
+        if outcome.hit {
+            self.stats.sampler_hits += 1;
+        }
+        for event in &events {
+            self.stats.weight_updates += 1;
+            match *event {
+                TrainingEvent::Decrement { feature, index } => {
+                    self.tables.decrement(usize::from(feature), index);
+                }
+                TrainingEvent::Increment { feature, index } => {
+                    self.tables.increment(usize::from(feature), index);
+                }
+            }
+        }
+        self.events_buf = events;
+    }
+
+    /// Direct table access for white-box tests and ablations.
+    pub fn tables(&self) -> &WeightTables {
+        &self.tables
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::FeatureKind;
+
+    fn predictor() -> MultiperspectivePredictor {
+        let features = vec![
+            Feature::new(4, FeatureKind::Bias, true), // PC-indexed
+            Feature::new(2, FeatureKind::Insert, false),
+        ];
+        MultiperspectivePredictor::new(features, 2048, 64, 100)
+    }
+
+    fn ctx(pc: u64, insert: bool) -> FeatureContext<'static> {
+        FeatureContext {
+            pc,
+            address: pc << 6,
+            pc_history: &[],
+            is_mru: false,
+            is_insert: insert,
+            last_miss: false,
+        }
+    }
+
+    #[test]
+    fn sampled_sets_are_evenly_spread() {
+        let p = predictor();
+        let sampled: Vec<u32> = (0..2048).filter(|&s| p.is_sampled(s)).collect();
+        assert_eq!(sampled.len(), 64);
+        assert_eq!(sampled[0], 0);
+        assert_eq!(sampled[1], 32);
+    }
+
+    #[test]
+    fn untrained_confidence_is_zero() {
+        let mut p = predictor();
+        let mut idx = Vec::new();
+        p.compute_indices(&ctx(0x400000, false), &mut idx);
+        assert_eq!(p.confidence(&idx), 0);
+    }
+
+    #[test]
+    fn dead_blocks_drive_confidence_positive() {
+        let mut p = predictor();
+        let mut idx = Vec::new();
+        // Stream distinct blocks through one sampled set with the same PC:
+        // every insertion demotes previous blocks past feature assocs.
+        for i in 0..200u64 {
+            p.compute_indices(&ctx(0x400000, true), &mut idx);
+            let c = p.confidence(&idx);
+            p.train(0, i * 2048, &idx, c);
+        }
+        p.compute_indices(&ctx(0x400000, true), &mut idx);
+        assert!(
+            p.confidence_quiet(&idx) > 10,
+            "streaming PC should look dead: {}",
+            p.confidence_quiet(&idx)
+        );
+    }
+
+    #[test]
+    fn reused_blocks_drive_confidence_negative() {
+        let mut p = predictor();
+        let mut idx = Vec::new();
+        // Alternate between two blocks: both are constantly reused at
+        // positions 0/1, inside every feature's associativity.
+        for i in 0..200u64 {
+            let block = i % 2;
+            p.compute_indices(&ctx(0x500000, false), &mut idx);
+            let c = p.confidence(&idx);
+            p.train(0, block, &idx, c);
+        }
+        p.compute_indices(&ctx(0x500000, false), &mut idx);
+        assert!(
+            p.confidence_quiet(&idx) < -10,
+            "reused PC should look live: {}",
+            p.confidence_quiet(&idx)
+        );
+    }
+
+    #[test]
+    fn non_sampled_sets_never_train() {
+        let mut p = predictor();
+        let mut idx = Vec::new();
+        p.compute_indices(&ctx(0x400000, true), &mut idx);
+        for i in 0..100u64 {
+            p.train(3, i, &idx, 0); // set 3 is not sampled
+        }
+        assert_eq!(p.stats().sampler_accesses, 0);
+        assert_eq!(p.confidence_quiet(&idx), 0);
+    }
+
+    #[test]
+    fn stats_track_activity() {
+        let mut p = predictor();
+        let mut idx = Vec::new();
+        p.compute_indices(&ctx(1, true), &mut idx);
+        let c = p.confidence(&idx);
+        p.train(0, 99, &idx, c);
+        p.train(0, 99, &idx, c);
+        let s = p.stats();
+        assert_eq!(s.predictions, 1);
+        assert_eq!(s.sampler_accesses, 2);
+        assert_eq!(s.sampler_hits, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampler sets out of range")]
+    fn rejects_oversized_sampler() {
+        let _ = MultiperspectivePredictor::new(
+            vec![Feature::new(4, FeatureKind::Bias, false)],
+            64,
+            128,
+            30,
+        );
+    }
+}

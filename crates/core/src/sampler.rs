@@ -1,0 +1,357 @@
+//! The 18-way LRU sampler with per-feature associativity training.
+//!
+//! A small number of cache sets are sampled; each has a corresponding
+//! sampler set holding partial tags, the last-computed confidence, the
+//! vector of prediction-table indices used for that confidence, and an LRU
+//! stack position (§3.3). Unlike prior work, *evictions from the sampler
+//! have no special significance*: each feature has its own maximum recency
+//! position `A`, and a block is trained dead for feature `i` at the moment
+//! it is demoted to position `A_i` (§3.8).
+
+/// Sampler associativity: "Each set in the sampler has 18 ways" (§3.3).
+pub const SAMPLER_ASSOC: usize = 18;
+
+/// Bits kept per partial tag (§3.3: 16 bits balances aliasing vs. area).
+pub const PARTIAL_TAG_BITS: u32 = 16;
+
+/// Confidence values are stored as 9-bit signed integers (§3.3).
+pub const CONFIDENCE_MIN: i32 = -256;
+
+/// Upper bound of the stored 9-bit confidence.
+pub const CONFIDENCE_MAX: i32 = 255;
+
+/// Computes the 16-bit partial tag for a block address.
+#[inline]
+pub fn partial_tag(block: u64) -> u16 {
+    let folded = block ^ (block >> 16) ^ (block >> 32) ^ (block >> 48);
+    (folded & 0xffff) as u16
+}
+
+/// Clamps a raw confidence sum into the stored 9-bit range.
+#[inline]
+pub fn clamp_confidence(sum: i32) -> i16 {
+    sum.clamp(CONFIDENCE_MIN, CONFIDENCE_MAX) as i16
+}
+
+/// One table update requested by a sampler access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainingEvent {
+    /// Decrement (toward "live") the weight at `index` of `feature`'s
+    /// table: the block was reused within that feature's associativity.
+    Decrement {
+        /// Feature whose table is trained.
+        feature: u16,
+        /// Stored table index for that feature.
+        index: u16,
+    },
+    /// Increment (toward "dead"): the block was demoted to the feature's
+    /// `A` position — an eviction from that feature's perspective.
+    Increment {
+        /// Feature whose table is trained.
+        feature: u16,
+        /// Stored table index for that feature.
+        index: u16,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct SamplerEntry {
+    tag: u16,
+    confidence: i16,
+    indices: Box<[u16]>,
+}
+
+/// Outcome summary of one sampler access (for tests and statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplerAccess {
+    /// Whether the tag hit in the sampler set.
+    pub hit: bool,
+    /// Stack position of the hit (0 = MRU), if any.
+    pub hit_position: Option<u32>,
+}
+
+/// The sampler structure: `sets` independent 18-way LRU-ordered sets.
+#[derive(Debug)]
+pub struct Sampler {
+    /// Each set is kept in recency order: element 0 is MRU.
+    sets: Vec<Vec<SamplerEntry>>,
+    feature_assocs: Vec<u8>,
+    theta: i32,
+}
+
+impl Sampler {
+    /// Creates a sampler with `sets` sampled sets, the per-feature
+    /// associativity parameters, and training threshold `theta` (weights
+    /// are only updated when the stored confidence was wrong or within
+    /// `theta` of the decision boundary — perceptron threshold training).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets == 0` or any associativity is outside `1..=18`.
+    pub fn new(sets: u32, feature_assocs: Vec<u8>, theta: i32) -> Self {
+        assert!(sets > 0, "need at least one sampled set");
+        assert!(
+            feature_assocs
+                .iter()
+                .all(|&a| (1..=SAMPLER_ASSOC as u8).contains(&a)),
+            "feature associativity out of range"
+        );
+        Sampler {
+            sets: (0..sets).map(|_| Vec::with_capacity(SAMPLER_ASSOC)).collect(),
+            feature_assocs,
+            theta,
+        }
+    }
+
+    /// Number of sampled sets.
+    pub fn sets(&self) -> u32 {
+        self.sets.len() as u32
+    }
+
+    /// Simulates the sampler's response to an access: `tag` hit/placed in
+    /// `set`, carrying the just-computed `indices` and `confidence`.
+    /// Returns the (already threshold-gated) training events plus a hit
+    /// summary.
+    ///
+    /// Demotion semantics: on a hit at position `p`, blocks above `p`
+    /// demote by one; on a miss every block demotes by one and the
+    /// position-17 block (if any) falls off the end — a demotion *to*
+    /// position 18, which trains features with `A = 18`.
+    pub fn access(
+        &mut self,
+        set: u32,
+        tag: u16,
+        indices: &[u16],
+        confidence: i16,
+        events: &mut Vec<TrainingEvent>,
+    ) -> SamplerAccess {
+        assert_eq!(
+            indices.len(),
+            self.feature_assocs.len(),
+            "index vector arity mismatch"
+        );
+        let theta = self.theta;
+        let entries = &mut self.sets[set as usize];
+        let hit_position = entries.iter().position(|e| e.tag == tag);
+
+        match hit_position {
+            Some(p) => {
+                // Round 1: train the reused block. For each feature with
+                // p < A the reuse is a hit at associativity A; gate on the
+                // *stored* confidence (mispredicted dead, or within theta).
+                let entry_confidence = i32::from(entries[p].confidence);
+                for (f, &assoc) in self.feature_assocs.iter().enumerate() {
+                    if (p as u32) < u32::from(assoc) && entry_confidence >= -theta {
+                        events.push(TrainingEvent::Decrement {
+                            feature: f as u16,
+                            index: entries[p].indices[f],
+                        });
+                    }
+                }
+                // Round 2: the promotion of `p` demotes blocks 0..p by
+                // one; a block moving from q to q+1 == A is an eviction
+                // for that feature.
+                for (q, entry) in entries.iter().enumerate().take(p) {
+                    let new_position = q as u32 + 1;
+                    let entry_confidence = i32::from(entry.confidence);
+                    for (f, &assoc) in self.feature_assocs.iter().enumerate() {
+                        if new_position == u32::from(assoc) && entry_confidence <= theta {
+                            events.push(TrainingEvent::Increment {
+                                feature: f as u16,
+                                index: entry.indices[f],
+                            });
+                        }
+                    }
+                }
+                // Update the entry and move it to MRU.
+                let mut entry = entries.remove(p);
+                entry.confidence = confidence;
+                entry.indices.copy_from_slice(indices);
+                entries.insert(0, entry);
+                SamplerAccess {
+                    hit: true,
+                    hit_position: Some(p as u32),
+                }
+            }
+            None => {
+                // Every resident block demotes by one position.
+                for (q, entry) in entries.iter().enumerate() {
+                    let new_position = q as u32 + 1;
+                    let entry_confidence = i32::from(entry.confidence);
+                    for (f, &assoc) in self.feature_assocs.iter().enumerate() {
+                        if new_position == u32::from(assoc) && entry_confidence <= theta {
+                            events.push(TrainingEvent::Increment {
+                                feature: f as u16,
+                                index: entry.indices[f],
+                            });
+                        }
+                    }
+                }
+                if entries.len() == SAMPLER_ASSOC {
+                    entries.pop();
+                }
+                entries.insert(
+                    0,
+                    SamplerEntry {
+                        tag,
+                        confidence,
+                        indices: indices.to_vec().into_boxed_slice(),
+                    },
+                );
+                SamplerAccess {
+                    hit: false,
+                    hit_position: None,
+                }
+            }
+        }
+    }
+
+    /// Occupancy of a sampler set (tests).
+    pub fn set_len(&self, set: u32) -> usize {
+        self.sets[set as usize].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sampler(assocs: Vec<u8>, theta: i32) -> Sampler {
+        Sampler::new(2, assocs, theta)
+    }
+
+    fn run(
+        s: &mut Sampler,
+        set: u32,
+        tag: u16,
+        indices: &[u16],
+        confidence: i16,
+    ) -> (SamplerAccess, Vec<TrainingEvent>) {
+        let mut events = Vec::new();
+        let outcome = s.access(set, tag, indices, confidence, &mut events);
+        (outcome, events)
+    }
+
+    #[test]
+    fn miss_then_hit_at_mru() {
+        let mut s = sampler(vec![18], 100);
+        let (a, _) = run(&mut s, 0, 7, &[3], 0);
+        assert!(!a.hit);
+        let (b, _) = run(&mut s, 0, 7, &[3], 0);
+        assert!(b.hit);
+        assert_eq!(b.hit_position, Some(0));
+    }
+
+    #[test]
+    fn reuse_below_assoc_trains_live_with_stored_index() {
+        let mut s = sampler(vec![4], 100);
+        run(&mut s, 0, 7, &[42], 0); // placed with index 42
+        let (_, events) = run(&mut s, 0, 7, &[99], 0); // reused at p=0
+        assert_eq!(
+            events,
+            vec![TrainingEvent::Decrement { feature: 0, index: 42 }],
+            "training must use the stored index, not the new one"
+        );
+    }
+
+    #[test]
+    fn reuse_beyond_assoc_does_not_train_live() {
+        // Feature assoc 1: any hit at position >= 1 would have missed.
+        let mut s = sampler(vec![1], 100);
+        run(&mut s, 0, 7, &[1], 0);
+        // Insert another tag; tag 7 demotes to position 1 == A -> dead event.
+        let (_, demote_events) = run(&mut s, 0, 8, &[2], 0);
+        assert_eq!(
+            demote_events,
+            vec![TrainingEvent::Increment { feature: 0, index: 1 }]
+        );
+        // Now hit tag 7 at position 1 (>= A=1): no live training.
+        let (a, events) = run(&mut s, 0, 7, &[3], 0);
+        assert!(a.hit);
+        assert_eq!(a.hit_position, Some(1));
+        assert!(
+            events.iter().all(|e| !matches!(e, TrainingEvent::Decrement { .. })),
+            "no live training beyond feature associativity: {events:?}"
+        );
+    }
+
+    #[test]
+    fn promotion_demotes_intervening_blocks_across_their_assoc() {
+        // Two features with different A.
+        let mut s = sampler(vec![1, 2], 100);
+        run(&mut s, 0, 1, &[10, 20], 0); // tag 1 @ p0
+        run(&mut s, 0, 2, &[11, 21], 0); // tag 2 @ p0, tag 1 -> p1 (A0 fires)
+        // Hit tag 1 (at p1): promoting it demotes tag 2 from p0 to p1,
+        // crossing feature 0's A=1.
+        let (_, events) = run(&mut s, 0, 1, &[12, 22], 0);
+        assert!(events.contains(&TrainingEvent::Increment { feature: 0, index: 11 }));
+        // Feature 1 (A=2): tag 1 hit at p1 < 2 -> live training using tag
+        // 1's own stored index (20, from its placement).
+        assert!(events.contains(&TrainingEvent::Decrement { feature: 1, index: 20 }));
+    }
+
+    #[test]
+    fn eviction_is_demotion_to_position_18() {
+        let mut s = sampler(vec![18], 100);
+        // Fill all 18 ways.
+        for t in 0..18u16 {
+            run(&mut s, 0, t, &[t], 0);
+        }
+        assert_eq!(s.set_len(0), 18);
+        // One more insertion demotes the LRU block (tag 0) to position 18.
+        let (_, events) = run(&mut s, 0, 100, &[0], 0);
+        assert!(events.contains(&TrainingEvent::Increment { feature: 0, index: 0 }));
+        assert_eq!(s.set_len(0), 18);
+    }
+
+    #[test]
+    fn theta_gates_confident_predictions() {
+        let mut s = sampler(vec![4], 10);
+        // Stored confidence -200: confidently live; reuse shouldn't train.
+        run(&mut s, 0, 7, &[5], -200);
+        let (_, events) = run(&mut s, 0, 7, &[5], -200);
+        assert!(events.is_empty(), "confidently-correct live prediction retrained");
+        // Stored confidence +200 (mispredicted dead): reuse trains.
+        run(&mut s, 0, 8, &[6], 200);
+        let (_, events) = run(&mut s, 0, 8, &[6], 200);
+        assert!(events.contains(&TrainingEvent::Decrement { feature: 0, index: 6 }));
+    }
+
+    #[test]
+    fn theta_gates_dead_training_too() {
+        let mut s = sampler(vec![1], 10);
+        // Confidently dead (+200): demotion to A shouldn't re-train.
+        run(&mut s, 0, 7, &[5], 200);
+        let (_, events) = run(&mut s, 0, 8, &[6], 200);
+        assert!(events.is_empty(), "confidently-dead block retrained on demotion");
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut s = sampler(vec![2], 100);
+        run(&mut s, 0, 7, &[1], 0);
+        let (a, _) = run(&mut s, 1, 7, &[1], 0);
+        assert!(!a.hit, "tag in set 0 must not hit in set 1");
+    }
+
+    #[test]
+    fn partial_tags_fold_high_bits() {
+        assert_ne!(partial_tag(0x1_0000_0000), partial_tag(0x2_0000_0000));
+        assert_eq!(partial_tag(5), 5);
+    }
+
+    #[test]
+    fn confidence_clamps_to_nine_bits() {
+        assert_eq!(clamp_confidence(1000), 255);
+        assert_eq!(clamp_confidence(-1000), -256);
+        assert_eq!(clamp_confidence(17), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn access_checks_index_arity() {
+        let mut s = sampler(vec![2, 3], 100);
+        let mut events = Vec::new();
+        let _ = s.access(0, 1, &[0], 0, &mut events);
+    }
+}

@@ -1,0 +1,162 @@
+//! Hashed-perceptron weight tables.
+
+use crate::feature::Feature;
+
+/// Weight bounds: "We find that 6 bit weights ranging from -32 to +31
+/// provide a good trade-off between accuracy and area" (§3.4).
+pub const WEIGHT_MIN: i8 = -32;
+
+/// Upper weight bound (inclusive).
+pub const WEIGHT_MAX: i8 = 31;
+
+/// One saturating weight table per feature.
+#[derive(Debug, Clone)]
+pub struct WeightTables {
+    tables: Vec<Vec<i8>>,
+    weight_min: i8,
+    weight_max: i8,
+}
+
+impl WeightTables {
+    /// Allocates zeroed tables sized by each feature's
+    /// [`Feature::table_size`], with the paper's 6-bit weight range.
+    pub fn new(features: &[Feature]) -> Self {
+        WeightTables::with_weight_bits(features, 6)
+    }
+
+    /// Allocates tables with `bits`-wide signed weights (for the weight
+    /// width ablation study).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `2..=8`.
+    pub fn with_weight_bits(features: &[Feature], bits: u32) -> Self {
+        assert!((2..=8).contains(&bits), "weight bits must be 2..=8");
+        let half = 1i16 << (bits - 1);
+        WeightTables {
+            tables: features.iter().map(|f| vec![0i8; f.table_size()]).collect(),
+            weight_min: (-half) as i8,
+            weight_max: (half - 1) as i8,
+        }
+    }
+
+    /// Number of tables (= number of features).
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether there are no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Reads the weight selected by `index` in `table`.
+    pub fn weight(&self, table: usize, index: u16) -> i8 {
+        self.tables[table][index as usize]
+    }
+
+    /// Sums the weights selected by `indices` (one per table) — the
+    /// predictor's confidence value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices.len()` differs from the table count.
+    pub fn confidence(&self, indices: &[u16]) -> i32 {
+        assert_eq!(indices.len(), self.tables.len(), "index vector arity");
+        indices
+            .iter()
+            .zip(&self.tables)
+            .map(|(&i, t)| i32::from(t[i as usize]))
+            .sum()
+    }
+
+    /// Saturating increment toward "dead".
+    pub fn increment(&mut self, table: usize, index: u16) {
+        let w = &mut self.tables[table][index as usize];
+        *w = (*w).saturating_add(1).min(self.weight_max);
+    }
+
+    /// Saturating decrement toward "live".
+    pub fn decrement(&mut self, table: usize, index: u16) {
+        let w = &mut self.tables[table][index as usize];
+        *w = (*w).saturating_sub(1).max(self.weight_min);
+    }
+
+    /// Total storage in bits (for the overhead accounting test against the
+    /// paper's §4.4 numbers).
+    pub fn storage_bits(&self, weight_bits: u32) -> u64 {
+        self.tables
+            .iter()
+            .map(|t| t.len() as u64 * u64::from(weight_bits))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::FeatureKind;
+
+    fn features() -> Vec<Feature> {
+        vec![
+            Feature::new(16, FeatureKind::Bias, false),
+            Feature::new(6, FeatureKind::Burst, false),
+            Feature::new(10, FeatureKind::Pc { begin: 1, end: 53, which: 10 }, false),
+        ]
+    }
+
+    #[test]
+    fn tables_are_sized_per_feature() {
+        let t = WeightTables::new(&features());
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.weight(0, 0), 0);
+        assert_eq!(t.confidence(&[0, 0, 0]), 0);
+    }
+
+    #[test]
+    fn confidence_sums_selected_weights() {
+        let mut t = WeightTables::new(&features());
+        t.increment(0, 0);
+        t.increment(1, 1);
+        t.increment(1, 1);
+        t.decrement(2, 100);
+        assert_eq!(t.confidence(&[0, 1, 100]), 1 + 2 - 1);
+        assert_eq!(t.confidence(&[0, 0, 100]), 1 - 1);
+    }
+
+    #[test]
+    fn weights_saturate_at_six_bit_bounds() {
+        let mut t = WeightTables::new(&features());
+        for _ in 0..100 {
+            t.increment(0, 0);
+            t.decrement(1, 0);
+        }
+        assert_eq!(t.weight(0, 0), WEIGHT_MAX);
+        assert_eq!(t.weight(1, 0), WEIGHT_MIN);
+    }
+
+    #[test]
+    fn narrow_weights_saturate_earlier() {
+        let mut t = WeightTables::with_weight_bits(&features(), 4);
+        for _ in 0..100 {
+            t.increment(0, 0);
+            t.decrement(1, 0);
+        }
+        assert_eq!(t.weight(0, 0), 7);
+        assert_eq!(t.weight(1, 0), -8);
+    }
+
+    #[test]
+    #[should_panic(expected = "index vector arity")]
+    fn confidence_checks_arity() {
+        let t = WeightTables::new(&features());
+        let _ = t.confidence(&[0, 0]);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let t = WeightTables::new(&features());
+        // bias: 1 entry, burst: 2, pc: 256 => 259 weights x 6 bits.
+        assert_eq!(t.storage_bits(6), 259 * 6);
+    }
+}

@@ -1,0 +1,18 @@
+use mrp_cache::policies::Lru;
+use mrp_cache::HierarchyConfig;
+use mrp_cpu::SingleCoreSim;
+use mrp_trace::workloads;
+use std::time::Instant;
+
+fn main() {
+    let suite = workloads::suite();
+    for idx in [0usize, 9, 3] {
+        let config = HierarchyConfig::single_thread();
+        let lru = Lru::new(config.llc.sets(), config.llc.associativity());
+        let mut sim = SingleCoreSim::new(config, Box::new(lru), suite[idx].trace(1));
+        let t = Instant::now();
+        let r = sim.run(0, 20_000_000);
+        let dt = t.elapsed().as_secs_f64();
+        println!("{}: {:.1} M instr/s, ipc={:.3}, mpki={:.2}", suite[idx].name(), 20.0 / dt, r.ipc, r.mpki);
+    }
+}

@@ -1,0 +1,40 @@
+//! CPU timing model and multi-core co-simulation.
+//!
+//! The paper models "an out-of-order 4-wide 8-stage pipeline with a
+//! 128-entry instruction window" (§4.1). This crate provides the same
+//! abstraction at trace granularity:
+//!
+//! * [`CoreModel`] — an analytic out-of-order approximation: issue
+//!   bandwidth of 4 instructions/cycle, a 128-entry window bounding how
+//!   many instructions (and therefore overlapping misses) can be in
+//!   flight, in-order retirement, and serialization of address-dependent
+//!   accesses (pointer chasing cannot overlap its misses).
+//! * [`SingleCoreSim`] — a workload + hierarchy + core model bundle
+//!   producing IPC and MPKI.
+//! * [`MulticoreSim`] — four cores with private L1/L2 sharing one LLC,
+//!   interleaved by core-local cycle counts, with the paper's
+//!   weighted-speedup methodology (§4.5).
+//! * [`metrics`] — geometric means and speedup helpers.
+//!
+//! # Example
+//!
+//! ```
+//! use mrp_cpu::SingleCoreSim;
+//! use mrp_cache::{HierarchyConfig, policies::Lru};
+//! use mrp_trace::workloads;
+//!
+//! let config = HierarchyConfig::single_thread();
+//! let lru = Lru::new(config.llc.sets(), config.llc.associativity());
+//! let mut sim = SingleCoreSim::new(config, Box::new(lru), workloads::suite()[3].trace(1));
+//! let result = sim.run(10_000, 50_000);
+//! assert!(result.ipc > 0.0);
+//! ```
+
+pub mod core_model;
+pub mod metrics;
+pub mod multicore;
+pub mod single;
+
+pub use core_model::{CoreModel, CoreModelConfig};
+pub use multicore::{MulticoreResult, MulticoreSim};
+pub use single::{SingleCoreResult, SingleCoreSim};

@@ -1,0 +1,76 @@
+//! Aggregate metrics: geometric means and speedups.
+
+/// Geometric mean of positive values.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or any value is non-positive.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of no values");
+    assert!(
+        values.iter().all(|&v| v > 0.0),
+        "geometric mean requires positive values"
+    );
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn arithmetic_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "mean of no values");
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Speedup of `ipc` over `baseline_ipc`.
+///
+/// # Panics
+///
+/// Panics if the baseline is non-positive.
+pub fn speedup(ipc: f64, baseline_ipc: f64) -> f64 {
+    assert!(baseline_ipc > 0.0, "baseline IPC must be positive");
+    ipc / baseline_ipc
+}
+
+/// Geometric-mean speedup, as the paper reports ("geometric mean 9.0%
+/// speedup" means this function returning 1.090).
+pub fn geomean_speedup(speedups: &[f64]) -> f64 {
+    geometric_mean(speedups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_equal_values_is_that_value() {
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_is_below_arithmetic_mean_for_spread_values() {
+        let v = [1.0, 4.0];
+        assert!(geometric_mean(&v) < arithmetic_mean(&v));
+        assert!((geometric_mean(&v) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_is_ratio() {
+        assert!((speedup(1.5, 1.0) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive values")]
+    fn geomean_rejects_nonpositive() {
+        let _ = geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no values")]
+    fn geomean_rejects_empty() {
+        let _ = geometric_mean(&[]);
+    }
+}

@@ -1,0 +1,272 @@
+//! Four-core co-simulation with a shared LLC.
+
+use std::fmt;
+
+use mrp_cache::hierarchy::CorePrivate;
+use mrp_cache::{Cache, HierarchyConfig, HierarchyStats, ReplacementPolicy};
+use mrp_trace::{MemoryAccess, Mix};
+
+use crate::core_model::{CoreModel, CoreModelConfig};
+
+/// Address-space separation between cores: each program's addresses are
+/// offset into a private region, as distinct processes would be.
+const CORE_ADDRESS_STRIDE: u64 = 1 << 44;
+
+/// PC separation between cores (distinct binaries).
+const CORE_PC_STRIDE: u64 = 1 << 40;
+
+/// Per-core and aggregate results of a multi-programmed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MulticoreResult {
+    /// Measured IPC per core.
+    pub ipc: Vec<f64>,
+    /// Instructions retired per core during measurement.
+    pub instructions: Vec<u64>,
+    /// Shared-LLC demand misses during measurement, summed over cores.
+    pub llc_misses: u64,
+    /// Aggregate MPKI: LLC misses per kilo-instruction over all cores.
+    pub mpki: f64,
+}
+
+impl MulticoreResult {
+    /// Weighted speedup against per-core standalone baselines:
+    /// `sum(IPC_i / SingleIPC_i)` (paper §4.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `standalone_ipc` has a different core count or contains a
+    /// non-positive entry.
+    pub fn weighted_ipc(&self, standalone_ipc: &[f64]) -> f64 {
+        assert_eq!(standalone_ipc.len(), self.ipc.len(), "core count mismatch");
+        assert!(
+            standalone_ipc.iter().all(|&s| s > 0.0),
+            "standalone IPCs must be positive"
+        );
+        self.ipc
+            .iter()
+            .zip(standalone_ipc)
+            .map(|(&ipc, &single)| ipc / single)
+            .sum()
+    }
+}
+
+struct CoreState {
+    private: CorePrivate,
+    model: CoreModel,
+    trace: Box<dyn Iterator<Item = MemoryAccess> + Send>,
+    core_id: u8,
+    measured_start_instructions: u64,
+}
+
+/// Runs a 4-program [`Mix`] against a shared LLC.
+///
+/// Cores are interleaved by their local cycle counts: each step advances
+/// the core whose clock is furthest behind, so LLC interleaving tracks the
+/// relative execution rates (a FIESTA-style sample-balanced co-simulation).
+pub struct MulticoreSim {
+    cores: Vec<CoreState>,
+    llc: Cache,
+    latencies: mrp_cache::LevelLatencies,
+}
+
+impl fmt::Debug for MulticoreSim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MulticoreSim")
+            .field("cores", &self.cores.len())
+            .field("llc_policy", &self.llc.policy().name())
+            .finish()
+    }
+}
+
+impl MulticoreSim {
+    /// Builds the simulation for `mix` with the given shared-LLC policy.
+    /// Each member workload gets a private address space and PC range.
+    pub fn new(
+        config: HierarchyConfig,
+        llc_policy: Box<dyn ReplacementPolicy + Send>,
+        mix: &Mix,
+    ) -> Self {
+        let workloads = mix.workloads();
+        let seed = mix.seed();
+        let cores = workloads
+            .iter()
+            .enumerate()
+            .map(|(i, w)| CoreState {
+                private: CorePrivate::new(&config),
+                model: CoreModel::new(CoreModelConfig::default()),
+                trace: Box::new(w.trace(seed.wrapping_add(i as u64))),
+                core_id: i as u8,
+                measured_start_instructions: 0,
+            })
+            .collect();
+        MulticoreSim {
+            cores,
+            llc: Cache::new(config.llc, llc_policy),
+            latencies: config.latencies,
+        }
+    }
+
+    fn step_core(&mut self, index: usize) {
+        let core = &mut self.cores[index];
+        let raw = core.trace.next().expect("traces are infinite");
+        let access = MemoryAccess {
+            pc: raw.pc + u64::from(core.core_id) * CORE_PC_STRIDE,
+            address: raw.address + u64::from(core.core_id) * CORE_ADDRESS_STRIDE,
+            core: core.core_id,
+            ..raw
+        };
+        let outcome = core
+            .private
+            .access_with_llc(&access, &mut self.llc, &self.latencies);
+        core.model
+            .retire_access(access.instructions() as u32, outcome.latency, access.dependent);
+    }
+
+    /// Runs until every core has retired at least `instructions_per_core`
+    /// more instructions, advancing the laggard core each step.
+    fn advance(&mut self, instructions_per_core: u64) {
+        let targets: Vec<u64> = self
+            .cores
+            .iter()
+            .map(|c| c.model.instructions() + instructions_per_core)
+            .collect();
+        loop {
+            // Pick the unfinished core with the smallest local clock.
+            let mut next: Option<(usize, u64)> = None;
+            for (i, core) in self.cores.iter().enumerate() {
+                if core.model.instructions() >= targets[i] {
+                    continue;
+                }
+                let clock = core.model.cycle();
+                if next.map(|(_, c)| clock < c).unwrap_or(true) {
+                    next = Some((i, clock));
+                }
+            }
+            match next {
+                Some((i, _)) => self.step_core(i),
+                None => break,
+            }
+        }
+    }
+
+    /// Warms for `warmup` instructions per core (the paper warms until
+    /// 100M total instructions), then measures `measure` instructions per
+    /// core and reports per-core IPC and aggregate MPKI.
+    pub fn run(&mut self, warmup: u64, measure: u64) -> MulticoreResult {
+        self.advance(warmup);
+        let llc_misses_before = self.llc.stats().demand_misses;
+        for core in &mut self.cores {
+            core.model.reset_counters();
+            core.measured_start_instructions = core.private.instructions();
+        }
+        self.advance(measure);
+
+        let ipc: Vec<f64> = self.cores.iter().map(|c| c.model.ipc()).collect();
+        let instructions: Vec<u64> = self
+            .cores
+            .iter()
+            .map(|c| c.private.instructions() - c.measured_start_instructions)
+            .collect();
+        let llc_misses = self.llc.stats().demand_misses - llc_misses_before;
+        let total_instructions: u64 = instructions.iter().sum();
+        MulticoreResult {
+            ipc,
+            instructions,
+            llc_misses,
+            mpki: if total_instructions == 0 {
+                0.0
+            } else {
+                llc_misses as f64 * 1000.0 / total_instructions as f64
+            },
+        }
+    }
+
+    /// Aggregated statistics across cores plus the shared LLC.
+    pub fn stats(&self) -> HierarchyStats {
+        let mut stats = HierarchyStats::default();
+        for core in &self.cores {
+            stats.merge(&core.private.stats());
+        }
+        stats.llc = *self.llc.stats();
+        stats
+    }
+
+    /// The shared LLC.
+    pub fn llc(&self) -> &Cache {
+        &self.llc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrp_cache::policies::Lru;
+    use mrp_trace::MixBuilder;
+
+    fn sim(mix_index: usize) -> MulticoreSim {
+        let config = HierarchyConfig::multi_core();
+        let lru = Lru::new(config.llc.sets(), config.llc.associativity());
+        let mix = MixBuilder::new(11).mix(mix_index);
+        MulticoreSim::new(config, Box::new(lru), &mix)
+    }
+
+    #[test]
+    fn all_cores_make_progress() {
+        let mut s = sim(0);
+        let r = s.run(20_000, 50_000);
+        assert_eq!(r.ipc.len(), 4);
+        for (i, &instr) in r.instructions.iter().enumerate() {
+            assert!(instr >= 50_000, "core {i} retired only {instr}");
+        }
+        assert!(r.ipc.iter().all(|&ipc| ipc > 0.0));
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = sim(2).run(10_000, 30_000);
+        let b = sim(2).run(10_000, 30_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cores_have_disjoint_address_spaces() {
+        // Two cores running the same workload id must not share LLC blocks:
+        // verified indirectly by checking that per-core regions can't alias
+        // (stride exceeds any generator footprint).
+        assert!(CORE_ADDRESS_STRIDE > (1u64 << 40));
+    }
+
+    #[test]
+    fn weighted_ipc_sums_ratios() {
+        let r = MulticoreResult {
+            ipc: vec![1.0, 2.0, 3.0, 0.5],
+            instructions: vec![1, 1, 1, 1],
+            llc_misses: 0,
+            mpki: 0.0,
+        };
+        let w = r.weighted_ipc(&[1.0, 1.0, 1.0, 1.0]);
+        assert!((w - 6.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "core count mismatch")]
+    fn weighted_ipc_rejects_wrong_arity() {
+        let r = MulticoreResult {
+            ipc: vec![1.0; 4],
+            instructions: vec![1; 4],
+            llc_misses: 0,
+            mpki: 0.0,
+        };
+        let _ = r.weighted_ipc(&[1.0; 3]);
+    }
+
+    #[test]
+    fn mpki_reflects_shared_llc_misses() {
+        let mut s = sim(1);
+        let r = s.run(10_000, 40_000);
+        assert!(r.mpki >= 0.0);
+        let total: u64 = r.instructions.iter().sum();
+        let expected = r.llc_misses as f64 * 1000.0 / total as f64;
+        assert!((r.mpki - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,108 @@
+//! Uniform feature-associativity sweep (Figure 9).
+//!
+//! "For the 900 multi-programmed workloads, we fix the A parameter for
+//! each feature from 1 through 18 and observe the resulting performance"
+//! (§6.4). The original variable-associativity feature set is the final
+//! reference point.
+
+use mrp_cache::HierarchyConfig;
+use mrp_core::mpppb::{Mpppb, MpppbConfig};
+use mrp_core::Feature;
+use mrp_cpu::metrics::geometric_mean;
+use mrp_trace::{workloads, MixBuilder};
+
+use crate::policies::PolicyKind;
+use crate::runner::{mix_standalone, run_mix_kind, run_mix_policy, standalone_ipcs, MpParams};
+
+/// Result of the sweep.
+#[derive(Debug, Clone)]
+pub struct AssocSweep {
+    /// Geomean weighted speedup for each uniform A in 1..=18.
+    pub uniform: Vec<(u8, f64)>,
+    /// Geomean weighted speedup of the original variable-A feature set.
+    pub original: f64,
+}
+
+/// Applies a uniform associativity to every feature of a set.
+pub fn with_uniform_assoc(features: &[Feature], assoc: u8) -> Vec<Feature> {
+    features
+        .iter()
+        .map(|f| Feature::new(assoc, f.kind, f.xor_pc))
+        .collect()
+}
+
+/// Runs the sweep over `mix_count` mixes; `assoc_step` lets reduced runs
+/// sample every k-th associativity.
+pub fn run(params: MpParams, mix_count: usize, assoc_step: usize, seed: u64) -> AssocSweep {
+    let suite = workloads::suite();
+    let builder = MixBuilder::new(seed);
+    let standalone = standalone_ipcs(&suite, params, seed);
+    let config = HierarchyConfig::multi_core();
+    let base = MpppbConfig::multi_core(&config.llc);
+
+    let mixes: Vec<_> = (0..mix_count.max(1)).map(|i| builder.mix(100 + i)).collect();
+    // LRU baselines per mix.
+    let lru_weighted: Vec<f64> = mixes
+        .iter()
+        .map(|mix| {
+            run_mix_kind(mix, PolicyKind::Lru, params)
+                .weighted_ipc(&mix_standalone(mix, &standalone))
+        })
+        .collect();
+
+    let evaluate = |features: Vec<Feature>| -> f64 {
+        let speedups: Vec<f64> = mixes
+            .iter()
+            .zip(&lru_weighted)
+            .map(|(mix, &lru)| {
+                let policy_config = base.clone().with_features(features.clone());
+                let policy = Box::new(Mpppb::new(policy_config, &config.llc));
+                run_mix_policy(mix, policy, params)
+                    .weighted_ipc(&mix_standalone(mix, &standalone))
+                    / lru
+            })
+            .collect();
+        geometric_mean(&speedups)
+    };
+
+    let uniform = (1..=18u8)
+        .step_by(assoc_step.max(1))
+        .map(|a| (a, evaluate(with_uniform_assoc(&base.features, a))))
+        .collect();
+    let original = evaluate(base.features.clone());
+
+    AssocSweep { uniform, original }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrp_core::feature_sets;
+
+    #[test]
+    fn uniform_assoc_rewrites_every_feature() {
+        let set = feature_sets::table_2();
+        let uniform = with_uniform_assoc(&set, 5);
+        assert!(uniform.iter().all(|f| f.assoc == 5));
+        assert_eq!(uniform.len(), set.len());
+        // Kinds are preserved.
+        for (a, b) in set.iter().zip(&uniform) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.xor_pc, b.xor_pc);
+        }
+    }
+
+    #[test]
+    fn sweep_produces_points() {
+        let params = MpParams {
+            warmup: 15_000,
+            measure: 60_000,
+        };
+        let sweep = run(params, 1, 9, 5);
+        assert_eq!(sweep.uniform.len(), 2); // A = 1, 10
+        assert!(sweep.original > 0.0);
+        for (_, s) in &sweep.uniform {
+            assert!(*s > 0.0);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Derives suite-tuned feature sets via the paper's §5 methodology:
+//! random search over 16-feature sets, then hill climbing, with two-fold
+//! cross-validation (features searched on one half of the suite are
+//! reported on the other).
+//!
+//! The paper's published sets (Tables 1–2) were developed on SPEC CPU
+//! 2006 + CloudSuite; this binary re-runs the same process on this
+//! repository's synthetic suite, printing the resulting sets as Rust
+//! constructors ready to paste into `mrp_core::feature_sets`.
+//!
+//! Usage: `cargo run -p mrp-experiments --release --bin derive_features --
+//! [--candidates N] [--instructions N] [--moves N] [--patience N] [--seed N]`
+
+use mrp_search::{crossval, FastEvaluator, HillClimber, RandomFeatures};
+use mrp_trace::workloads;
+
+use mrp_experiments::Args;
+
+fn kind_call(f: &mrp_core::Feature) -> String {
+    use mrp_core::FeatureKind;
+    let x = u8::from(f.xor_pc);
+    match f.kind {
+        FeatureKind::Pc { begin, end, which } => {
+            format!("pc({}, {}, {}, {}, {})", f.assoc, begin, end, which, x)
+        }
+        FeatureKind::Address { begin, end } => {
+            format!("address({}, {}, {}, {})", f.assoc, begin, end, x)
+        }
+        FeatureKind::Bias => format!("bias({}, {})", f.assoc, x),
+        FeatureKind::Burst => format!("burst({}, {})", f.assoc, x),
+        FeatureKind::Insert => format!("insert({}, {})", f.assoc, x),
+        FeatureKind::LastMiss => format!("lastmiss({}, {})", f.assoc, x),
+        FeatureKind::Offset { begin, end } => {
+            format!("offset({}, {}, {}, {})", f.assoc, begin, end, x)
+        }
+    }
+}
+
+fn search_half(
+    name: &str,
+    workloads: &[mrp_trace::Workload],
+    candidates: usize,
+    instructions: u64,
+    patience: u32,
+    moves: u32,
+    seed: u64,
+) -> Vec<mrp_core::Feature> {
+    eprintln!(
+        "[{name}] recording {} workloads: {}",
+        workloads.len(),
+        workloads.iter().map(|w| w.name()).collect::<Vec<_>>().join(", ")
+    );
+    let evaluator = FastEvaluator::new(workloads, seed, instructions);
+
+    let mut generator = RandomFeatures::new(seed ^ 0xfea7);
+    let mut best_set = generator.feature_set(16);
+    let mut best = evaluator.evaluate(&best_set);
+    eprintln!("[{name}] candidate 0: mpki {:.3} ratio {:.4}", best.0, best.1);
+    for i in 1..candidates {
+        let set = generator.feature_set(16);
+        let score = evaluator.evaluate(&set);
+        if score.1 < best.1 {
+            best = score;
+            best_set = set;
+            eprintln!("[{name}] candidate {i}: mpki {:.3} ratio {:.4}", best.0, best.1);
+        }
+    }
+
+    let mut climber = HillClimber::new(seed ^ 0xc11b, patience, moves);
+    let report = climber.climb(&evaluator, best_set);
+    eprintln!(
+        "[{name}] hill climb: ratio {:.4} -> {:.4} ({} moves, {} accepted)",
+        report.initial_objective, report.objective, report.attempts, report.accepted
+    );
+    report.features
+}
+
+fn main() {
+    let args = Args::parse();
+    let candidates = args.get_usize("candidates", 120);
+    let instructions = args.get_u64("instructions", 2_000_000);
+    let moves = args.get_u64("moves", 250) as u32;
+    let patience = args.get_u64("patience", 40) as u32;
+    let seed = args.get_u64("seed", 2006);
+
+    let suite = workloads::suite();
+    let (half_a, half_b) = crossval::split(&suite, seed);
+
+    let set_a = search_half("A", &half_a, candidates, instructions, patience, moves, seed);
+    let set_b = search_half("B", &half_b, candidates, instructions, patience, moves, seed + 1);
+
+    println!("// Derived on suite half A (report on half B):");
+    println!("pub fn suite_tuned_a() -> Vec<Feature> {{\n    vec![");
+    for f in &set_a {
+        println!("        {},", kind_call(f));
+    }
+    println!("    ]\n}}");
+    println!("// Derived on suite half B (report on half A):");
+    println!("pub fn suite_tuned_b() -> Vec<Feature> {{\n    vec![");
+    for f in &set_b {
+        println!("        {},", kind_call(f));
+    }
+    println!("    ]\n}}");
+}

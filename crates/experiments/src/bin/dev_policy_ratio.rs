@@ -1,0 +1,80 @@
+//! Development diagnostic: mean LLC MPKI ratio vs. LRU for every policy
+//! on identical recorded LLC streams (fast, no timing model).
+//!
+//! Usage: `cargo run -p mrp-experiments --release --bin dev_policy_ratio --
+//! [--workloads N] [--instructions N] [--seed N]`
+
+use mrp_baselines::{Hawkeye, MinPolicy, PerceptronPolicy, Sdbp, Ship};
+use mrp_cache::policies::{Drrip, Lru, Mdpp, MdppConfig, Srrip};
+use mrp_cache::Cache;
+use mrp_core::mpppb::{Mpppb, MpppbConfig};
+use mrp_search::FastEvaluator;
+use mrp_trace::workloads;
+
+use mrp_experiments::Args;
+
+fn main() {
+    let args = Args::parse();
+    let workload_count = args.get_usize("workloads", 14);
+    let instructions = args.get_u64("instructions", 2_000_000);
+    let seed = args.get_u64("seed", 17);
+
+    let suite = workloads::suite();
+    let half = args.get_str("half", "a");
+    let (half_a, half_b) = mrp_search::crossval::split(&suite, seed);
+    let pool = match half.as_str() {
+        "a" => half_a,
+        "b" => half_b,
+        _ => suite.clone(),
+    };
+    let selected: Vec<_> = pool.into_iter().take(workload_count).collect();
+    eprintln!(
+        "workloads: {}",
+        selected.iter().map(|w| w.name()).collect::<Vec<_>>().join(", ")
+    );
+    let evaluator = FastEvaluator::new(&selected, seed, instructions);
+    let lru = evaluator.lru_mpkis().to_vec();
+
+    let ratio = |mpkis: &[f64]| -> f64 {
+        mpkis
+            .iter()
+            .zip(&lru)
+            .map(|(&m, &l)| (m + 0.05) / (l + 0.05))
+            .sum::<f64>()
+            / mpkis.len() as f64
+    };
+
+    let run = |name: &str, build: &mut dyn FnMut(&mrp_cache::CacheConfig, &mrp_search::LlcTrace) -> Box<dyn mrp_cache::ReplacementPolicy + Send>| {
+        let llc = *evaluator.llc();
+        let mpkis: Vec<f64> = evaluator
+            .traces()
+            .iter()
+            .map(|t| {
+                let mut cache = Cache::new(llc, build(&llc, t));
+                t.replay(&mut cache)
+            })
+            .collect();
+        println!("{name:<16} ratio {:.4}", ratio(&mpkis));
+    };
+
+    run("LRU", &mut |llc, _| Box::new(Lru::new(llc.sets(), llc.associativity())));
+    run("SRRIP", &mut |llc, _| Box::new(Srrip::new(llc.sets(), llc.associativity())));
+    run("DRRIP", &mut |llc, _| Box::new(Drrip::new(llc.sets(), llc.associativity(), 1)));
+    run("MDPP", &mut |llc, _| {
+        Box::new(Mdpp::new(llc.sets(), llc.associativity(), MdppConfig::default()))
+    });
+    run("SHiP", &mut |llc, _| Box::new(Ship::new(llc)));
+    run("SDBP", &mut |llc, _| Box::new(Sdbp::new(llc, 64)));
+    run("Perceptron", &mut |llc, _| Box::new(PerceptronPolicy::new(llc, 160)));
+    run("Hawkeye", &mut |llc, _| Box::new(Hawkeye::new(llc, 64)));
+    run("MPPPB(cfg-A)", &mut |llc, _| {
+        Box::new(Mpppb::new(MpppbConfig::single_thread(llc), llc))
+    });
+    run("MPPPB(cfg-B)", &mut |llc, _| {
+        Box::new(Mpppb::new(MpppbConfig::single_thread_alt(llc), llc))
+    });
+    run("MPPPB(adapt)", &mut |llc, _| {
+        Box::new(mrp_core::AdaptiveMpppb::new(MpppbConfig::single_thread(llc), llc))
+    });
+    run("MIN", &mut |llc, t| Box::new(MinPolicy::new(llc, &t.blocks())));
+}

@@ -1,0 +1,62 @@
+//! Development diagnostic: ROC of the multiperspective machinery under
+//! different feature sets, vs. the Perceptron baseline. If the machinery
+//! is sound, the Perceptron-equivalent set should track the Perceptron
+//! policy's curve; richer sets should beat it.
+//!
+//! Usage: `cargo run -p mrp-experiments --release --bin dev_roc_check`
+
+use mrp_core::feature_sets;
+use mrp_experiments::roc;
+use mrp_experiments::runner::StParams;
+use mrp_experiments::Args;
+
+fn main() {
+    let args = Args::parse();
+    let params = StParams {
+        warmup: args.get_u64("warmup", 300_000),
+        measure: args.get_u64("measure", 1_500_000),
+        seed: args.get_u64("seed", 1),
+    };
+    let workloads = args.get_usize("workloads", 12);
+
+    let baseline = roc::run(params, workloads);
+    let like = roc::run_custom_features(
+        params,
+        workloads,
+        feature_sets::perceptron_like(),
+        "MP(perceptron-like)",
+    );
+    let like_scaled = roc::run_custom_features_with(
+        params,
+        workloads,
+        feature_sets::perceptron_like(),
+        160,
+        45,
+        "MP(p-like,160s,th45)",
+    );
+    let t1a_scaled = roc::run_custom_features_with(
+        params,
+        workloads,
+        feature_sets::table_1a(),
+        160,
+        45,
+        "MP(t1a,160s,th45)",
+    );
+    let t1b = roc::run_custom_features(
+        params,
+        workloads,
+        feature_sets::table_1b(),
+        "MP(table-1b)",
+    );
+
+    println!("{:<22} {:>10} {:>10} {:>10}", "predictor", "TPR@0.25", "TPR@0.28", "TPR@0.31");
+    for curve in baseline.iter().chain([&like, &like_scaled, &t1a_scaled, &t1b]) {
+        println!(
+            "{:<22} {:>10.3} {:>10.3} {:>10.3}",
+            curve.predictor,
+            curve.tpr_at_fpr(0.25),
+            curve.tpr_at_fpr(0.28),
+            curve.tpr_at_fpr(0.31)
+        );
+    }
+}

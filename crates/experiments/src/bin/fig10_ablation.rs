@@ -1,0 +1,37 @@
+//! Figure 10: performance impact of removing each feature.
+//!
+//! Usage: `cargo run -p mrp-experiments --release --bin fig10_ablation --
+//! [--warmup N] [--measure N] [--mixes N] [--features N] [--seed N]`
+
+use mrp_experiments::ablation;
+use mrp_experiments::output::pct;
+use mrp_experiments::runner::MpParams;
+use mrp_experiments::Args;
+
+fn main() {
+    let args = Args::parse();
+    let params = MpParams {
+        warmup: args.get_u64("warmup", 1_000_000),
+        measure: args.get_u64("measure", 5_000_000),
+    };
+    let mixes = args.get_usize("mixes", 12);
+    let features = args.get_usize("features", 16);
+    let seed = args.get_u64("seed", 42);
+
+    eprintln!("fig10: leave-one-out over {features} features x {mixes} mixes");
+    let result = ablation::run(params, mixes, features, seed);
+
+    println!("# Fig 10: geomean weighted speedup with each Table 1(a) feature omitted");
+    println!("{:>22}  {:>10}", "feature omitted", "speedup");
+    println!("{:>22}  {:>10}   <- full set", "(original)", pct(result.original));
+    for (feature, speedup) in &result.omitted {
+        let marker = if *speedup > result.original { "  <- removal helps" } else { "" };
+        println!("{feature:>22}  {:>10}{marker}", pct(*speedup));
+    }
+    let (best_feature, best_speedup) = result.most_valuable();
+    println!(
+        "\nmost valuable feature: {} (speedup drops to {} without it; paper: offset(15,1,6,1), 8.0% -> 7.6%)",
+        best_feature,
+        pct(*best_speedup)
+    );
+}

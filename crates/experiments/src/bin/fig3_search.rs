@@ -1,0 +1,49 @@
+//! Figure 3: random feature-set search distribution + hill climbing.
+//!
+//! Usage: `cargo run -p mrp-experiments --release --bin fig3_search --
+//! [--candidates N] [--workloads N] [--instructions N] [--moves N] [--seed N]`
+
+use mrp_experiments::search_curve::{self, SearchParams};
+use mrp_experiments::Args;
+
+fn main() {
+    let args = Args::parse();
+    let params = SearchParams {
+        candidates: args.get_usize("candidates", 80),
+        workload_count: args.get_usize("workloads", 10),
+        instructions: args.get_u64("instructions", 2_000_000),
+        patience: 20,
+        max_moves: args.get_u64("moves", 150) as u32,
+        seed: args.get_u64("seed", 17),
+    };
+
+    eprintln!(
+        "fig3: evaluating {} random 16-feature sets on {} workloads",
+        params.candidates, params.workload_count
+    );
+    let curve = search_curve::run(params);
+
+    println!("# Fig 3: feature sets sorted by MPKI (descending), with reference lines");
+    println!("LRU            {:.3}", curve.lru_mpki);
+    println!("MIN            {:.3}", curve.min_mpki);
+    println!(
+        "hill-climbed   {:.3}  ({} moves tried, {} accepted)",
+        curve.hillclimbed_mpki, curve.hillclimb_moves.0, curve.hillclimb_moves.1
+    );
+    println!("# rank  mpki");
+    let step = (curve.random_mpkis.len() / 40).max(1);
+    for (i, mpki) in curve.random_mpkis.iter().enumerate() {
+        if i % step == 0 || i == curve.random_mpkis.len() - 1 {
+            println!("{i:5}  {mpki:.3}");
+        }
+    }
+
+    let best_random = curve.random_mpkis.last().expect("candidates nonempty");
+    println!("\n# paper shape: random sets range from worse-than-LRU to roughly halfway LRU->MIN;");
+    println!("# hill climbing adds a little on top of the best random set.");
+    println!("best random    {best_random:.3}");
+    println!(
+        "worst random   {:.3}",
+        curve.random_mpkis.first().expect("nonempty")
+    );
+}

@@ -1,0 +1,37 @@
+//! Figure 4: normalized weighted speedup S-curves for 4-core mixes.
+//!
+//! Usage: `cargo run -p mrp-experiments --release --bin fig4_mp_speedup --
+//! [--warmup N] [--measure N] [--mixes N] [--seed N]`
+
+use mrp_experiments::multi;
+use mrp_experiments::output::{pct, s_curve};
+use mrp_experiments::runner::MpParams;
+use mrp_experiments::Args;
+
+fn main() {
+    let args = Args::parse();
+    let params = MpParams {
+        warmup: args.get_u64("warmup", 2_000_000),
+        measure: args.get_u64("measure", 8_000_000),
+    };
+    let mixes = args.get_usize("mixes", 32);
+    let seed = args.get_u64("seed", 42);
+
+    eprintln!("fig4: running {mixes} 4-core mixes (test set, after 16 training mixes)");
+    let matrix = multi::run(params, mixes, 16, seed);
+
+    for name in &matrix.policy_names {
+        print!("{}", s_curve(name, matrix.speedups(name), true, 30));
+    }
+
+    println!("\ngeometric mean weighted speedup over LRU (paper: Hawkeye +5.2%, Perceptron +5.8%, MPPPB +8.3%):");
+    for name in &matrix.policy_names {
+        println!(
+            "  {:<12} {}   (below LRU on {}/{} mixes)",
+            name,
+            pct(matrix.geomean_speedup(name)),
+            matrix.below_lru(name),
+            matrix.rows.len()
+        );
+    }
+}

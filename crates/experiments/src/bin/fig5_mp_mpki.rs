@@ -1,0 +1,33 @@
+//! Figure 5: MPKI S-curves for 4-core mixes (log-scale y in the paper).
+//!
+//! Usage: `cargo run -p mrp-experiments --release --bin fig5_mp_mpki --
+//! [--warmup N] [--measure N] [--mixes N] [--seed N]`
+
+use mrp_experiments::multi;
+use mrp_experiments::output::s_curve;
+use mrp_experiments::runner::MpParams;
+use mrp_experiments::Args;
+
+fn main() {
+    let args = Args::parse();
+    let params = MpParams {
+        warmup: args.get_u64("warmup", 2_000_000),
+        measure: args.get_u64("measure", 8_000_000),
+    };
+    let mixes = args.get_usize("mixes", 32);
+    let seed = args.get_u64("seed", 42);
+
+    eprintln!("fig5: running {mixes} 4-core mixes");
+    let matrix = multi::run(params, mixes, 16, seed);
+
+    print!("{}", s_curve("LRU", matrix.mpkis("LRU"), false, 30));
+    for name in &matrix.policy_names {
+        print!("{}", s_curve(name, matrix.mpkis(name), false, 30));
+    }
+
+    println!("\narithmetic mean MPKI (paper: LRU 14.1, Perceptron 12.49, Hawkeye 11.72, MPPPB 10.97):");
+    println!("  {:<12} {:.2}", "LRU", matrix.mean_mpki("LRU"));
+    for name in &matrix.policy_names {
+        println!("  {:<12} {:.2}", name, matrix.mean_mpki(name));
+    }
+}

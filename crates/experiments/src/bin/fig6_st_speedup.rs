@@ -1,0 +1,51 @@
+//! Figure 6: single-thread speedup over LRU per benchmark.
+//!
+//! Usage: `cargo run -p mrp-experiments --release --bin fig6_st_speedup --
+//! [--warmup N] [--measure N] [--workloads N] [--min 0|1] [--seed N]`
+
+use mrp_experiments::output::{pct, table};
+use mrp_experiments::runner::StParams;
+use mrp_experiments::{single_thread, Args};
+
+fn main() {
+    let args = Args::parse();
+    let params = StParams {
+        warmup: args.get_u64("warmup", 4_000_000),
+        measure: args.get_u64("measure", 20_000_000),
+        seed: args.get_u64("seed", 1),
+    };
+    let workloads = args.get_usize("workloads", 33);
+    let include_min = args.get_u64("min", 1) != 0;
+    let cv = args.get_u64("cv", 0) != 0;
+
+    eprintln!("fig6: running {workloads} workloads, warmup {} / measure {} instructions (cv={cv})", params.warmup, params.measure);
+    let matrix = if cv {
+        single_thread::run_cv(params, workloads, include_min)
+    } else {
+        single_thread::run(params, workloads, include_min)
+    };
+
+    let mut header = vec!["benchmark", "LRU ipc"];
+    for n in &matrix.policy_names {
+        header.push(n);
+    }
+    let mut rows: Vec<Vec<String>> = matrix
+        .rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.workload.clone(), format!("{:.3}", r.lru_ipc)];
+            for n in &matrix.policy_names {
+                row.push(format!("{:.3}x", r.speedup(n)));
+            }
+            row
+        })
+        .collect();
+    // Sort by MPPPB speedup, as the figure does.
+    rows.sort_by(|a, b| a[4].partial_cmp(&b[4]).expect("finite"));
+    println!("{}", table(&header, &rows));
+
+    println!("geometric mean speedup over LRU (paper: Hawkeye +5.1%, Perceptron +6.3%, MPPPB +9.0%, MIN +13.6%):");
+    for n in &matrix.policy_names {
+        println!("  {:<12} {}", n, pct(matrix.geomean_speedup(n)));
+    }
+}

@@ -1,0 +1,50 @@
+//! Figure 7: single-thread MPKI per benchmark (log scale in the paper).
+//!
+//! Usage: `cargo run -p mrp-experiments --release --bin fig7_st_mpki --
+//! [--warmup N] [--measure N] [--workloads N] [--min 0|1] [--seed N]`
+
+use mrp_experiments::output::table;
+use mrp_experiments::runner::StParams;
+use mrp_experiments::{single_thread, Args};
+
+fn main() {
+    let args = Args::parse();
+    let params = StParams {
+        warmup: args.get_u64("warmup", 4_000_000),
+        measure: args.get_u64("measure", 20_000_000),
+        seed: args.get_u64("seed", 1),
+    };
+    let workloads = args.get_usize("workloads", 33);
+    let include_min = args.get_u64("min", 1) != 0;
+    let cv = args.get_u64("cv", 0) != 0;
+
+    eprintln!("fig7: running {workloads} workloads (cv={cv})");
+    let matrix = if cv {
+        single_thread::run_cv(params, workloads, include_min)
+    } else {
+        single_thread::run(params, workloads, include_min)
+    };
+
+    let mut header = vec!["benchmark", "LRU"];
+    for n in &matrix.policy_names {
+        header.push(n);
+    }
+    let rows: Vec<Vec<String>> = matrix
+        .rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.workload.clone(), format!("{:.2}", r.lru_mpki)];
+            for n in &matrix.policy_names {
+                row.push(format!("{:.2}", r.mpki(n)));
+            }
+            row
+        })
+        .collect();
+    println!("{}", table(&header, &rows));
+
+    println!("mean MPKI (paper: Hawkeye 3.8, Perceptron 3.7, MPPPB 3.5):");
+    println!("  {:<12} {:.2}", "LRU", matrix.mean_mpki("LRU"));
+    for n in &matrix.policy_names {
+        println!("  {:<12} {:.2}", n, matrix.mean_mpki(n));
+    }
+}

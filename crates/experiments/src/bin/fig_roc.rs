@@ -1,0 +1,44 @@
+//! Figures 1 and 8: ROC curves for SDBP, Perceptron, Multiperspective.
+//!
+//! Usage: `cargo run -p mrp-experiments --release --bin fig_roc --
+//! [--warmup N] [--measure N] [--workloads N] [--seed N]`
+
+use mrp_experiments::roc;
+use mrp_experiments::runner::StParams;
+use mrp_experiments::Args;
+
+fn main() {
+    let args = Args::parse();
+    let params = StParams {
+        warmup: args.get_u64("warmup", 2_000_000),
+        measure: args.get_u64("measure", 10_000_000),
+        seed: args.get_u64("seed", 1),
+    };
+    let workloads = args.get_usize("workloads", 33);
+
+    eprintln!("fig_roc: measuring predictor accuracy on {workloads} workloads");
+    let curves = roc::run(params, workloads);
+
+    for curve in &curves {
+        println!("# ROC: {} (threshold  FPR  TPR)", curve.predictor);
+        for &(t, fpr, tpr) in &curve.points {
+            // Trim the flat tails for readability.
+            if fpr > 0.001 && fpr < 0.999 {
+                println!("{t:5}  {fpr:.4}  {tpr:.4}");
+            }
+        }
+        println!();
+    }
+
+    println!("# Fig 8(b) inset: TPR in the bypass-relevant FPR region (paper: multiperspective dominates at 0.25-0.31)");
+    println!("{:<18} {:>10} {:>10} {:>10}", "predictor", "TPR@0.25", "TPR@0.28", "TPR@0.31");
+    for curve in &curves {
+        println!(
+            "{:<18} {:>10.3} {:>10.3} {:>10.3}",
+            curve.predictor,
+            curve.tpr_at_fpr(0.25),
+            curve.tpr_at_fpr(0.28),
+            curve.tpr_at_fpr(0.31)
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Tables 1 and 2: the published feature sets, with storage accounting.
+//!
+//! Usage: `cargo run -p mrp-experiments --release --bin tables_features`
+
+use mrp_core::feature_sets;
+use mrp_core::tables::WeightTables;
+use mrp_core::Feature;
+
+fn describe(title: &str, features: &[Feature]) {
+    println!("# {title}");
+    let tables = WeightTables::new(features);
+    let index_bits: u32 = features
+        .iter()
+        .map(|f| (f.table_size() as u32).trailing_zeros())
+        .sum();
+    for f in features {
+        println!("  {f}");
+    }
+    println!(
+        "  -> {} features, {} index bits per sampler entry, {:.2} KB of weight tables\n",
+        features.len(),
+        index_bits,
+        tables.storage_bits(6) as f64 / 8192.0
+    );
+}
+
+fn main() {
+    describe(
+        "Table 1(a): single-thread feature set A (cross-validated)",
+        &feature_sets::table_1a(),
+    );
+    describe(
+        "Table 1(b): single-thread feature set B (paper's area estimate: 118 index bits)",
+        &feature_sets::table_1b(),
+    );
+    describe(
+        "Table 2: multi-programmed feature set (trained on 100 mixes)",
+        &feature_sets::table_2(),
+    );
+}

@@ -1,0 +1,98 @@
+//! Minimal command-line argument parsing for the experiment binaries.
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses the process arguments. Every argument must be of the form
+    /// `--key value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (tests).
+    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut values = HashMap::new();
+        let mut iter = iter.into_iter();
+        while let Some(key) = iter.next() {
+            let stripped = key
+                .strip_prefix("--")
+                .unwrap_or_else(|| panic!("expected --key, got {key:?}"));
+            let value = iter
+                .next()
+                .unwrap_or_else(|| panic!("missing value for --{stripped}"));
+            values.insert(stripped.to_string(), value);
+        }
+        Args { values }
+    }
+
+    /// Integer argument with default.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.values
+            .get(key)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}"))
+            })
+            .unwrap_or(default)
+    }
+
+    /// usize argument with default.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.get_u64(key, default as u64) as usize
+    }
+
+    /// String argument with default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Args {
+        Args::from_iter(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_key_value_pairs() {
+        let a = args(&["--instructions", "5000", "--mode", "fast"]);
+        assert_eq!(a.get_u64("instructions", 1), 5000);
+        assert_eq!(a.get_str("mode", "slow"), "fast");
+    }
+
+    #[test]
+    fn missing_keys_use_defaults() {
+        let a = args(&[]);
+        assert_eq!(a.get_u64("instructions", 42), 42);
+        assert_eq!(a.get_usize("mixes", 7), 7);
+        assert_eq!(a.get_str("mode", "x"), "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "expected --key")]
+    fn rejects_positional_arguments() {
+        let _ = args(&["oops"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects an integer")]
+    fn rejects_non_integer() {
+        let a = args(&["--n", "abc"]);
+        let _ = a.get_u64("n", 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Experiment harness for the multiperspective reuse prediction
+//! reproduction.
+//!
+//! One module per evaluation artifact in the paper; each has a matching
+//! binary in `src/bin/` and a reduced-scale criterion bench in
+//! `crates/bench`:
+//!
+//! | Paper artifact | Module | Binary |
+//! |---|---|---|
+//! | Fig. 1 / Fig. 8 (ROC curves) | [`roc`] | `fig_roc` |
+//! | Fig. 3 (feature search) | [`search_curve`] | `fig3_search` |
+//! | Fig. 4 (MP weighted speedup) | [`multi`] | `fig4_mp_speedup` |
+//! | Fig. 5 (MP MPKI) | [`multi`] | `fig5_mp_mpki` |
+//! | Fig. 6 (ST speedup) | [`single_thread`] | `fig6_st_speedup` |
+//! | Fig. 7 (ST MPKI) | [`single_thread`] | `fig7_st_mpki` |
+//! | Fig. 9 (associativity sweep) | [`assoc_sweep`] | `fig9_assoc` |
+//! | Fig. 10 (feature ablation) | [`ablation`] | `fig10_ablation` |
+//! | Tables 1 & 2 (feature sets) | [`mrp_core::feature_sets`] | `tables_features` |
+//! | Table 3 (feature contributions) | [`feature_table`] | `table3_contrib` |
+//!
+//! All experiments are deterministic given their seed; every binary takes
+//! `--instructions`, `--mixes`, `--workloads`, `--candidates` style
+//! overrides (see [`cli`]) so runs scale from smoke test to paper scale.
+
+pub mod ablation;
+pub mod assoc_sweep;
+pub mod cli;
+pub mod feature_table;
+pub mod multi;
+pub mod output;
+pub mod policies;
+pub mod roc;
+pub mod runner;
+pub mod search_curve;
+pub mod single_thread;
+
+pub use cli::Args;
+pub use policies::PolicyKind;
+pub use runner::StParams;
+
+/// The fixed cross-validation split seed shared by the feature-tuning
+/// binaries (`co_tune`, `derive_features`) and the reporting experiments:
+/// features tuned on one half of [`mrp_trace::workloads::suite`] are only
+/// used to report the other half (§5.2).
+pub const SPLIT_SEED: u64 = 17;

@@ -1,0 +1,99 @@
+//! Table/series output helpers shared by the experiment binaries.
+
+use std::fmt::Write as _;
+
+/// Renders an aligned text table: `header` then `rows`, all columns
+/// left-padded to the widest cell.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let columns = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), columns, "ragged table row");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render = |cells: &[String], widths: &[usize], out: &mut String| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{cell:>width$}", width = widths[i]);
+        }
+        out.push('\n');
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    render(&header_cells, &widths, &mut out);
+    let rule: usize = widths.iter().sum::<usize>() + 2 * (columns - 1);
+    out.push_str(&"-".repeat(rule));
+    out.push('\n');
+    for row in rows {
+        render(row, &widths, &mut out);
+    }
+    out
+}
+
+/// Formats a sorted S-curve (as the paper's Figures 4/5 plot) as
+/// `index value` pairs, downsampled to at most `points` lines.
+pub fn s_curve(label: &str, mut values: Vec<f64>, ascending: bool, points: usize) -> String {
+    if ascending {
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    } else {
+        values.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+    }
+    let mut out = format!("# s-curve: {label} ({} workloads)\n", values.len());
+    let step = (values.len() / points.max(1)).max(1);
+    for (i, v) in values.iter().enumerate() {
+        if i % step == 0 || i == values.len() - 1 {
+            let _ = writeln!(out, "{i:4}  {v:.4}");
+        }
+    }
+    out
+}
+
+/// Formats a percentage speedup like the paper's prose ("9.0%").
+pub fn pct(speedup: f64) -> String {
+    format!("{:+.1}%", (speedup - 1.0) * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["name", "mpki"],
+            &[
+                vec!["a".into(), "1.00".into()],
+                vec!["longer".into(), "12.34".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[3].contains("12.34"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn table_rejects_ragged_rows() {
+        let _ = table(&["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn s_curve_sorts_and_downsamples() {
+        let s = s_curve("test", vec![3.0, 1.0, 2.0], true, 10);
+        let body: Vec<&str> = s.lines().skip(1).collect();
+        assert_eq!(body.len(), 3);
+        assert!(body[0].contains("1.0000"));
+        assert!(body[2].contains("3.0000"));
+    }
+
+    #[test]
+    fn pct_formats_signed() {
+        assert_eq!(pct(1.09), "+9.0%");
+        assert_eq!(pct(0.95), "-5.0%");
+    }
+}

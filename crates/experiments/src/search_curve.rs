@@ -1,0 +1,122 @@
+//! Feature-search distribution (Figure 3).
+//!
+//! Evaluates many random 16-feature sets on the fast MPKI-only simulator,
+//! sorts them (descending MPKI, as the figure plots), and overlays the
+//! LRU and MIN reference lines plus the result of hill climbing from the
+//! best random set.
+
+use mrp_baselines::MinPolicy;
+use mrp_cache::policies::Lru;
+use mrp_search::{crossval, FastEvaluator, HillClimber, RandomFeatures};
+use mrp_trace::workloads;
+
+/// Results of the search experiment.
+#[derive(Debug, Clone)]
+pub struct SearchCurve {
+    /// MPKI of each random feature set, sorted descending (worst first).
+    pub random_mpkis: Vec<f64>,
+    /// LRU reference MPKI.
+    pub lru_mpki: f64,
+    /// Belady MIN (with bypass) reference MPKI.
+    pub min_mpki: f64,
+    /// MPKI after hill climbing from the best random set.
+    pub hillclimbed_mpki: f64,
+    /// Hill-climb move statistics (attempts, accepted).
+    pub hillclimb_moves: (u32, u32),
+}
+
+/// Configuration of the search experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchParams {
+    /// Number of random 16-feature sets (the paper uses 4,000).
+    pub candidates: usize,
+    /// Workloads evaluated (a cross-validation half of the suite).
+    pub workload_count: usize,
+    /// Instructions recorded per workload.
+    pub instructions: u64,
+    /// Hill-climb convergence patience and move cap.
+    pub patience: u32,
+    /// Maximum hill-climbing moves.
+    pub max_moves: u32,
+    /// Seed for workload split, random sets, and hill climbing.
+    pub seed: u64,
+}
+
+impl Default for SearchParams {
+    fn default() -> Self {
+        SearchParams {
+            candidates: 80,
+            workload_count: 10,
+            instructions: 2_000_000,
+            patience: 20,
+            max_moves: 150,
+            seed: 17,
+        }
+    }
+}
+
+/// Runs the experiment.
+pub fn run(params: SearchParams) -> SearchCurve {
+    let suite = workloads::suite();
+    let (train, _test) = crossval::split(&suite, params.seed);
+    let selected: Vec<_> = train
+        .into_iter()
+        .take(params.workload_count.max(1))
+        .collect();
+    let evaluator = FastEvaluator::new(&selected, params.seed, params.instructions);
+
+    let lru_mpki = evaluator
+        .average_mpki_with(|llc, _| Box::new(Lru::new(llc.sets(), llc.associativity())));
+    let min_mpki = evaluator.average_mpki_with(|llc, trace| {
+        Box::new(MinPolicy::new(llc, &trace.blocks()))
+    });
+
+    let mut generator = RandomFeatures::new(params.seed);
+    let mut scored: Vec<(f64, Vec<mrp_core::Feature>)> = (0..params.candidates.max(1))
+        .map(|_| {
+            let set = generator.feature_set(16);
+            (evaluator.average_mpki(&set), set)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite mpki"));
+
+    let best = scored.last().expect("at least one candidate").clone();
+    let mut climber = HillClimber::new(params.seed ^ 0xc11b, params.patience, params.max_moves);
+    let report = climber.climb(&evaluator, best.1);
+
+    SearchCurve {
+        random_mpkis: scored.iter().map(|(m, _)| *m).collect(),
+        lru_mpki,
+        min_mpki,
+        hillclimbed_mpki: report.mpki,
+        hillclimb_moves: (report.attempts, report.accepted),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_curve_has_expected_structure() {
+        let params = SearchParams {
+            candidates: 4,
+            workload_count: 2,
+            instructions: 150_000,
+            patience: 2,
+            max_moves: 4,
+            seed: 5,
+        };
+        let curve = run(params);
+        assert_eq!(curve.random_mpkis.len(), 4);
+        // Sorted descending.
+        for pair in curve.random_mpkis.windows(2) {
+            assert!(pair[0] >= pair[1]);
+        }
+        // MIN lower-bounds everything else.
+        assert!(curve.min_mpki <= curve.lru_mpki);
+        assert!(curve.min_mpki <= curve.hillclimbed_mpki + 1e-9);
+        // Hill climbing starts from the best random set and cannot worsen.
+        assert!(curve.hillclimbed_mpki <= *curve.random_mpkis.last().expect("nonempty") + 1e-9);
+    }
+}

@@ -1,0 +1,163 @@
+//! Single-thread comparison matrix: Figures 6 (speedup) and 7 (MPKI).
+
+use mrp_cpu::metrics::{arithmetic_mean, geometric_mean};
+use mrp_trace::workloads;
+
+use crate::policies::PolicyKind;
+use crate::runner::{
+    run_single_hawkeye, run_single_kind, run_single_min, run_single_mpppb, run_single_mpppb_cv,
+    StParams,
+};
+
+/// Per-workload results for all compared policies.
+#[derive(Debug, Clone)]
+pub struct StRow {
+    /// Workload name.
+    pub workload: String,
+    /// LRU baseline IPC / MPKI.
+    pub lru_ipc: f64,
+    /// LRU MPKI.
+    pub lru_mpki: f64,
+    /// (policy name, ipc, mpki) for Hawkeye, Perceptron, MPPPB, MIN.
+    pub policies: Vec<(String, f64, f64)>,
+}
+
+impl StRow {
+    /// Speedup of policy `name` over LRU.
+    pub fn speedup(&self, name: &str) -> f64 {
+        self.policies
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, ipc, _)| ipc / self.lru_ipc)
+            .unwrap_or_else(|| panic!("no policy {name}"))
+    }
+
+    /// MPKI of policy `name`.
+    pub fn mpki(&self, name: &str) -> f64 {
+        self.policies
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, _, mpki)| *mpki)
+            .unwrap_or_else(|| panic!("no policy {name}"))
+    }
+}
+
+/// Aggregate of a full single-thread comparison.
+#[derive(Debug, Clone)]
+pub struct StMatrix {
+    /// One row per workload.
+    pub rows: Vec<StRow>,
+    /// Policy names in column order.
+    pub policy_names: Vec<String>,
+}
+
+impl StMatrix {
+    /// Geometric-mean speedup over LRU for `name`.
+    pub fn geomean_speedup(&self, name: &str) -> f64 {
+        geometric_mean(
+            &self
+                .rows
+                .iter()
+                .map(|r| r.speedup(name))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Arithmetic-mean MPKI for `name` (`"LRU"` included).
+    pub fn mean_mpki(&self, name: &str) -> f64 {
+        if name == "LRU" {
+            arithmetic_mean(&self.rows.iter().map(|r| r.lru_mpki).collect::<Vec<_>>())
+        } else {
+            arithmetic_mean(&self.rows.iter().map(|r| r.mpki(name)).collect::<Vec<_>>())
+        }
+    }
+}
+
+/// Runs the headline single-thread comparison (LRU, Hawkeye, Perceptron,
+/// MPPPB, MIN) over `workload_count` workloads of the suite.
+///
+/// MPPPB uses the default suite-tuned configuration. For the strict
+/// cross-validated variant (each workload reported with features tuned
+/// on the other half, plus the dueling guard — a sensitivity check on
+/// feature generalization) use [`run_cv`].
+pub fn run(params: StParams, workload_count: usize, include_min: bool) -> StMatrix {
+    run_inner(params, workload_count, include_min, false)
+}
+
+/// The cross-validated sensitivity variant of [`run`].
+pub fn run_cv(params: StParams, workload_count: usize, include_min: bool) -> StMatrix {
+    run_inner(params, workload_count, include_min, true)
+}
+
+fn run_inner(params: StParams, workload_count: usize, include_min: bool, cv: bool) -> StMatrix {
+    let suite = workloads::suite();
+    let count = workload_count.min(suite.len()).max(1);
+    let mut rows = Vec::new();
+    for w in suite.iter().take(count) {
+        let lru = run_single_kind(w, PolicyKind::Lru, params);
+        let mut policies = Vec::new();
+        let hawkeye = run_single_hawkeye(w, params);
+        policies.push(("Hawkeye".to_string(), hawkeye.ipc, hawkeye.mpki));
+        let perceptron = run_single_kind(w, PolicyKind::Perceptron, params);
+        policies.push(("Perceptron".to_string(), perceptron.ipc, perceptron.mpki));
+        let mpppb = if cv {
+            run_single_mpppb_cv(w, params)
+        } else {
+            run_single_mpppb(w, params)
+        };
+        policies.push(("MPPPB".to_string(), mpppb.ipc, mpppb.mpki));
+        if include_min {
+            let min = run_single_min(w, params);
+            policies.push(("MIN".to_string(), min.ipc, min.mpki));
+        }
+        rows.push(StRow {
+            workload: w.name().to_string(),
+            lru_ipc: lru.ipc,
+            lru_mpki: lru.mpki,
+            policies,
+        });
+    }
+    let mut policy_names = vec![
+        "Hawkeye".to_string(),
+        "Perceptron".to_string(),
+        "MPPPB".to_string(),
+    ];
+    if include_min {
+        policy_names.push("MIN".to_string());
+    }
+    StMatrix { rows, policy_names }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_has_requested_shape() {
+        let params = StParams {
+            warmup: 20_000,
+            measure: 100_000,
+            seed: 1,
+        };
+        let m = run(params, 2, true);
+        assert_eq!(m.rows.len(), 2);
+        assert_eq!(m.policy_names.len(), 4);
+        for row in &m.rows {
+            assert!(row.lru_ipc > 0.0);
+            let _ = row.speedup("MPPPB");
+            let _ = row.mpki("MIN");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no policy")]
+    fn unknown_policy_name_panics() {
+        let params = StParams {
+            warmup: 10_000,
+            measure: 50_000,
+            seed: 1,
+        };
+        let m = run(params, 1, false);
+        let _ = m.rows[0].speedup("Nonexistent");
+    }
+}

@@ -1,0 +1,50 @@
+//! Cross-validation split of the workload suite (§5.2).
+
+use mrp_trace::Workload;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Randomly partitions workloads into two near-halves, as the paper does
+/// with its 99 program segments (50/49). Features developed by searching
+/// on one subset are *reported* on the other, so no feature set is tuned
+/// on the workloads it is evaluated with.
+pub fn split(workloads: &[Workload], seed: u64) -> (Vec<Workload>, Vec<Workload>) {
+    let mut shuffled: Vec<Workload> = workloads.to_vec();
+    let mut rng = StdRng::seed_from_u64(seed);
+    shuffled.shuffle(&mut rng);
+    let mid = shuffled.len().div_ceil(2);
+    let second = shuffled.split_off(mid);
+    (shuffled, second)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrp_trace::workloads;
+    use std::collections::HashSet;
+
+    #[test]
+    fn split_partitions_the_suite() {
+        let suite = workloads::suite();
+        let (a, b) = split(&suite, 3);
+        assert_eq!(a.len() + b.len(), suite.len());
+        assert_eq!(a.len(), 17);
+        assert_eq!(b.len(), 16);
+        let names: HashSet<&str> = a.iter().chain(&b).map(|w| w.name()).collect();
+        assert_eq!(names.len(), suite.len(), "subsets must be disjoint");
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let suite = workloads::suite();
+        let (a1, _) = split(&suite, 3);
+        let (a2, _) = split(&suite, 3);
+        let n1: Vec<&str> = a1.iter().map(|w| w.name()).collect();
+        let n2: Vec<&str> = a2.iter().map(|w| w.name()).collect();
+        assert_eq!(n1, n2);
+        let (a3, _) = split(&suite, 4);
+        let n3: Vec<&str> = a3.iter().map(|w| w.name()).collect();
+        assert_ne!(n1, n3);
+    }
+}

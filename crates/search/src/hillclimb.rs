@@ -1,0 +1,137 @@
+//! Hill climbing over feature sets (§5.1).
+
+use mrp_core::Feature;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::fast_sim::FastEvaluator;
+use crate::random::RandomFeatures;
+
+/// Outcome of a hill-climbing run.
+#[derive(Debug, Clone)]
+pub struct HillClimbReport {
+    /// The best feature set found.
+    pub features: Vec<Feature>,
+    /// Its average MPKI.
+    pub mpki: f64,
+    /// Its selection objective (mean MPKI ratio vs. LRU).
+    pub objective: f64,
+    /// MPKI of the starting set.
+    pub initial_mpki: f64,
+    /// Objective of the starting set.
+    pub initial_objective: f64,
+    /// Moves attempted.
+    pub attempts: u32,
+    /// Moves accepted (improved the objective).
+    pub accepted: u32,
+}
+
+/// The paper's hill climber: "randomly chooses a feature from the current
+/// set ... and changes it randomly by either replacing it with a randomly
+/// generated feature, replacing it with a copy of another feature, or
+/// slightly perturbing one of its parameters. If the change lowers average
+/// MPKI, it is kept, otherwise it is discarded" (§5.1). Convergence is
+/// declared after `patience` consecutive rejected moves.
+#[derive(Debug)]
+pub struct HillClimber {
+    rng: StdRng,
+    generator: RandomFeatures,
+    patience: u32,
+    max_attempts: u32,
+}
+
+impl HillClimber {
+    /// Creates a climber; `patience` is the convergence window and
+    /// `max_attempts` a hard cap on evaluated moves.
+    pub fn new(seed: u64, patience: u32, max_attempts: u32) -> Self {
+        HillClimber {
+            rng: StdRng::seed_from_u64(seed),
+            generator: RandomFeatures::new(seed ^ 0x5eed),
+            patience,
+            max_attempts,
+        }
+    }
+
+    /// Proposes one mutated copy of `set`.
+    fn propose(&mut self, set: &[Feature]) -> Vec<Feature> {
+        let mut next = set.to_vec();
+        let victim = self.rng.gen_range(0..next.len());
+        match self.rng.gen_range(0..3u8) {
+            0 => {
+                next[victim] = self.generator.feature();
+            }
+            1 => {
+                let source = self.rng.gen_range(0..next.len());
+                next[victim] = next[source];
+            }
+            _ => {
+                next[victim] = self.generator.perturb(&next[victim]);
+            }
+        }
+        next
+    }
+
+    /// Runs the climb from `start`, optimizing the evaluator's selection
+    /// objective (LRU-normalized MPKI ratio).
+    pub fn climb(&mut self, evaluator: &FastEvaluator, start: Vec<Feature>) -> HillClimbReport {
+        let (initial_mpki, initial_objective) = evaluator.evaluate(&start);
+        let mut best = start;
+        let mut best_mpki = initial_mpki;
+        let mut best_objective = initial_objective;
+        let mut stale = 0u32;
+        let mut attempts = 0u32;
+        let mut accepted = 0u32;
+        while stale < self.patience && attempts < self.max_attempts {
+            let candidate = self.propose(&best);
+            let (mpki, objective) = evaluator.evaluate(&candidate);
+            attempts += 1;
+            if objective < best_objective {
+                best = candidate;
+                best_mpki = mpki;
+                best_objective = objective;
+                accepted += 1;
+                stale = 0;
+            } else {
+                stale += 1;
+            }
+        }
+        HillClimbReport {
+            features: best,
+            mpki: best_mpki,
+            objective: best_objective,
+            initial_mpki,
+            initial_objective,
+            attempts,
+            accepted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrp_trace::workloads;
+
+    #[test]
+    fn climb_never_worsens_mpki() {
+        let suite = workloads::suite();
+        let evaluator = FastEvaluator::new(&[suite[4].clone()], 5, 120_000);
+        let mut climber = HillClimber::new(11, 4, 12);
+        let start = RandomFeatures::new(1).feature_set(8);
+        let report = climber.climb(&evaluator, start);
+        assert!(report.objective <= report.initial_objective);
+        assert!(report.attempts <= 12);
+        assert_eq!(report.features.len(), 8);
+    }
+
+    #[test]
+    fn climb_is_deterministic() {
+        let suite = workloads::suite();
+        let evaluator = FastEvaluator::new(&[suite[0].clone()], 5, 80_000);
+        let start = RandomFeatures::new(2).feature_set(6);
+        let a = HillClimber::new(3, 3, 8).climb(&evaluator, start.clone());
+        let b = HillClimber::new(3, 3, 8).climb(&evaluator, start);
+        assert_eq!(a.features, b.features);
+        assert_eq!(a.mpki, b.mpki);
+    }
+}

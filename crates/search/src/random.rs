@@ -1,0 +1,160 @@
+//! Random generation of parameterized features.
+
+use mrp_core::{Feature, FeatureKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform random generator over the feature parameter space (§5.1: the
+/// initial population is 4,000 randomly chosen sets of 16 features).
+#[derive(Debug)]
+pub struct RandomFeatures {
+    rng: StdRng,
+}
+
+impl RandomFeatures {
+    /// Creates a deterministic generator.
+    pub fn new(seed: u64) -> Self {
+        RandomFeatures {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws one random feature.
+    pub fn feature(&mut self) -> Feature {
+        let assoc = self.rng.gen_range(1..=18u8);
+        let xor_pc = self.rng.gen_bool(0.5);
+        let kind = match self.rng.gen_range(0..7u8) {
+            0 => {
+                let begin = self.rng.gen_range(0..20u8);
+                let end = begin + self.rng.gen_range(1..=48u8).min(63 - begin);
+                FeatureKind::Pc {
+                    begin,
+                    end,
+                    which: self.rng.gen_range(0..=17u8),
+                }
+            }
+            1 => {
+                let begin = self.rng.gen_range(6..24u8);
+                let end = begin + self.rng.gen_range(1..=16u8).min(40 - begin);
+                FeatureKind::Address { begin, end }
+            }
+            2 => FeatureKind::Bias,
+            3 => FeatureKind::Burst,
+            4 => FeatureKind::Insert,
+            5 => FeatureKind::LastMiss,
+            _ => {
+                let begin = self.rng.gen_range(0..5u8);
+                let end = begin + self.rng.gen_range(1..=5u8).min(5 - begin).max(1);
+                FeatureKind::Offset {
+                    begin,
+                    end: end.min(5).max(begin),
+                }
+            }
+        };
+        Feature::new(assoc, kind, xor_pc)
+    }
+
+    /// Draws a set of `n` random features.
+    pub fn feature_set(&mut self, n: usize) -> Vec<Feature> {
+        (0..n).map(|_| self.feature()).collect()
+    }
+
+    /// Perturbs one parameter of `feature` slightly (one of the
+    /// hill-climbing moves).
+    pub fn perturb(&mut self, feature: &Feature) -> Feature {
+        let mut assoc = feature.assoc;
+        let mut xor_pc = feature.xor_pc;
+        let mut kind = feature.kind;
+        match self.rng.gen_range(0..3u8) {
+            0 => {
+                let delta: i8 = if self.rng.gen_bool(0.5) { 1 } else { -1 };
+                assoc = assoc.saturating_add_signed(delta).clamp(1, 18);
+            }
+            1 => {
+                xor_pc = !xor_pc;
+            }
+            _ => {
+                kind = match kind {
+                    FeatureKind::Pc { begin, end, which } => {
+                        let which =
+                            which.saturating_add_signed(if self.rng.gen_bool(0.5) { 1 } else { -1 });
+                        FeatureKind::Pc {
+                            begin,
+                            end,
+                            which: which.min(17),
+                        }
+                    }
+                    FeatureKind::Address { begin, end } => {
+                        let end = end.saturating_add_signed(if self.rng.gen_bool(0.5) { 1 } else { -1 });
+                        FeatureKind::Address {
+                            begin,
+                            end: end.max(begin),
+                        }
+                    }
+                    FeatureKind::Offset { begin, end } => {
+                        let end = end
+                            .saturating_add_signed(if self.rng.gen_bool(0.5) { 1 } else { -1 })
+                            .min(5);
+                        FeatureKind::Offset {
+                            begin: begin.min(end),
+                            end: end.max(begin.min(end)),
+                        }
+                    }
+                    other => other,
+                };
+            }
+        }
+        Feature::new(assoc, kind, xor_pc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_features_are_valid() {
+        let mut g = RandomFeatures::new(1);
+        for _ in 0..2000 {
+            let f = g.feature();
+            assert!((1..=18).contains(&f.assoc));
+            assert!(f.table_size() >= 1 && f.table_size() <= 256);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = RandomFeatures::new(9).feature_set(16);
+        let b = RandomFeatures::new(9).feature_set(16);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generator_covers_all_kinds() {
+        let mut g = RandomFeatures::new(2);
+        let mut kinds = std::collections::HashSet::new();
+        for _ in 0..500 {
+            kinds.insert(std::mem::discriminant(&g.feature().kind));
+        }
+        assert_eq!(kinds.len(), 7, "all seven feature types should appear");
+    }
+
+    #[test]
+    fn perturbation_yields_valid_features() {
+        let mut g = RandomFeatures::new(3);
+        for _ in 0..500 {
+            let f = g.feature();
+            let p = g.perturb(&f);
+            assert!((1..=18).contains(&p.assoc));
+            let _ = p.table_size();
+        }
+    }
+
+    #[test]
+    fn perturbation_changes_something_usually() {
+        let mut g = RandomFeatures::new(4);
+        let f = g.feature();
+        let changed = (0..50).filter(|_| g.perturb(&f) != f).count();
+        assert!(changed > 25, "perturb changed only {changed}/50");
+    }
+}

@@ -1,0 +1,186 @@
+//! Trace characterization: footprints, PC diversity, and block reuse
+//! distances.
+//!
+//! Used to validate that the synthetic suite spans the locality regimes
+//! the paper's workloads cover (the `workload_census` example prints the
+//! census), and by tests asserting diversity invariants.
+
+use std::collections::HashMap;
+
+use crate::record::MemoryAccess;
+
+/// Summary statistics of a trace prefix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceProfile {
+    /// Accesses analyzed.
+    pub accesses: u64,
+    /// Instructions represented (memory + non-memory).
+    pub instructions: u64,
+    /// Distinct 64B blocks touched.
+    pub footprint_blocks: u64,
+    /// Distinct memory-instruction PCs.
+    pub distinct_pcs: u64,
+    /// Fraction of accesses that are stores.
+    pub store_fraction: f64,
+    /// Fraction of accesses flagged address-dependent.
+    pub dependent_fraction: f64,
+    /// Histogram of log2(block reuse distance): bucket `i` counts reuses
+    /// with `2^i <= distance < 2^(i+1)` measured in *distinct blocks*
+    /// touched since the previous access to the block. Bucket 0 also
+    /// holds distance-0/1 reuses; the last bucket holds everything
+    /// larger. Cold (first-touch) accesses are not counted.
+    pub reuse_log2_histogram: Vec<u64>,
+}
+
+/// Number of log2 buckets in the reuse histogram (covers distances up to
+/// 2^23 blocks = 512MB of distinct data).
+pub const REUSE_BUCKETS: usize = 24;
+
+impl TraceProfile {
+    /// Fraction of reuses with distance below `2^log2_bound`.
+    pub fn reuse_below(&self, log2_bound: usize) -> f64 {
+        let total: u64 = self.reuse_log2_histogram.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let below: u64 = self.reuse_log2_histogram[..log2_bound.min(REUSE_BUCKETS)]
+            .iter()
+            .sum();
+        below as f64 / total as f64
+    }
+
+    /// Footprint in mebibytes.
+    pub fn footprint_mib(&self) -> f64 {
+        self.footprint_blocks as f64 * 64.0 / (1024.0 * 1024.0)
+    }
+}
+
+/// Analyzes the first `accesses` records of a trace.
+///
+/// Reuse distance is approximated with a timestamp + "distinct blocks
+/// since" structure over a sliding epoch counter: exact stack distances
+/// cost O(n log n); this uses the standard approximation of counting
+/// distinct blocks via per-block last-access indices and a rolling
+/// estimate, which is exact for distances below the epoch granularity.
+pub fn profile<I: Iterator<Item = MemoryAccess>>(trace: I, accesses: u64) -> TraceProfile {
+    let mut last_touch: HashMap<u64, u64> = HashMap::new();
+    let mut pcs: HashMap<u64, u64> = HashMap::new();
+    let mut histogram = vec![0u64; REUSE_BUCKETS];
+    let mut stores = 0u64;
+    let mut dependents = 0u64;
+    let mut instructions = 0u64;
+    // `order[i]` is the i-th distinct-block-touch counter: we count a
+    // block's reuse distance as the number of *unique block touches*
+    // between consecutive accesses, approximated by first-touch ordering.
+    let mut unique_counter = 0u64;
+    let mut analyzed = 0u64;
+
+    for access in trace.take(accesses as usize) {
+        analyzed += 1;
+        instructions += access.instructions();
+        if access.kind == crate::record::AccessKind::Store {
+            stores += 1;
+        }
+        if access.dependent {
+            dependents += 1;
+        }
+        *pcs.entry(access.pc).or_default() += 1;
+        let block = access.block();
+        match last_touch.insert(block, unique_counter) {
+            Some(previous) => {
+                let distance = unique_counter - previous;
+                let bucket = (64 - u64::leading_zeros(distance.max(1)) - 1) as usize;
+                histogram[bucket.min(REUSE_BUCKETS - 1)] += 1;
+            }
+            None => {
+                unique_counter += 1;
+            }
+        }
+    }
+
+    TraceProfile {
+        accesses: analyzed,
+        instructions,
+        footprint_blocks: last_touch.len() as u64,
+        distinct_pcs: pcs.len() as u64,
+        store_fraction: if analyzed == 0 { 0.0 } else { stores as f64 / analyzed as f64 },
+        dependent_fraction: if analyzed == 0 {
+            0.0
+        } else {
+            dependents as f64 / analyzed as f64
+        },
+        reuse_log2_histogram: histogram,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+
+    #[test]
+    fn loop_profile_shows_fixed_footprint_and_tight_reuse() {
+        let w = &workloads::suite()[3]; // loop.fit: 1MB loop
+        let p = profile(w.trace(1), 80_000);
+        // 1MB = 16384 blocks.
+        assert!(p.footprint_blocks <= 16_384 + 8, "{}", p.footprint_blocks);
+        // After the first sweep every access reuses at distance ~footprint.
+        let total: u64 = p.reuse_log2_histogram.iter().sum();
+        assert!(total > 40_000);
+    }
+
+    #[test]
+    fn stream_profile_shows_no_reuse() {
+        let w = &workloads::suite()[0]; // stream.far: 64MB
+        let p = profile(w.trace(1), 50_000);
+        let reuses: u64 = p.reuse_log2_histogram.iter().sum();
+        assert_eq!(reuses, 0, "pure stream should have no block reuse");
+        assert!(p.footprint_blocks >= 49_000);
+    }
+
+    #[test]
+    fn chase_profile_is_dependent_heavy() {
+        let w = &workloads::suite()[9]; // chase.16m
+        let p = profile(w.trace(1), 20_000);
+        assert!(p.dependent_fraction > 0.9, "{}", p.dependent_fraction);
+    }
+
+    #[test]
+    fn suite_spans_diverse_footprints() {
+        // 60K accesses can touch at most ~3.7MiB of distinct blocks, so
+        // "large" here means the footprint keeps growing with the window
+        // (thrashing), while "small" means it has converged well under
+        // the 2MB LLC.
+        let suite = workloads::suite();
+        let mut small = 0;
+        let mut large = 0;
+        for w in &suite {
+            let p = profile(w.trace(1), 60_000);
+            if p.footprint_mib() < 1.5 {
+                small += 1;
+            }
+            if p.footprint_mib() > 2.5 {
+                large += 1;
+            }
+        }
+        assert!(small >= 3, "suite needs cache-resident members: {small}");
+        assert!(large >= 8, "suite needs thrashing members: {large}");
+    }
+
+    #[test]
+    fn store_fraction_reflects_generator() {
+        let suite = workloads::suite();
+        let rw = profile(suite[2].trace(1), 20_000); // stream.rw: 50% stores
+        assert!((rw.store_fraction - 0.5).abs() < 0.05);
+        let ro = profile(suite[3].trace(1), 20_000); // loop.fit: loads only
+        assert_eq!(ro.store_fraction, 0.0);
+    }
+
+    #[test]
+    fn reuse_below_is_cumulative() {
+        let w = &workloads::suite()[3];
+        let p = profile(w.trace(1), 60_000);
+        assert!(p.reuse_below(24) <= 1.0 + 1e-9);
+        assert!(p.reuse_below(0) <= p.reuse_below(24));
+    }
+}

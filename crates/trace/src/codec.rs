@@ -1,0 +1,168 @@
+//! Binary trace serialization.
+//!
+//! A compact, versioned, dependency-free on-disk format for access
+//! traces, so recorded workloads can be exported to (or imported from)
+//! external tools:
+//!
+//! ```text
+//! magic "MRPT" | u16 version | u16 reserved | u64 record count
+//! then per record (fixed 19 bytes, little endian):
+//!   u64 pc | u64 address | u8 core | u8 flags | u8 non_memory_before
+//! flags: bit0 = store, bit1 = dependent
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! # use std::error::Error;
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! use mrp_trace::codec::{read_trace, write_trace};
+//! use mrp_trace::workloads;
+//!
+//! let records: Vec<_> = workloads::suite()[0].trace(1).take(100).collect();
+//! let mut buffer = Vec::new();
+//! write_trace(&mut buffer, &records)?;
+//! let decoded = read_trace(&mut buffer.as_slice())?;
+//! assert_eq!(records, decoded);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::io::{self, Read, Write};
+
+use crate::record::{AccessKind, MemoryAccess};
+
+/// File magic.
+pub const MAGIC: [u8; 4] = *b"MRPT";
+
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+const FLAG_STORE: u8 = 1 << 0;
+const FLAG_DEPENDENT: u8 = 1 << 1;
+
+/// Writes `records` in the binary trace format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_trace<W: Write>(writer: &mut W, records: &[MemoryAccess]) -> io::Result<()> {
+    writer.write_all(&MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    writer.write_all(&0u16.to_le_bytes())?;
+    writer.write_all(&(records.len() as u64).to_le_bytes())?;
+    for r in records {
+        writer.write_all(&r.pc.to_le_bytes())?;
+        writer.write_all(&r.address.to_le_bytes())?;
+        let mut flags = 0u8;
+        if r.kind == AccessKind::Store {
+            flags |= FLAG_STORE;
+        }
+        if r.dependent {
+            flags |= FLAG_DEPENDENT;
+        }
+        writer.write_all(&[r.core, flags, r.non_memory_before])?;
+    }
+    Ok(())
+}
+
+/// Reads a trace written by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] on a bad magic or unsupported
+/// version, and propagates underlying I/O errors (including unexpected
+/// EOF on truncated files).
+pub fn read_trace<R: Read>(reader: &mut R) -> io::Result<Vec<MemoryAccess>> {
+    let mut header = [0u8; 16];
+    reader.read_exact(&mut header)?;
+    if header[0..4] != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported trace version {version}"),
+        ));
+    }
+    let count = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+    let mut records = Vec::with_capacity(count.min(1 << 24) as usize);
+    let mut buf = [0u8; 19];
+    for _ in 0..count {
+        reader.read_exact(&mut buf)?;
+        let pc = u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes"));
+        let address = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+        let core = buf[16];
+        let flags = buf[17];
+        records.push(MemoryAccess {
+            pc,
+            address,
+            core,
+            kind: if flags & FLAG_STORE != 0 {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            },
+            non_memory_before: buf[18],
+            dependent: flags & FLAG_DEPENDENT != 0,
+        });
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+
+    #[test]
+    fn round_trips_every_workload_prefix() {
+        for w in workloads::suite().iter().take(8) {
+            let records: Vec<_> = w.trace(3).take(500).collect();
+            let mut buffer = Vec::new();
+            write_trace(&mut buffer, &records).expect("write");
+            let decoded = read_trace(&mut buffer.as_slice()).expect("read");
+            assert_eq!(records, decoded, "{} corrupted", w.name());
+        }
+    }
+
+    #[test]
+    fn record_size_is_fixed() {
+        let records: Vec<_> = workloads::suite()[0].trace(1).take(10).collect();
+        let mut buffer = Vec::new();
+        write_trace(&mut buffer, &records).expect("write");
+        assert_eq!(buffer.len(), 16 + 10 * 19);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_trace(&mut &b"NOPE0000000000000000"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut buffer = Vec::new();
+        write_trace(&mut buffer, &[]).expect("write");
+        buffer[4] = 99;
+        let err = read_trace(&mut buffer.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_file_errors_cleanly() {
+        let records: Vec<_> = workloads::suite()[0].trace(1).take(5).collect();
+        let mut buffer = Vec::new();
+        write_trace(&mut buffer, &records).expect("write");
+        buffer.truncate(buffer.len() - 3);
+        assert!(read_trace(&mut buffer.as_slice()).is_err());
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let mut buffer = Vec::new();
+        write_trace(&mut buffer, &[]).expect("write");
+        assert_eq!(read_trace(&mut buffer.as_slice()).expect("read"), vec![]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Graph breadth-first traversal access pattern.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use super::util::{access, dependent_access, rng_from_seed};
+use super::AccessPattern;
+use crate::record::{AccessKind, MemoryAccess, BLOCK_BYTES};
+
+/// Frontier-driven graph traversal: sequential frontier reads, sequential
+/// edge-list reads, random neighbor-metadata gathers, and visited-bitmap
+/// updates.
+///
+/// Models CloudSuite `graph_analytics`: a mix of streaming (frontier,
+/// edges) and scattered (per-vertex data) accesses whose reuse depends on
+/// community structure, approximated here with a locality knob that biases
+/// neighbors toward nearby vertex ids.
+#[derive(Debug)]
+pub struct GraphBfs {
+    region_base: u64,
+    vertices: u64,
+    edges_per_vertex_max: u32,
+    locality: f64,
+    rng: SmallRng,
+    frontier_cursor: u64,
+    edge_cursor: u64,
+    edges_left: u32,
+    current_vertex: u64,
+    state: BfsState,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BfsState {
+    Frontier,
+    EdgeList,
+    Neighbor,
+    Visited,
+}
+
+impl GraphBfs {
+    /// Creates the pattern over `vertices` vertices with up to
+    /// `edges_per_vertex_max` edges each; `locality` in `[0,1]` is the
+    /// probability that a neighbor is within a small window of the current
+    /// vertex (community structure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vertices == 0`, `edges_per_vertex_max == 0`, or
+    /// `locality` is outside `[0, 1]`.
+    pub fn new(
+        region_base: u64,
+        vertices: u64,
+        edges_per_vertex_max: u32,
+        locality: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(vertices > 0 && edges_per_vertex_max > 0);
+        assert!((0.0..=1.0).contains(&locality));
+        GraphBfs {
+            region_base,
+            vertices,
+            edges_per_vertex_max,
+            locality,
+            rng: rng_from_seed(seed),
+            frontier_cursor: 0,
+            edge_cursor: 0,
+            edges_left: 0,
+            current_vertex: 0,
+            state: BfsState::Frontier,
+        }
+    }
+
+    fn frontier_region(&self) -> u64 {
+        self.region_base
+    }
+
+    fn edge_region(&self) -> u64 {
+        self.frontier_region() + (self.vertices * 8 / BLOCK_BYTES + 1) * BLOCK_BYTES
+    }
+
+    fn vertex_region(&self) -> u64 {
+        self.edge_region()
+            + (self.vertices * u64::from(self.edges_per_vertex_max) * 8 / BLOCK_BYTES + 1)
+                * BLOCK_BYTES
+    }
+
+    fn visited_region(&self) -> u64 {
+        self.vertex_region() + self.vertices * BLOCK_BYTES
+    }
+}
+
+impl AccessPattern for GraphBfs {
+    fn next_access(&mut self) -> MemoryAccess {
+        match self.state {
+            BfsState::Frontier => {
+                let addr = self.frontier_region() + self.frontier_cursor * 8;
+                self.current_vertex = self.frontier_cursor % self.vertices;
+                self.frontier_cursor = (self.frontier_cursor + 1) % (self.vertices * 8);
+                self.edges_left = 1 + self.rng.gen_range(0..self.edges_per_vertex_max);
+                self.state = BfsState::EdgeList;
+                access(0x004d_0000, 0, addr, AccessKind::Load)
+            }
+            BfsState::EdgeList => {
+                let addr = self.edge_region() + self.edge_cursor * 8;
+                self.edge_cursor += 1;
+                self.state = BfsState::Neighbor;
+                access(0x004d_0000, 1, addr, AccessKind::Load)
+            }
+            BfsState::Neighbor => {
+                let neighbor = if self.rng.gen::<f64>() < self.locality {
+                    let window = 64u64;
+                    let lo = self.current_vertex.saturating_sub(window / 2);
+                    (lo + self.rng.gen_range(0..window)) % self.vertices
+                } else {
+                    self.rng.gen_range(0..self.vertices)
+                };
+                self.current_vertex = neighbor;
+                self.state = BfsState::Visited;
+                // Neighbor metadata address comes from the edge-list load.
+                dependent_access(
+                    0x004d_0000,
+                    2,
+                    self.vertex_region() + neighbor * BLOCK_BYTES,
+                    AccessKind::Load,
+                )
+            }
+            BfsState::Visited => {
+                let addr = self.visited_region() + self.current_vertex / 8;
+                self.edges_left -= 1;
+                self.state = if self.edges_left == 0 {
+                    BfsState::Frontier
+                } else {
+                    BfsState::EdgeList
+                };
+                access(0x004d_0000, 3, addr, AccessKind::Store)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_regions_are_ordered() {
+        let g = GraphBfs::new(0, 1 << 12, 8, 0.5, 13);
+        assert!(g.frontier_region() < g.edge_region());
+        assert!(g.edge_region() < g.vertex_region());
+        assert!(g.vertex_region() < g.visited_region());
+    }
+
+    #[test]
+    fn bfs_emits_all_four_access_classes() {
+        let mut g = GraphBfs::new(0, 1 << 10, 4, 0.7, 13);
+        let mut pcs = std::collections::HashSet::new();
+        for _ in 0..200 {
+            pcs.insert(g.next_access().pc);
+        }
+        assert_eq!(pcs.len(), 4);
+    }
+
+    #[test]
+    fn high_locality_keeps_neighbors_close() {
+        let mut g = GraphBfs::new(0, 1 << 16, 4, 1.0, 13);
+        let vertex_base = g.vertex_region();
+        let visited_base = g.visited_region();
+        let mut prev: Option<i64> = None;
+        let mut big_jumps = 0;
+        let mut gathers = 0;
+        for _ in 0..4000 {
+            let a = g.next_access();
+            if a.address >= vertex_base && a.address < visited_base {
+                let v = ((a.address - vertex_base) / BLOCK_BYTES) as i64;
+                gathers += 1;
+                if let Some(p) = prev {
+                    if (v - p).abs() > 128 && (v - p).abs() < (1 << 16) - 128 {
+                        big_jumps += 1;
+                    }
+                }
+                prev = Some(v);
+            }
+        }
+        assert!(gathers > 100);
+        assert!(big_jumps < gathers / 10, "{big_jumps}/{gathers} big jumps");
+    }
+}

@@ -1,0 +1,118 @@
+//! Hash-table build phase access pattern.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use super::util::{access, rng_from_seed};
+use super::AccessPattern;
+use crate::record::{AccessKind, MemoryAccess, BLOCK_BYTES};
+
+/// Random-scatter stores building a hash table, interleaved with sequential
+/// input reads.
+///
+/// Models hash-join build / hash-aggregation phases: the input relation
+/// streams (dead on arrival) while table updates scatter uniformly over a
+/// footprint — writes with essentially no reuse when the table exceeds the
+/// cache, and a read-modify-write pair per insert.
+#[derive(Debug)]
+pub struct HashBuild {
+    region_base: u64,
+    table_blocks: u64,
+    input_blocks: u64,
+    rng: SmallRng,
+    input_cursor: u64,
+    state: HbState,
+    slot: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HbState {
+    ReadInput,
+    ProbeSlot,
+    WriteSlot,
+}
+
+impl HashBuild {
+    /// Creates the pattern with a table of `table_blocks` blocks and an
+    /// input relation of `input_blocks` blocks (re-streamed cyclically).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either footprint is zero.
+    pub fn new(region_base: u64, table_blocks: u64, input_blocks: u64, seed: u64) -> Self {
+        assert!(table_blocks > 0 && input_blocks > 0);
+        HashBuild {
+            region_base,
+            table_blocks,
+            input_blocks,
+            rng: rng_from_seed(seed),
+            input_cursor: 0,
+            state: HbState::ReadInput,
+            slot: 0,
+        }
+    }
+
+    fn table_region(&self) -> u64 {
+        self.region_base + self.input_blocks * BLOCK_BYTES
+    }
+}
+
+impl AccessPattern for HashBuild {
+    fn next_access(&mut self) -> MemoryAccess {
+        match self.state {
+            HbState::ReadInput => {
+                let addr = self.region_base + self.input_cursor * 8;
+                self.input_cursor = (self.input_cursor + 1) % (self.input_blocks * 8);
+                self.slot = self.rng.gen_range(0..self.table_blocks);
+                self.state = HbState::ProbeSlot;
+                access(0x004e_0000, 0, addr, AccessKind::Load)
+            }
+            HbState::ProbeSlot => {
+                self.state = HbState::WriteSlot;
+                access(
+                    0x004e_0000,
+                    1,
+                    self.table_region() + self.slot * BLOCK_BYTES,
+                    AccessKind::Load,
+                )
+            }
+            HbState::WriteSlot => {
+                self.state = HbState::ReadInput;
+                access(
+                    0x004e_0000,
+                    2,
+                    self.table_region() + self.slot * BLOCK_BYTES + 8,
+                    AccessKind::Store,
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_and_write_touch_same_block() {
+        let mut g = HashBuild::new(0, 1 << 12, 1 << 10, 17);
+        for _ in 0..100 {
+            let _input = g.next_access();
+            let probe = g.next_access();
+            let write = g.next_access();
+            assert_eq!(probe.block(), write.block());
+            assert_eq!(probe.kind, AccessKind::Load);
+            assert_eq!(write.kind, AccessKind::Store);
+        }
+    }
+
+    #[test]
+    fn input_streams_sequentially() {
+        let mut g = HashBuild::new(0, 64, 1 << 10, 17);
+        let first = g.next_access();
+        g.next_access();
+        g.next_access();
+        let second = g.next_access();
+        assert_eq!(second.address, first.address + 8);
+    }
+}

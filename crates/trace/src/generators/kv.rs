@@ -1,0 +1,163 @@
+//! Key-value store lookup pattern.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use super::util::{access, block_to_addr, dependent_access, rng_from_seed, ZipfSampler};
+use super::AccessPattern;
+use crate::record::{AccessKind, MemoryAccess, BLOCK_BYTES};
+
+/// Hash-table lookups followed by value reads, like a memcached-style
+/// server (CloudSuite's `data_caching`).
+///
+/// Each request: one bucket-array load (random, popularity-skewed), a short
+/// chain walk, then a sequential read of the value blocks. Bucket and chain
+/// blocks have high reuse when skew is high; large values behave like short
+/// streams.
+#[derive(Debug)]
+pub struct KeyValue {
+    region_base: u64,
+    buckets: u64,
+    chain_blocks: u64,
+    value_blocks_max: u32,
+    popularity: ZipfSampler,
+    rng: SmallRng,
+    state: KvState,
+}
+
+#[derive(Debug)]
+enum KvState {
+    NextRequest,
+    Chain { key: u64, remaining: u32 },
+    Value { key: u64, index: u32, length: u32 },
+}
+
+impl KeyValue {
+    /// Creates the pattern with `buckets` hash buckets, a chain region of
+    /// `chain_blocks` blocks, values of up to `value_blocks_max` blocks, and
+    /// key popularity Zipf(`theta`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size parameter is zero.
+    pub fn new(
+        region_base: u64,
+        buckets: u64,
+        chain_blocks: u64,
+        value_blocks_max: u32,
+        theta: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(buckets > 0 && chain_blocks > 0 && value_blocks_max > 0);
+        let n = buckets.min(1 << 18) as usize;
+        KeyValue {
+            region_base,
+            buckets,
+            chain_blocks,
+            value_blocks_max,
+            popularity: ZipfSampler::new(n, theta),
+            rng: rng_from_seed(seed),
+            state: KvState::NextRequest,
+        }
+    }
+
+    fn bucket_region(&self) -> u64 {
+        self.region_base
+    }
+
+    fn chain_region(&self) -> u64 {
+        self.region_base + self.buckets * BLOCK_BYTES
+    }
+
+    fn value_region(&self) -> u64 {
+        self.chain_region() + self.chain_blocks * BLOCK_BYTES
+    }
+}
+
+impl AccessPattern for KeyValue {
+    fn next_access(&mut self) -> MemoryAccess {
+        loop {
+            match self.state {
+                KvState::NextRequest => {
+                    let key = self.popularity.sample(&mut self.rng) as u64;
+                    let bucket = key.wrapping_mul(0x9e37_79b9_7f4a_7c15) % self.buckets;
+                    self.state = KvState::Chain {
+                        key,
+                        remaining: self.rng.gen_range(1..=2),
+                    };
+                    return access(
+                        0x0047_0000,
+                        0,
+                        block_to_addr(self.bucket_region(), bucket),
+                        AccessKind::Load,
+                    );
+                }
+                KvState::Chain { key, remaining } => {
+                    if remaining == 0 {
+                        let length = 1 + (key % u64::from(self.value_blocks_max)) as u32;
+                        self.state = KvState::Value { key, index: 0, length };
+                        continue;
+                    }
+                    let node = key
+                        .wrapping_mul(0x2545_f491_4f6c_dd1d)
+                        .wrapping_add(u64::from(remaining))
+                        % self.chain_blocks;
+                    self.state = KvState::Chain { key, remaining: remaining - 1 };
+                    // Chain nodes are found by following the bucket pointer.
+                    return dependent_access(
+                        0x0047_0000,
+                        1,
+                        block_to_addr(self.chain_region(), node),
+                        AccessKind::Load,
+                    );
+                }
+                KvState::Value { key, index, length } => {
+                    if index >= length {
+                        self.state = KvState::NextRequest;
+                        continue;
+                    }
+                    let value_base = key * u64::from(self.value_blocks_max);
+                    self.state = KvState::Value { key, index: index + 1, length };
+                    return access(
+                        0x0047_0000,
+                        2 + (index % 2),
+                        self.value_region()
+                            + (value_base + u64::from(index)) * BLOCK_BYTES,
+                        AccessKind::Load,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_follow_bucket_chain_value_shape() {
+        let mut g = KeyValue::new(0, 256, 1024, 4, 0.9, 5);
+        let a = g.next_access();
+        assert!(a.block() < 256, "first access is a bucket load");
+        // All accesses stay in the three regions.
+        for _ in 0..2000 {
+            let acc = g.next_access();
+            assert!(acc.block() < 256 + 1024 + 256 * 4 + 16);
+        }
+    }
+
+    #[test]
+    fn skewed_keys_create_hot_buckets() {
+        let mut g = KeyValue::new(0, 1 << 12, 1 << 12, 2, 1.2, 5);
+        let mut bucket_counts = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            let acc = g.next_access();
+            if acc.block() < (1 << 12) {
+                *bucket_counts.entry(acc.block()).or_insert(0usize) += 1;
+            }
+        }
+        let max = bucket_counts.values().copied().max().unwrap();
+        assert!(max > 100, "no hot bucket: max {max}");
+    }
+}

@@ -1,0 +1,118 @@
+//! Multi-stream merge access pattern.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use super::util::{access, rng_from_seed};
+use super::AccessPattern;
+use crate::record::{AccessKind, MemoryAccess, BLOCK_BYTES};
+
+/// A k-way merge: several sequential input streams consumed at random
+/// relative rates, plus a sequential output stream of stores.
+///
+/// Models external-sort / merge-join phases: every block is touched a
+/// handful of times in quick succession (as elements within the block are
+/// consumed) and is then dead — a friendly target for the stream prefetcher
+/// and for dead-block bypass.
+#[derive(Debug)]
+pub struct Merge {
+    region_base: u64,
+    stream_blocks: u64,
+    cursors: Vec<u64>,
+    out_cursor: u64,
+    rng: SmallRng,
+    pending_store: bool,
+    current_stream: usize,
+    element_in_block: u8,
+}
+
+impl Merge {
+    /// Creates a `streams`-way merge over inputs of `stream_blocks` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams == 0` or `stream_blocks == 0`.
+    pub fn new(region_base: u64, streams: usize, stream_blocks: u64, seed: u64) -> Self {
+        assert!(streams > 0 && stream_blocks > 0);
+        Merge {
+            region_base,
+            stream_blocks,
+            cursors: vec![0; streams],
+            out_cursor: 0,
+            rng: rng_from_seed(seed),
+            pending_store: false,
+            current_stream: 0,
+            element_in_block: 0,
+        }
+    }
+
+    fn stream_base(&self, s: usize) -> u64 {
+        self.region_base + (s as u64) * self.stream_blocks * BLOCK_BYTES
+    }
+
+    fn output_base(&self) -> u64 {
+        self.stream_base(self.cursors.len())
+    }
+}
+
+impl AccessPattern for Merge {
+    fn next_access(&mut self) -> MemoryAccess {
+        if self.pending_store {
+            self.pending_store = false;
+            let addr = self.output_base() + self.out_cursor * 8;
+            self.out_cursor = (self.out_cursor + 1) % (self.stream_blocks * 8);
+            return access(0x004b_0000, 8, addr, AccessKind::Store);
+        }
+        // Pick the stream to advance; elements are 8 bytes, so 8 loads per
+        // block before the cursor moves on.
+        if self.element_in_block == 0 {
+            self.current_stream = self.rng.gen_range(0..self.cursors.len());
+        }
+        let s = self.current_stream;
+        let cursor = self.cursors[s];
+        let addr = self.stream_base(s) + cursor * BLOCK_BYTES + u64::from(self.element_in_block) * 8;
+        self.element_in_block += 1;
+        if self.element_in_block == 8 {
+            self.element_in_block = 0;
+            self.cursors[s] = (cursor + 1) % self.stream_blocks;
+        }
+        self.pending_store = true;
+        access(0x004b_0000, s as u32, addr, AccessKind::Load)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_alternates_load_store() {
+        let mut g = Merge::new(0, 3, 1 << 10, 9);
+        for _ in 0..100 {
+            assert_eq!(g.next_access().kind, AccessKind::Load);
+            assert_eq!(g.next_access().kind, AccessKind::Store);
+        }
+    }
+
+    #[test]
+    fn merge_consumes_blocks_fully_before_advancing() {
+        let mut g = Merge::new(0, 1, 1 << 10, 9);
+        let mut loads = Vec::new();
+        for _ in 0..32 {
+            loads.push(g.next_access());
+            let _store = g.next_access();
+        }
+        // 8 loads in block 0, then 8 in block 1, ...
+        assert_eq!(loads[0].block(), loads[7].block());
+        assert_eq!(loads[8].block(), loads[0].block() + 1);
+    }
+
+    #[test]
+    fn merge_streams_are_disjoint() {
+        let g = Merge::new(0, 4, 128, 9);
+        for s in 0..4 {
+            assert_eq!(g.stream_base(s) % BLOCK_BYTES, 0);
+        }
+        assert!(g.output_base() > g.stream_base(3));
+    }
+}

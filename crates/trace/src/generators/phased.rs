@@ -1,0 +1,104 @@
+//! Phase-alternating composite pattern.
+
+use super::AccessPattern;
+use crate::record::MemoryAccess;
+
+/// Cycles through child patterns, running each for a fixed number of
+/// accesses before switching.
+///
+/// Models programs with distinct phases (compilers, multi-kernel science
+/// codes). Phase changes are where history-based predictors mispredict and
+/// must retrain, so phased workloads stress training latency.
+pub struct Phased {
+    children: Vec<Box<dyn AccessPattern + Send>>,
+    phase_length: u64,
+    position: u64,
+    current: usize,
+}
+
+impl std::fmt::Debug for Phased {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Phased")
+            .field("children", &self.children.len())
+            .field("phase_length", &self.phase_length)
+            .field("position", &self.position)
+            .field("current", &self.current)
+            .finish()
+    }
+}
+
+impl Phased {
+    /// Creates the composite; each child runs for `phase_length` accesses
+    /// per turn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `children` is empty or `phase_length == 0`.
+    pub fn new(children: Vec<Box<dyn AccessPattern + Send>>, phase_length: u64) -> Self {
+        assert!(!children.is_empty(), "need at least one phase");
+        assert!(phase_length > 0, "phase length must be nonzero");
+        Phased {
+            children,
+            phase_length,
+            position: 0,
+            current: 0,
+        }
+    }
+
+    /// Number of phases.
+    pub fn phases(&self) -> usize {
+        self.children.len()
+    }
+}
+
+impl AccessPattern for Phased {
+    fn next_access(&mut self) -> MemoryAccess {
+        if self.position == self.phase_length {
+            self.position = 0;
+            self.current = (self.current + 1) % self.children.len();
+        }
+        self.position += 1;
+        self.children[self.current].next_access()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{LoopPattern, Stream};
+    use super::*;
+
+    #[test]
+    fn phases_alternate_on_schedule() {
+        let loop_region = 0u64;
+        let stream_region = 1 << 30;
+        let p = Phased::new(
+            vec![
+                Box::new(LoopPattern::new(loop_region, 16, 1)),
+                Box::new(Stream::new(stream_region, 1 << 20, 1, 0.0, 1)),
+            ],
+            10,
+        );
+        let mut p = p;
+        for i in 0..40 {
+            let a = p.next_access();
+            let in_stream = a.address >= stream_region;
+            let expected_stream = (i / 10) % 2 == 1;
+            assert_eq!(in_stream, expected_stream, "access {i}");
+        }
+    }
+
+    #[test]
+    fn single_phase_behaves_like_child() {
+        let mut p = Phased::new(vec![Box::new(LoopPattern::new(0, 8, 1))], 5);
+        let mut child = LoopPattern::new(0, 8, 1);
+        for _ in 0..32 {
+            assert_eq!(p.next_access(), child.next_access());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn rejects_empty_children() {
+        let _ = Phased::new(vec![], 10);
+    }
+}

@@ -1,0 +1,136 @@
+//! Mixture of a hot working set and a cold scan.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use super::util::{access, block_to_addr, rng_from_seed};
+use super::AccessPattern;
+use crate::record::{AccessKind, MemoryAccess};
+
+/// Interleaves accesses to a small hot set with a cold streaming scan.
+///
+/// This is the canonical motivating pattern for dead-block bypass: the scan
+/// blocks are dead on arrival and, under LRU, continually evict the hot set.
+/// A good reuse predictor bypasses the scan and keeps the hot set resident.
+/// Distinct PCs are used for the hot and scan sites, giving PC-based
+/// features a clean signal.
+///
+/// The hot set is walked in a fixed random permutation (an irregular
+/// data-structure layout), so a stream prefetcher cannot hide its misses;
+/// the scan remains sequential and prefetchable, as scans are.
+#[derive(Debug)]
+pub struct ScanHot {
+    region_base: u64,
+    hot_order: Vec<u32>,
+    scan_blocks: u64,
+    hot_probability: f64,
+    hot_cursor: u64,
+    scan_cursor: u64,
+    rng: SmallRng,
+}
+
+impl ScanHot {
+    /// Creates the mixture: with probability `hot_probability` the next
+    /// access walks the hot set (sequentially), otherwise it advances the
+    /// cold scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either working set is empty or the probability is outside
+    /// `[0, 1]`.
+    pub fn new(
+        region_base: u64,
+        hot_blocks: u64,
+        scan_blocks: u64,
+        hot_probability: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(hot_blocks > 0 && scan_blocks > 0, "working sets must be nonzero");
+        assert!(hot_blocks <= u64::from(u32::MAX), "hot set too large");
+        assert!(
+            (0.0..=1.0).contains(&hot_probability),
+            "probability out of range"
+        );
+        let mut rng = rng_from_seed(seed);
+        let mut hot_order: Vec<u32> = (0..hot_blocks as u32).collect();
+        use rand::seq::SliceRandom;
+        hot_order.shuffle(&mut rng);
+        ScanHot {
+            region_base,
+            hot_order,
+            scan_blocks,
+            hot_probability,
+            hot_cursor: 0,
+            scan_cursor: 0,
+            rng,
+        }
+    }
+
+    fn hot_blocks(&self) -> u64 {
+        self.hot_order.len() as u64
+    }
+}
+
+impl AccessPattern for ScanHot {
+    fn next_access(&mut self) -> MemoryAccess {
+        if self.rng.gen::<f64>() < self.hot_probability {
+            let block = u64::from(self.hot_order[self.hot_cursor as usize]);
+            self.hot_cursor = (self.hot_cursor + 1) % self.hot_blocks();
+            access(
+                0x0045_0000,
+                (block % 3) as u32,
+                block_to_addr(self.region_base, block),
+                AccessKind::Load,
+            )
+        } else {
+            let block = self.scan_cursor;
+            self.scan_cursor = (self.scan_cursor + 1) % self.scan_blocks;
+            // Scan region sits above the hot region.
+            let scan_base = self.region_base + self.hot_blocks() * crate::record::BLOCK_BYTES;
+            access(
+                0x0045_1000,
+                8 + (block % 2) as u32,
+                block_to_addr(scan_base, block),
+                AccessKind::Load,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_and_scan_use_disjoint_regions_and_pcs() {
+        let mut g = ScanHot::new(0, 64, 1 << 16, 0.5, 2);
+        let mut hot_pcs = std::collections::HashSet::new();
+        let mut scan_pcs = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let a = g.next_access();
+            if a.block() < 64 {
+                hot_pcs.insert(a.pc);
+            } else {
+                scan_pcs.insert(a.pc);
+            }
+        }
+        assert!(!hot_pcs.is_empty() && !scan_pcs.is_empty());
+        assert!(hot_pcs.is_disjoint(&scan_pcs));
+    }
+
+    #[test]
+    fn probability_one_is_all_hot() {
+        let mut g = ScanHot::new(0, 16, 1 << 16, 1.0, 2);
+        for _ in 0..100 {
+            assert!(g.next_access().block() < 16);
+        }
+    }
+
+    #[test]
+    fn probability_zero_is_all_scan() {
+        let mut g = ScanHot::new(0, 16, 1 << 10, 0.0, 2);
+        for _ in 0..100 {
+            assert!(g.next_access().block() >= 16);
+        }
+    }
+}

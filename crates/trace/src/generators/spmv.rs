@@ -1,0 +1,159 @@
+//! Sparse matrix-vector product access pattern.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use super::util::{access, dependent_access, rng_from_seed};
+use super::AccessPattern;
+use crate::record::{AccessKind, MemoryAccess, BLOCK_BYTES};
+
+/// CSR sparse matrix-vector multiply: `y = A * x`.
+///
+/// Three access classes with sharply different reuse: the row-pointer and
+/// nonzero arrays stream (dead on arrival), while gathers into `x` are
+/// random with reuse governed by the vector footprint. Models
+/// `graph_analytics` / scientific-solver behavior.
+#[derive(Debug)]
+pub struct SparseMatrix {
+    region_base: u64,
+    rows: u64,
+    nnz_per_row_max: u32,
+    vector_blocks: u64,
+    rng: SmallRng,
+    row: u64,
+    nnz_left: u32,
+    nnz_cursor: u64,
+    state: SpmvState,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SpmvState {
+    RowPointer,
+    Nonzero,
+    Gather,
+    Accumulate,
+}
+
+impl SparseMatrix {
+    /// Creates the pattern: `rows` matrix rows with up to `nnz_per_row_max`
+    /// nonzeros each, gathering from a vector of `vector_blocks` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    pub fn new(region_base: u64, rows: u64, nnz_per_row_max: u32, vector_blocks: u64, seed: u64) -> Self {
+        assert!(rows > 0 && nnz_per_row_max > 0 && vector_blocks > 0);
+        SparseMatrix {
+            region_base,
+            rows,
+            nnz_per_row_max,
+            vector_blocks,
+            rng: rng_from_seed(seed),
+            row: 0,
+            nnz_left: 0,
+            nnz_cursor: 0,
+            state: SpmvState::RowPointer,
+        }
+    }
+
+    fn rowptr_region(&self) -> u64 {
+        self.region_base
+    }
+
+    fn nnz_region(&self) -> u64 {
+        // Row pointers: 8 bytes each.
+        self.rowptr_region() + (self.rows * 8 / BLOCK_BYTES + 1) * BLOCK_BYTES
+    }
+
+    fn vector_region(&self) -> u64 {
+        self.nnz_region()
+            + (self.rows * u64::from(self.nnz_per_row_max) * 16 / BLOCK_BYTES + 1) * BLOCK_BYTES
+    }
+
+    fn output_region(&self) -> u64 {
+        self.vector_region() + self.vector_blocks * BLOCK_BYTES
+    }
+}
+
+impl AccessPattern for SparseMatrix {
+    fn next_access(&mut self) -> MemoryAccess {
+        match self.state {
+            SpmvState::RowPointer => {
+                let addr = self.rowptr_region() + self.row * 8;
+                self.nnz_left = 1 + self.rng.gen_range(0..self.nnz_per_row_max);
+                self.state = SpmvState::Nonzero;
+                access(0x0048_0000, 0, addr, AccessKind::Load)
+            }
+            SpmvState::Nonzero => {
+                let addr = self.nnz_region() + self.nnz_cursor * 16;
+                self.nnz_cursor += 1;
+                self.state = SpmvState::Gather;
+                access(0x0048_0000, 1, addr, AccessKind::Load)
+            }
+            SpmvState::Gather => {
+                let col = self.rng.gen_range(0..self.vector_blocks);
+                self.nnz_left -= 1;
+                self.state = if self.nnz_left == 0 {
+                    SpmvState::Accumulate
+                } else {
+                    SpmvState::Nonzero
+                };
+                // The gather address comes from the just-loaded column index.
+                dependent_access(
+                    0x0048_0000,
+                    2,
+                    self.vector_region() + col * BLOCK_BYTES,
+                    AccessKind::Load,
+                )
+            }
+            SpmvState::Accumulate => {
+                let addr = self.output_region() + self.row * 8;
+                self.row = (self.row + 1) % self.rows;
+                self.state = SpmvState::RowPointer;
+                access(0x0048_0000, 3, addr, AccessKind::Store)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spmv_cycles_through_phases() {
+        let mut g = SparseMatrix::new(0, 64, 4, 1 << 10, 6);
+        let first = g.next_access();
+        assert_eq!(first.kind, AccessKind::Load);
+        let mut saw_store = false;
+        for _ in 0..200 {
+            if g.next_access().kind == AccessKind::Store {
+                saw_store = true;
+            }
+        }
+        assert!(saw_store, "accumulate stores never appeared");
+    }
+
+    #[test]
+    fn spmv_regions_are_disjoint() {
+        let g = SparseMatrix::new(0, 64, 4, 1 << 10, 6);
+        assert!(g.rowptr_region() < g.nnz_region());
+        assert!(g.nnz_region() < g.vector_region());
+        assert!(g.vector_region() < g.output_region());
+    }
+
+    #[test]
+    fn spmv_gathers_hit_vector_region() {
+        let mut g = SparseMatrix::new(0, 64, 4, 256, 6);
+        let vec_base = g.vector_region();
+        let out_base = g.output_region();
+        let mut gathered = 0;
+        for _ in 0..1000 {
+            let a = g.next_access();
+            if a.address >= vec_base && a.address < out_base {
+                gathered += 1;
+            }
+        }
+        assert!(gathered > 100, "gathers: {gathered}");
+    }
+}

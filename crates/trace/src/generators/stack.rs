@@ -1,0 +1,106 @@
+//! Call-stack push/pop access pattern.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use super::util::{access, rng_from_seed};
+use super::AccessPattern;
+use crate::record::{AccessKind, MemoryAccess};
+#[cfg(test)]
+use crate::record::BLOCK_BYTES;
+
+/// A random-walk call stack: frames are pushed (stores) and popped (loads)
+/// near the top of a stack region.
+///
+/// Models recursion-heavy integer codes (`leela`, `xz`-style): accesses
+/// concentrate near the stack top with excellent recency locality but
+/// occasional deep excursions, exercising the `burst` feature (repeated
+/// MRU-block hits).
+#[derive(Debug)]
+pub struct StackPattern {
+    region_base: u64,
+    max_depth_frames: u64,
+    frame_bytes: u64,
+    depth: u64,
+    rng: SmallRng,
+}
+
+impl StackPattern {
+    /// Creates the pattern with at most `max_depth_frames` frames of
+    /// `frame_bytes` bytes each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_depth_frames == 0` or `frame_bytes == 0`.
+    pub fn new(region_base: u64, max_depth_frames: u64, frame_bytes: u64, seed: u64) -> Self {
+        assert!(max_depth_frames > 0 && frame_bytes > 0);
+        StackPattern {
+            region_base,
+            max_depth_frames,
+            frame_bytes,
+            depth: 0,
+            rng: rng_from_seed(seed),
+        }
+    }
+}
+
+impl AccessPattern for StackPattern {
+    fn next_access(&mut self) -> MemoryAccess {
+        let push = self.rng.gen_bool(0.5);
+        if push && self.depth + 1 < self.max_depth_frames {
+            self.depth += 1;
+            let addr = self.region_base + self.depth * self.frame_bytes;
+            access(0x0049_0000, 0, addr, AccessKind::Store)
+        } else if self.depth > 0 {
+            let addr = self.region_base + self.depth * self.frame_bytes + 8;
+            self.depth -= 1;
+            access(0x0049_0000, 1, addr, AccessKind::Load)
+        } else {
+            self.depth += 1;
+            let addr = self.region_base + self.depth * self.frame_bytes;
+            access(0x0049_0000, 0, addr, AccessKind::Store)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_stays_within_region() {
+        let frames = 1u64 << 10;
+        let frame_bytes = 2 * BLOCK_BYTES;
+        let mut g = StackPattern::new(0, frames, frame_bytes, 7);
+        for _ in 0..10_000 {
+            let a = g.next_access();
+            assert!(a.address < frames * frame_bytes + frame_bytes);
+        }
+    }
+
+    #[test]
+    fn stack_has_tight_locality() {
+        let mut g = StackPattern::new(0, 1 << 12, BLOCK_BYTES, 7);
+        let mut prev = g.next_access().block() as i64;
+        let mut total_jump = 0i64;
+        const N: i64 = 5000;
+        for _ in 0..N {
+            let b = g.next_access().block() as i64;
+            total_jump += (b - prev).abs();
+            prev = b;
+        }
+        assert!(total_jump / N <= 2, "average jump too large");
+    }
+
+    #[test]
+    fn pushes_are_stores_pops_are_loads() {
+        let mut g = StackPattern::new(0, 64, BLOCK_BYTES, 7);
+        for _ in 0..200 {
+            let a = g.next_access();
+            match a.kind {
+                AccessKind::Store => assert_eq!(a.address % BLOCK_BYTES, 0),
+                AccessKind::Load => assert_eq!(a.address % BLOCK_BYTES, 8),
+            }
+        }
+    }
+}

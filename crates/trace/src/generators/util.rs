@@ -1,0 +1,192 @@
+//! Shared helpers for generators: seeded RNG construction, site-PC
+//! synthesis, and a Zipf sampler.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::record::{AccessKind, MemoryAccess, BLOCK_BYTES};
+
+/// Builds the deterministic RNG used by all generators.
+pub(crate) fn rng_from_seed(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Synthesizes the PC for access site `site` of a generator whose code
+/// region starts at `pc_base`.
+///
+/// Real programs' memory-instruction PCs are scattered across roughly
+/// bits 2..22 of the text segment (different functions, inlined call
+/// sites), and PC-based predictor features extract arbitrary bit ranges.
+/// Packing sites 4 bytes apart would leave all high PC bits constant and
+/// blind such features, so sites are spread deterministically over a 1MB
+/// code region instead.
+#[inline]
+pub(crate) fn site_pc(pc_base: u64, site: u32) -> u64 {
+    let h = (u64::from(site) + 1)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(pc_base.rotate_left(17));
+    pc_base + ((h >> 40) & 0xf_fffc)
+}
+
+/// Deterministic per-site non-memory instruction gap in `[2, 6]`.
+///
+/// Keeping the gap a function of the site (rather than random) makes traces
+/// compact to regenerate and keeps instruction counts stable across policy
+/// comparisons.
+#[inline]
+pub(crate) fn site_gap(site: u32) -> u8 {
+    2 + (site % 5) as u8
+}
+
+/// Builds a [`MemoryAccess`] for a generator access site.
+#[inline]
+pub(crate) fn access(pc_base: u64, site: u32, address: u64, kind: AccessKind) -> MemoryAccess {
+    MemoryAccess {
+        pc: site_pc(pc_base, site),
+        address,
+        core: 0,
+        kind,
+        non_memory_before: site_gap(site),
+        dependent: false,
+    }
+}
+
+/// Like [`access`], but marks the record as address-dependent on the
+/// previous access (serialized by the timing model).
+#[inline]
+pub(crate) fn dependent_access(
+    pc_base: u64,
+    site: u32,
+    address: u64,
+    kind: AccessKind,
+) -> MemoryAccess {
+    MemoryAccess {
+        dependent: true,
+        ..access(pc_base, site, address, kind)
+    }
+}
+
+/// Converts a block index within a region to a byte address, with a
+/// deterministic sub-block offset derived from the index so the `offset`
+/// feature sees varied but correlated values.
+#[inline]
+pub(crate) fn block_to_addr(region_base: u64, block_index: u64) -> u64 {
+    let offset = (block_index.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 59) & 0x38;
+    region_base + block_index * BLOCK_BYTES + offset
+}
+
+/// A Zipf(θ) sampler over ranks `0..n` using an inverted-CDF table.
+///
+/// Rank 0 is the most popular item. The table costs `n` doubles; the suite
+/// keeps `n ≤ 2^20`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler for `n` ranks with skew `theta` (0 = uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "ZipfSampler requires at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 0..n {
+            total += 1.0 / ((rank as f64) + 1.0).powf(theta);
+            cdf.push(total);
+        }
+        for value in &mut cdf {
+            *value /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler has zero ranks (never true; see [`ZipfSampler::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let sampler = ZipfSampler::new(1024, 1.1);
+        let mut rng = rng_from_seed(9);
+        let mut low = 0usize;
+        const DRAWS: usize = 20_000;
+        for _ in 0..DRAWS {
+            if sampler.sample(&mut rng) < 16 {
+                low += 1;
+            }
+        }
+        // With theta=1.1 the top 16 of 1024 ranks hold well over a third of
+        // the mass; uniform would give ~1.6%.
+        assert!(low > DRAWS / 3, "low-rank draws: {low}/{DRAWS}");
+    }
+
+    #[test]
+    fn zipf_zero_theta_is_roughly_uniform() {
+        let sampler = ZipfSampler::new(64, 0.0);
+        let mut rng = rng_from_seed(10);
+        let mut counts = [0usize; 64];
+        for _ in 0..64_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        let (min, max) = counts
+            .iter()
+            .fold((usize::MAX, 0), |(lo, hi), &c| (lo.min(c), hi.max(c)));
+        assert!(max < min * 2, "uniform sampler too skewed: {min}..{max}");
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_range() {
+        let sampler = ZipfSampler::new(3, 2.0);
+        let mut rng = rng_from_seed(11);
+        for _ in 0..1000 {
+            assert!(sampler.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_rejects_empty() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    fn block_to_addr_is_within_block() {
+        for i in 0..1000u64 {
+            let addr = block_to_addr(0x1000_0000, i);
+            assert_eq!((addr - 0x1000_0000) / BLOCK_BYTES, i);
+        }
+    }
+
+    #[test]
+    fn site_pcs_are_distinct() {
+        let a = site_pc(0x400000, 0);
+        let b = site_pc(0x400000, 1);
+        assert_ne!(a, b);
+    }
+}

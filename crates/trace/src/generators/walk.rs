@@ -1,0 +1,109 @@
+//! Gaussian random walk through an address region.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use super::util::{access, rng_from_seed};
+use super::AccessPattern;
+use crate::record::{AccessKind, MemoryAccess, BLOCK_BYTES};
+
+/// A random walk whose stride is approximately Gaussian.
+///
+/// Models locality that decays smoothly with distance (scientific stencil
+/// codes, simulated-annealing style workloads): nearby blocks are revisited
+/// soon, distant ones rarely, producing a continuous spectrum of reuse
+/// distances rather than the step functions of loops and streams.
+#[derive(Debug)]
+pub struct GaussianWalk {
+    region_base: u64,
+    footprint_blocks: u64,
+    sigma_blocks: f64,
+    position: f64,
+    rng: SmallRng,
+}
+
+impl GaussianWalk {
+    /// Creates a walk over `footprint_blocks` blocks with per-step standard
+    /// deviation `sigma_blocks`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `footprint_blocks == 0` or `sigma_blocks <= 0.0`.
+    pub fn new(region_base: u64, footprint_blocks: u64, sigma_blocks: f64, seed: u64) -> Self {
+        assert!(footprint_blocks > 0, "footprint must be nonzero");
+        assert!(sigma_blocks > 0.0, "sigma must be positive");
+        GaussianWalk {
+            region_base,
+            footprint_blocks,
+            sigma_blocks,
+            position: footprint_blocks as f64 / 2.0,
+            rng: rng_from_seed(seed),
+        }
+    }
+
+    /// Approximate standard normal via the sum of uniforms (Irwin–Hall);
+    /// avoids pulling in a distributions dependency.
+    fn standard_normal(&mut self) -> f64 {
+        let sum: f64 = (0..12).map(|_| self.rng.gen::<f64>()).sum();
+        sum - 6.0
+    }
+}
+
+impl AccessPattern for GaussianWalk {
+    fn next_access(&mut self) -> MemoryAccess {
+        let step = self.standard_normal() * self.sigma_blocks;
+        self.position += step;
+        let n = self.footprint_blocks as f64;
+        // Reflect at the region boundaries.
+        while self.position < 0.0 || self.position >= n {
+            if self.position < 0.0 {
+                self.position = -self.position;
+            }
+            if self.position >= n {
+                self.position = 2.0 * n - self.position - 1.0;
+            }
+        }
+        let block = self.position as u64;
+        let site = (block % 3) as u32;
+        access(
+            0x0044_0000,
+            site,
+            self.region_base + block * BLOCK_BYTES,
+            AccessKind::Load,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_stays_in_region() {
+        let blocks = 1u64 << 12;
+        let mut w = GaussianWalk::new(0, blocks, 64.0, 8);
+        for _ in 0..10_000 {
+            assert!(w.next_access().block() < blocks);
+        }
+    }
+
+    #[test]
+    fn walk_moves_locally() {
+        let mut w = GaussianWalk::new(0, 1 << 16, 4.0, 8);
+        let a = w.next_access().block() as i64;
+        let b = w.next_access().block() as i64;
+        assert!((a - b).abs() < 64, "step too large: {a} -> {b}");
+    }
+
+    #[test]
+    fn walk_eventually_covers_distance() {
+        let mut w = GaussianWalk::new(0, 1 << 10, 16.0, 8);
+        let start = w.next_access().block() as i64;
+        let mut max_excursion = 0i64;
+        for _ in 0..5_000 {
+            let p = w.next_access().block() as i64;
+            max_excursion = max_excursion.max((p - start).abs());
+        }
+        assert!(max_excursion > 100, "walk never strayed: {max_excursion}");
+    }
+}

@@ -1,0 +1,85 @@
+//! Zipf-distributed block popularity.
+
+use rand::rngs::SmallRng;
+
+use super::util::{access, block_to_addr, rng_from_seed, ZipfSampler};
+use super::AccessPattern;
+use crate::record::{AccessKind, MemoryAccess};
+
+/// Independent accesses with Zipf-distributed block popularity.
+///
+/// Models skewed-popularity data (caches of web objects, hot database
+/// pages). With high skew a small hot set dominates and should be protected;
+/// the cold tail is effectively dead on arrival. Block popularity rank is
+/// scattered over the address space so that popularity does not correlate
+/// with address — the predictor must learn it from behavior.
+#[derive(Debug)]
+pub struct Zipf {
+    region_base: u64,
+    sampler: ZipfSampler,
+    scatter: u64,
+    footprint_blocks: u64,
+    rng: SmallRng,
+}
+
+impl Zipf {
+    /// Creates a Zipf(θ = `theta`) pattern over `footprint_blocks` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `footprint_blocks == 0`.
+    pub fn new(region_base: u64, footprint_blocks: u64, theta: f64, seed: u64) -> Self {
+        assert!(footprint_blocks > 0, "footprint must be nonzero");
+        let n = footprint_blocks.min(1 << 20) as usize;
+        Zipf {
+            region_base,
+            sampler: ZipfSampler::new(n, theta),
+            scatter: 0x9e37_79b9_7f4a_7c15,
+            footprint_blocks,
+            rng: rng_from_seed(seed),
+        }
+    }
+}
+
+impl AccessPattern for Zipf {
+    fn next_access(&mut self) -> MemoryAccess {
+        let rank = self.sampler.sample(&mut self.rng) as u64;
+        let block = rank.wrapping_mul(self.scatter) % self.footprint_blocks;
+        let site = (rank % 6) as u32;
+        access(
+            0x0043_0000,
+            site,
+            block_to_addr(self.region_base, block),
+            AccessKind::Load,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn zipf_has_hot_blocks() {
+        let mut z = Zipf::new(0, 1 << 14, 1.2, 4);
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for _ in 0..30_000 {
+            *counts.entry(z.next_access().block()).or_default() += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        assert!(max > 300, "hottest block only seen {max} times");
+    }
+
+    #[test]
+    fn zipf_addresses_stay_in_region() {
+        let base = 0x2000_0000u64;
+        let blocks = 1u64 << 10;
+        let mut z = Zipf::new(base, blocks, 0.8, 4);
+        for _ in 0..1000 {
+            let a = z.next_access();
+            assert!(a.address >= base);
+            assert!(a.address < base + blocks * crate::record::BLOCK_BYTES);
+        }
+    }
+}

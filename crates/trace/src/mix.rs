@@ -1,0 +1,164 @@
+//! Multi-programmed workload mixes.
+//!
+//! Follows the paper's FIESTA-derived methodology (§4.2): each mix is 4
+//! workloads chosen uniformly at random *without replacement* from the
+//! suite. The CPU model in `mrp-cpu` runs all four concurrently against a
+//! shared LLC, wrapping each program when it finishes its region so all
+//! cores stay active for the whole measurement.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::workloads::{suite, Workload, WorkloadId};
+
+/// Number of programs per mix (the paper uses 4-core mixes).
+pub const CORES_PER_MIX: usize = 4;
+
+/// A 4-program multi-programmed workload.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Mix {
+    members: [WorkloadId; CORES_PER_MIX],
+    seed: u64,
+}
+
+impl Mix {
+    /// Creates a mix from explicit members.
+    pub fn new(members: [WorkloadId; CORES_PER_MIX], seed: u64) -> Self {
+        Mix { members, seed }
+    }
+
+    /// The workload run on each core.
+    pub fn members(&self) -> &[WorkloadId; CORES_PER_MIX] {
+        &self.members
+    }
+
+    /// Seed used for the member traces.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Resolves members against the suite.
+    pub fn workloads(&self) -> Vec<Workload> {
+        let all = suite();
+        self.members.iter().map(|id| all[id.0].clone()).collect()
+    }
+
+    /// Human-readable member list, e.g. `loop.fit+chase.2m+...`.
+    pub fn label(&self) -> String {
+        let all = suite();
+        self.members
+            .iter()
+            .map(|id| all[id.0].name())
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+}
+
+/// Deterministic generator of mixes, mirroring the paper's 1000-mix list
+/// with a train/test split.
+#[derive(Debug, Clone)]
+pub struct MixBuilder {
+    seed: u64,
+}
+
+impl MixBuilder {
+    /// Creates a builder; all mixes are a function of `seed`.
+    pub fn new(seed: u64) -> Self {
+        MixBuilder { seed }
+    }
+
+    /// Generates `count` mixes. Mix `i` is independent of `count`, so a
+    /// prefix of a longer run is identical to a shorter run.
+    pub fn mixes(&self, count: usize) -> Vec<Mix> {
+        (0..count).map(|i| self.mix(i)).collect()
+    }
+
+    /// Generates the `index`-th mix: 4 distinct workloads chosen uniformly
+    /// without replacement.
+    pub fn mix(&self, index: usize) -> Mix {
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(index as u64),
+        );
+        let mut ids: Vec<usize> = (0..suite().len()).collect();
+        ids.shuffle(&mut rng);
+        let members = [
+            WorkloadId(ids[0]),
+            WorkloadId(ids[1]),
+            WorkloadId(ids[2]),
+            WorkloadId(ids[3]),
+        ];
+        Mix::new(members, self.seed.wrapping_add(index as u64 * 7919))
+    }
+
+    /// The paper's split: the first `train` mixes are the training set, the
+    /// following `test` mixes the reporting set.
+    pub fn train_test(&self, train: usize, test: usize) -> (Vec<Mix>, Vec<Mix>) {
+        let all = self.mixes(train + test);
+        let (a, b) = all.split_at(train);
+        (a.to_vec(), b.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_have_distinct_members() {
+        let b = MixBuilder::new(1);
+        for m in b.mixes(64) {
+            let mut ids: Vec<_> = m.members().to_vec();
+            ids.sort();
+            ids.dedup();
+            assert_eq!(ids.len(), CORES_PER_MIX, "duplicate member in {m:?}");
+        }
+    }
+
+    #[test]
+    fn mixes_are_deterministic_and_prefix_stable() {
+        let b = MixBuilder::new(5);
+        let long = b.mixes(32);
+        let short = b.mixes(8);
+        assert_eq!(&long[..8], &short[..]);
+        let again = MixBuilder::new(5).mixes(32);
+        assert_eq!(long, again);
+    }
+
+    #[test]
+    fn different_seeds_give_different_mixes() {
+        let a = MixBuilder::new(1).mixes(16);
+        let b = MixBuilder::new(2).mixes(16);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn train_test_split_partitions() {
+        let b = MixBuilder::new(3);
+        let (train, test) = b.train_test(10, 20);
+        assert_eq!(train.len(), 10);
+        assert_eq!(test.len(), 20);
+        let all = b.mixes(30);
+        assert_eq!(&all[..10], &train[..]);
+        assert_eq!(&all[10..], &test[..]);
+    }
+
+    #[test]
+    fn mix_label_joins_names() {
+        let m = MixBuilder::new(1).mix(0);
+        let label = m.label();
+        assert_eq!(label.matches('+').count(), 3);
+    }
+
+    #[test]
+    fn mix_workloads_resolve() {
+        let m = MixBuilder::new(1).mix(3);
+        let ws = m.workloads();
+        assert_eq!(ws.len(), 4);
+        for (w, id) in ws.iter().zip(m.members()) {
+            assert_eq!(w.id(), *id);
+        }
+    }
+}

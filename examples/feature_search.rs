@@ -1,0 +1,55 @@
+//! Feature search in miniature: random search then hill climbing, as the
+//! paper's design-space exploration (§5) did at supercomputer scale.
+//!
+//! Run with: `cargo run -p mrp-experiments --release --example feature_search`
+
+use mrp_cache::policies::Lru;
+use mrp_search::{FastEvaluator, HillClimber, RandomFeatures};
+use mrp_trace::workloads;
+
+fn main() {
+    let suite = workloads::suite();
+    // A small, diverse evaluation set.
+    let picks: Vec<_> = [4usize, 8, 10, 14, 30]
+        .iter()
+        .map(|&i| suite[i].clone())
+        .collect();
+    println!("evaluating on:");
+    for w in &picks {
+        println!("  {} — {}", w.name(), w.description());
+    }
+
+    let evaluator = FastEvaluator::new(&picks, 7, 1_500_000);
+    let lru =
+        evaluator.average_mpki_with(|llc, _| Box::new(Lru::new(llc.sets(), llc.associativity())));
+    println!("\nLRU reference: {lru:.3} MPKI");
+
+    // Random search.
+    let mut generator = RandomFeatures::new(123);
+    let mut best_set = generator.feature_set(16);
+    let mut best_mpki = evaluator.average_mpki(&best_set);
+    for i in 0..20 {
+        let candidate = generator.feature_set(16);
+        let mpki = evaluator.average_mpki(&candidate);
+        if mpki < best_mpki {
+            best_mpki = mpki;
+            best_set = candidate;
+            println!("random set {i:2}: {best_mpki:.3} MPKI (new best)");
+        }
+    }
+
+    // Hill climbing from the best random set.
+    let mut climber = HillClimber::new(99, 10, 60);
+    let report = climber.climb(&evaluator, best_set);
+    println!(
+        "\nhill climbing: {:.3} -> {:.3} MPKI ({} moves, {} accepted)",
+        report.initial_mpki, report.mpki, report.attempts, report.accepted
+    );
+    println!("\nbest feature set found:");
+    for f in &report.features {
+        println!("  {f}");
+    }
+    println!("\npaper's published Table 1(a) set scores: {:.3} MPKI", {
+        evaluator.average_mpki(&mrp_core::feature_sets::table_1a())
+    });
+}

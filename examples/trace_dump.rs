@@ -1,0 +1,39 @@
+//! Exports a workload's trace to the binary trace format and reads it
+//! back, demonstrating interop with external tools.
+//!
+//! Run with: `cargo run -p mrp-experiments --release --example trace_dump -- [--workload name] [--accesses N]`
+
+use mrp_experiments::Args;
+use mrp_trace::codec::{read_trace, write_trace};
+use mrp_trace::workloads;
+
+fn main() -> std::io::Result<()> {
+    let args = Args::parse();
+    let name = args.get_str("workload", "kv.server");
+    let accesses = args.get_usize("accesses", 100_000);
+    let workload = workloads::suite()
+        .into_iter()
+        .find(|w| w.name() == name)
+        .unwrap_or_else(|| panic!("unknown workload {name}"));
+
+    let records: Vec<_> = workload.trace(1).take(accesses).collect();
+    let path = std::env::temp_dir().join(format!("{}.mrpt", name.replace('.', "_")));
+    let mut file = std::fs::File::create(&path)?;
+    write_trace(&mut file, &records)?;
+    let bytes = std::fs::metadata(&path)?.len();
+    println!(
+        "wrote {} accesses of {} to {} ({} bytes, {:.1} B/access)",
+        records.len(),
+        workload.name(),
+        path.display(),
+        bytes,
+        bytes as f64 / records.len() as f64
+    );
+
+    let mut file = std::fs::File::open(&path)?;
+    let decoded = read_trace(&mut file)?;
+    assert_eq!(records, decoded);
+    println!("round trip verified: {} records identical", decoded.len());
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

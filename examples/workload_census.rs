@@ -1,0 +1,31 @@
+//! Prints a census of the synthetic workload suite: footprint, PC count,
+//! store/dependent fractions, and where block reuse distances fall
+//! relative to the 2MB LLC (32Ki blocks = bucket 15).
+//!
+//! Run with: `cargo run -p mrp-experiments --release --example workload_census`
+
+use mrp_trace::analysis::profile;
+use mrp_trace::workloads;
+
+fn main() {
+    const ACCESSES: u64 = 200_000;
+    println!(
+        "{:<18} {:>9} {:>5} {:>7} {:>6} {:>8} {:>8}",
+        "workload", "MiB", "PCs", "store%", "dep%", "<LLC", ">=LLC"
+    );
+    for w in workloads::suite() {
+        let p = profile(w.trace(1), ACCESSES);
+        let below_llc = p.reuse_below(15); // 2^15 blocks = 2MB
+        let total: u64 = p.reuse_log2_histogram.iter().sum();
+        println!(
+            "{:<18} {:>9.1} {:>5} {:>6.1}% {:>5.0}% {:>7.0}% {:>7.0}%",
+            w.name(),
+            p.footprint_mib(),
+            p.distinct_pcs,
+            p.store_fraction * 100.0,
+            p.dependent_fraction * 100.0,
+            below_llc * 100.0,
+            if total == 0 { 0.0 } else { (1.0 - below_llc) * 100.0 },
+        );
+    }
+}

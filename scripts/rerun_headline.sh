@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Re-runs the four headline figures after policy-assignment changes.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+BIN=target/release
+
+run() {
+  local name="$1"; shift
+  echo "=== $name: $* ==="
+  "$@" 2>&1 | tee "results/$name.txt"
+}
+
+run fig6  $BIN/fig6_st_speedup --warmup 1500000 --measure 6000000 --workloads 33
+run fig7  $BIN/fig7_st_mpki    --warmup 1500000 --measure 6000000 --workloads 33
+run fig4  $BIN/fig4_mp_speedup --warmup 1000000 --measure 4000000 --mixes 16
+run fig5  $BIN/fig5_mp_mpki    --warmup 1000000 --measure 4000000 --mixes 16
+echo "headline reruns complete"

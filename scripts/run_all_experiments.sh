@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure, teeing each to results/.
+# Scale knobs via environment: ST_MEASURE, MP_MEASURE, MIXES, etc.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+
+# Defaults sized for a ~45 minute single-core pass; scale up for tighter
+# numbers (the paper-scale equivalents are noted in DESIGN.md).
+ST_WARMUP="${ST_WARMUP:-2000000}"
+ST_MEASURE="${ST_MEASURE:-8000000}"
+MP_WARMUP="${MP_WARMUP:-1500000}"
+MP_MEASURE="${MP_MEASURE:-5000000}"
+MIXES="${MIXES:-24}"
+SWEEP_MIXES="${SWEEP_MIXES:-8}"
+SWEEP_MEASURE="${SWEEP_MEASURE:-3000000}"
+ROC_MEASURE="${ROC_MEASURE:-6000000}"
+CANDIDATES="${CANDIDATES:-60}"
+
+BIN=target/release
+cargo build --workspace --release
+
+run() {
+  local name="$1"; shift
+  echo "=== $name: $* ==="
+  "$@" 2>&1 | tee "results/$name.txt"
+}
+
+run fig_roc       $BIN/fig_roc --warmup 2000000 --measure "$ROC_MEASURE" --workloads 33
+run fig6          $BIN/fig6_st_speedup --warmup "$ST_WARMUP" --measure "$ST_MEASURE" --workloads 33
+run fig7          $BIN/fig7_st_mpki   --warmup "$ST_WARMUP" --measure "$ST_MEASURE" --workloads 33
+run fig4          $BIN/fig4_mp_speedup --warmup "$MP_WARMUP" --measure "$MP_MEASURE" --mixes "$MIXES"
+run fig5          $BIN/fig5_mp_mpki    --warmup "$MP_WARMUP" --measure "$MP_MEASURE" --mixes "$MIXES"
+run fig3_search   $BIN/fig3_search --candidates "$CANDIDATES" --workloads 10 --instructions 2000000
+run fig9          $BIN/fig9_assoc --mixes "$SWEEP_MIXES" --warmup 1000000 --measure "$SWEEP_MEASURE" --step 2
+run fig10         $BIN/fig10_ablation --mixes "$SWEEP_MIXES" --warmup 1000000 --measure "$SWEEP_MEASURE"
+run tables        $BIN/tables_features
+run table3        $BIN/table3_contrib --workloads 33 --instructions 2000000
+
+echo "all experiments complete; outputs in results/"

@@ -1,0 +1,174 @@
+//! Cross-crate integration tests: trace generators -> hierarchy -> CPU
+//! model -> policies -> experiment metrics, exercised end to end at small
+//! scale.
+
+use mrp_cache::{HierarchyConfig, ReplacementPolicy};
+use mrp_cpu::SingleCoreSim;
+use mrp_experiments::runner::{
+    run_single_hawkeye, run_single_kind, run_single_min, MpParams, StParams,
+};
+use mrp_experiments::PolicyKind;
+use mrp_trace::{workloads, MixBuilder};
+
+fn tiny() -> StParams {
+    StParams {
+        warmup: 100_000,
+        measure: 400_000,
+        seed: 1,
+    }
+}
+
+#[test]
+fn mpppb_beats_lru_on_scan_hot_workload() {
+    let suite = workloads::suite();
+    let scanhot = suite.iter().find(|w| w.name() == "scanhot.protect").unwrap();
+    let lru = run_single_kind(scanhot, PolicyKind::Lru, tiny());
+    let mpppb = run_single_kind(scanhot, PolicyKind::MpppbSingle, tiny());
+    assert!(
+        mpppb.mpki < lru.mpki * 0.9,
+        "MPPPB mpki {} vs LRU {}",
+        mpppb.mpki,
+        lru.mpki
+    );
+    assert!(mpppb.ipc > lru.ipc);
+}
+
+#[test]
+fn min_lower_bounds_every_realistic_policy() {
+    let suite = workloads::suite();
+    // loop.edge is LRU-pathological, so the gap is wide and stable.
+    let w = suite.iter().find(|w| w.name() == "loop.edge").unwrap();
+    let min = run_single_min(w, tiny());
+    for kind in [PolicyKind::Lru, PolicyKind::Srrip, PolicyKind::MpppbSingle] {
+        let r = run_single_kind(w, kind, tiny());
+        assert!(
+            min.mpki <= r.mpki + 0.3,
+            "MIN ({:.2}) above {:?} ({:.2})",
+            min.mpki,
+            kind,
+            r.mpki
+        );
+    }
+}
+
+#[test]
+fn hawkeye_never_bypasses_but_mpppb_does() {
+    let suite = workloads::suite();
+    let stream = suite.iter().find(|w| w.name() == "stream.rw").unwrap();
+    let hawkeye = run_single_hawkeye(stream, tiny());
+    assert_eq!(hawkeye.stats.llc.bypasses, 0);
+    let mpppb = run_single_kind(stream, PolicyKind::MpppbSingle, tiny());
+    assert!(mpppb.stats.llc.bypasses > 0, "MPPPB should bypass a stream");
+}
+
+#[test]
+fn single_thread_runs_are_reproducible_across_policies() {
+    let suite = workloads::suite();
+    let w = &suite[10];
+    for kind in [PolicyKind::Lru, PolicyKind::Perceptron, PolicyKind::MpppbSingle] {
+        let a = run_single_kind(w, kind, tiny());
+        let b = run_single_kind(w, kind, tiny());
+        assert_eq!(a.cycles, b.cycles, "{kind:?} not deterministic");
+        assert_eq!(a.stats, b.stats);
+    }
+}
+
+#[test]
+fn instruction_accounting_is_consistent_between_cache_and_cpu() {
+    let suite = workloads::suite();
+    let config = HierarchyConfig::single_thread();
+    let policy = PolicyKind::Lru.build(&config.llc);
+    let mut sim = SingleCoreSim::new(config, policy, suite[3].trace(1));
+    let r = sim.run(50_000, 200_000);
+    assert_eq!(r.instructions, r.stats.instructions);
+    assert!(r.cycles > 0);
+    assert!((r.ipc - r.instructions as f64 / r.cycles as f64).abs() < 1e-9);
+}
+
+#[test]
+fn multicore_weighted_speedup_is_bounded_by_core_count() {
+    let params = MpParams {
+        warmup: 50_000,
+        measure: 200_000,
+    };
+    let suite = workloads::suite();
+    let mix = MixBuilder::new(7).mix(3);
+    let standalone = mrp_experiments::runner::standalone_ipcs(&suite, params, mix.seed());
+    let base = mrp_experiments::runner::mix_standalone(&mix, &standalone);
+    let result = mrp_experiments::runner::run_mix_kind(&mix, PolicyKind::MpppbMulti, params);
+    let ws = result.weighted_ipc(&base);
+    assert!(ws > 0.0 && ws <= 4.3, "weighted IPC out of range: {ws}");
+}
+
+#[test]
+fn every_workload_runs_under_mpppb_without_panic() {
+    let params = StParams {
+        warmup: 10_000,
+        measure: 60_000,
+        seed: 3,
+    };
+    for w in workloads::suite() {
+        let r = run_single_kind(&w, PolicyKind::MpppbSingle, params);
+        assert!(r.ipc > 0.0, "{} produced zero IPC", w.name());
+        assert!(r.mpki.is_finite());
+    }
+}
+
+#[test]
+fn adaptive_guard_tracks_raw_mpppb_on_friendly_workloads() {
+    // On a workload where MPPPB clearly wins, the guard must not give the
+    // win away entirely (leader overhead and convergence cost a margin).
+    let suite = workloads::suite();
+    let scanhot = suite.iter().find(|w| w.name() == "scanhot.protect").unwrap();
+    let raw = run_single_kind(scanhot, PolicyKind::MpppbSingle, tiny());
+    let guarded = run_single_kind(scanhot, PolicyKind::MpppbAdaptive, tiny());
+    let lru = run_single_kind(scanhot, PolicyKind::Lru, tiny());
+    assert!(raw.ipc > lru.ipc, "MPPPB should beat LRU here");
+    assert!(
+        guarded.ipc > lru.ipc * 0.98,
+        "guard must not lose to LRU: {} vs {}",
+        guarded.ipc,
+        lru.ipc
+    );
+}
+
+#[test]
+fn cv_policy_uses_other_halfs_features() {
+    use mrp_experiments::runner::mpppb_cv_policy;
+    // Just exercises the CV construction for every workload: the policy
+    // must build and run for members of both halves.
+    let suite = workloads::suite();
+    for w in suite.iter().take(6) {
+        let policy = mpppb_cv_policy(w);
+        assert_eq!(policy.name(), "mpppb-adaptive");
+    }
+}
+
+#[test]
+fn suite_profile_matches_workload_descriptions() {
+    use mrp_trace::analysis::profile;
+    let suite = workloads::suite();
+    // stream.rw advertises 50% stores.
+    let rw = suite.iter().find(|w| w.name() == "stream.rw").unwrap();
+    let p = profile(rw.trace(1), 20_000);
+    assert!((p.store_fraction - 0.5).abs() < 0.05);
+    // chase workloads advertise dependence.
+    let chase = suite.iter().find(|w| w.name() == "chase.16m").unwrap();
+    let p = profile(chase.trace(1), 20_000);
+    assert!(p.dependent_fraction > 0.9);
+}
+
+#[test]
+fn policy_trait_objects_are_send() {
+    fn assert_send<T: Send>(_: &T) {}
+    let llc = HierarchyConfig::single_thread().llc;
+    for kind in [
+        PolicyKind::Lru,
+        PolicyKind::Sdbp,
+        PolicyKind::Perceptron,
+        PolicyKind::MpppbSingle,
+    ] {
+        let p: Box<dyn ReplacementPolicy + Send> = kind.build(&llc);
+        assert_send(&p);
+    }
+}

@@ -1,0 +1,225 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use mrp_cache::policies::{Lru, PlruTree, RripState, Srrip, RRIP_MAX};
+use mrp_cache::{AccessResult, Cache, CacheConfig};
+use mrp_core::context::PcHistory;
+use mrp_core::feature::{Feature, FeatureKind};
+use mrp_core::mpppb::{Mpppb, MpppbConfig};
+use mrp_core::sampler::{clamp_confidence, partial_tag, Sampler, TrainingEvent};
+use mrp_trace::MemoryAccess;
+
+fn arbitrary_feature() -> impl Strategy<Value = Feature> {
+    (
+        1u8..=18,
+        0u8..7,
+        any::<bool>(),
+        0u8..32,
+        1u8..32,
+        0u8..=17,
+    )
+        .prop_map(|(assoc, kind_tag, xor, begin, width, which)| {
+            let end = begin.saturating_add(width).min(63);
+            let kind = match kind_tag {
+                0 => FeatureKind::Pc { begin, end, which },
+                1 => FeatureKind::Address { begin, end },
+                2 => FeatureKind::Bias,
+                3 => FeatureKind::Burst,
+                4 => FeatureKind::Insert,
+                5 => FeatureKind::LastMiss,
+                _ => FeatureKind::Offset {
+                    begin: begin.min(5),
+                    end: end.min(5).max(begin.min(5)),
+                },
+            };
+            Feature::new(assoc, kind, xor)
+        })
+}
+
+proptest! {
+    #[test]
+    fn feature_indices_always_fit_their_table(
+        feature in arbitrary_feature(),
+        pc in any::<u64>(),
+        address in any::<u64>(),
+        is_mru in any::<bool>(),
+        is_insert in any::<bool>(),
+        last_miss in any::<bool>(),
+        history in proptest::collection::vec(any::<u64>(), 0..18),
+    ) {
+        let ctx = mrp_core::context::FeatureContext {
+            pc,
+            address,
+            pc_history: &history,
+            is_mru,
+            is_insert,
+            last_miss,
+        };
+        let index = feature.index(&ctx) as usize;
+        prop_assert!(index < feature.table_size(), "{feature}: {index} >= {}", feature.table_size());
+    }
+
+    #[test]
+    fn feature_display_is_stable_notation(feature in arbitrary_feature()) {
+        let s = feature.to_string();
+        prop_assert!(s.ends_with(')'));
+        prop_assert!(s.contains('('));
+        // The A parameter always leads the list.
+        let inside = &s[s.find('(').unwrap() + 1..s.len() - 1];
+        let first: u8 = inside.split(',').next().unwrap().parse().unwrap();
+        prop_assert_eq!(first, feature.assoc);
+    }
+
+    #[test]
+    fn cache_occupancy_never_exceeds_capacity(
+        blocks in proptest::collection::vec(0u64..64, 1..300),
+    ) {
+        let config = CacheConfig::new(64 * 8, 4); // 2 sets x 4 ways
+        let mut cache = Cache::new(
+            config,
+            Box::new(Lru::new(config.sets(), config.associativity())),
+        );
+        for &b in &blocks {
+            let _ = cache.access(&MemoryAccess::load(0x400000, b * 64), false);
+            prop_assert!(cache.resident_blocks() <= 8);
+        }
+    }
+
+    #[test]
+    fn lru_cache_hits_iff_block_within_reuse_distance(
+        blocks in proptest::collection::vec(0u64..16, 2..100),
+    ) {
+        // Fully-associative-per-set check: with 1 set of 8 ways, an access
+        // hits iff fewer than 8 distinct blocks intervened since last use.
+        let config = CacheConfig::new(64 * 8, 8);
+        let mut cache = Cache::new(
+            config,
+            Box::new(Lru::new(config.sets(), config.associativity())),
+        );
+        let mut last_seen: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for (i, &b) in blocks.iter().enumerate() {
+            let expected_hit = last_seen.get(&b).map(|&j| {
+                let distinct: std::collections::HashSet<u64> =
+                    blocks[j + 1..i].iter().copied().collect();
+                distinct.len() < 8
+            });
+            let result = cache.access(&MemoryAccess::load(0x400000, b * 64), false);
+            if let Some(expected) = expected_hit {
+                prop_assert_eq!(result.is_hit(), expected, "access {} block {}", i, b);
+            }
+            last_seen.insert(b, i);
+        }
+    }
+
+    #[test]
+    fn plru_set_position_round_trips(way in 0u32..16, position in 0u32..16) {
+        let mut tree = PlruTree::new(1, 16);
+        tree.set_position(0, way, position);
+        prop_assert_eq!(tree.position_of(0, way), position);
+    }
+
+    #[test]
+    fn plru_victim_is_always_a_valid_way(
+        touches in proptest::collection::vec((0u32..16, 0u32..16), 1..64),
+    ) {
+        let mut tree = PlruTree::new(1, 16);
+        for (way, position) in touches {
+            tree.set_position(0, way, position);
+            prop_assert!(tree.victim(0) < 16);
+        }
+    }
+
+    #[test]
+    fn rrip_victim_selection_terminates_and_is_valid(
+        values in proptest::collection::vec(0u8..=RRIP_MAX, 4),
+    ) {
+        let mut state = RripState::new(1, 4);
+        for (w, &v) in values.iter().enumerate() {
+            state.set(0, w as u32, v);
+        }
+        let victim = state.victim(0);
+        prop_assert!(victim < 4);
+        prop_assert_eq!(state.get(0, victim), RRIP_MAX);
+    }
+
+    #[test]
+    fn srrip_never_chooses_out_of_range_victims(
+        blocks in proptest::collection::vec(0u64..64, 1..200),
+    ) {
+        let config = CacheConfig::new(64 * 16, 4);
+        let mut cache = Cache::new(config, Box::new(Srrip::new(config.sets(), config.associativity())));
+        for &b in &blocks {
+            let _ = cache.access(&MemoryAccess::load(1, b * 64), false);
+        }
+        prop_assert!(cache.resident_blocks() <= 16);
+    }
+
+    #[test]
+    fn pc_history_keeps_most_recent_first(pcs in proptest::collection::vec(any::<u64>(), 1..50)) {
+        let mut h = PcHistory::new();
+        for &pc in &pcs {
+            h.push(pc);
+        }
+        let slice = h.as_slice();
+        prop_assert_eq!(slice[0], *pcs.last().unwrap());
+        let expect_len = pcs.len().min(mrp_core::context::HISTORY_DEPTH);
+        prop_assert_eq!(slice.len(), expect_len);
+        for (i, &pc) in slice.iter().enumerate() {
+            prop_assert_eq!(pc, pcs[pcs.len() - 1 - i]);
+        }
+    }
+
+    #[test]
+    fn sampler_training_events_reference_valid_features(
+        tags in proptest::collection::vec(0u16..32, 1..200),
+        assocs in proptest::collection::vec(1u8..=18, 1..8),
+    ) {
+        let features = assocs.len();
+        let mut sampler = Sampler::new(2, assocs, 50);
+        let mut events = Vec::new();
+        for (i, &tag) in tags.iter().enumerate() {
+            events.clear();
+            let indices: Vec<u16> = (0..features).map(|f| (f as u16 + tag) % 4).collect();
+            let _ = sampler.access((i % 2) as u32, tag, &indices, 0, &mut events);
+            for e in &events {
+                let (TrainingEvent::Increment { feature, .. }
+                | TrainingEvent::Decrement { feature, .. }) = e;
+                prop_assert!((*feature as usize) < features);
+            }
+            prop_assert!(sampler.set_len((i % 2) as u32) <= 18);
+        }
+    }
+
+    #[test]
+    fn confidence_clamp_is_idempotent_and_bounded(sum in any::<i32>()) {
+        let clamped = clamp_confidence(sum);
+        prop_assert!((-256..=255).contains(&i32::from(clamped)));
+        prop_assert_eq!(clamp_confidence(i32::from(clamped)), clamped);
+    }
+
+    #[test]
+    fn partial_tags_are_deterministic(block in any::<u64>()) {
+        prop_assert_eq!(partial_tag(block), partial_tag(block));
+    }
+
+    #[test]
+    fn mpppb_cache_preserves_inclusion_of_resident_blocks(
+        blocks in proptest::collection::vec(0u64..128, 1..300),
+    ) {
+        // Whatever the policy decides, a block that was just filled (not
+        // bypassed) must be resident, and hits must find it.
+        let llc = CacheConfig::new(64 * 16 * 4, 16); // 4 sets
+        let mut config = MpppbConfig::single_thread(&llc);
+        config.sampler_sets = 4;
+        let mut cache = Cache::new(llc, Box::new(Mpppb::new(config, &llc)));
+        for &b in &blocks {
+            let access = MemoryAccess::load(0x400000 + (b % 7) * 4, b * 64);
+            match cache.access(&access, false) {
+                AccessResult::Miss { .. } => prop_assert!(cache.probe(b)),
+                AccessResult::Hit => prop_assert!(cache.probe(b)),
+                AccessResult::Bypassed => prop_assert!(!cache.probe(b)),
+            }
+        }
+    }
+}
