@@ -150,11 +150,7 @@ impl ReplacementPolicy for MinPolicy {
         for way in 0..self.assoc {
             match self.contents[base + way as usize] {
                 Some(block) => {
-                    let theirs = self
-                        .block_next_use
-                        .get(&block)
-                        .copied()
-                        .unwrap_or(NEVER);
+                    let theirs = self.block_next_use.get(&block).copied().unwrap_or(NEVER);
                     if theirs >= my_next {
                         all_sooner = false;
                     }
@@ -177,9 +173,7 @@ impl ReplacementPolicy for MinPolicy {
         occupants
             .iter()
             .enumerate()
-            .max_by_key(|(_, &block)| {
-                self.block_next_use.get(&block).copied().unwrap_or(NEVER)
-            })
+            .max_by_key(|(_, &block)| self.block_next_use.get(&block).copied().unwrap_or(NEVER))
             .map(|(w, _)| w as u32)
             .expect("occupants nonempty")
     }
@@ -240,10 +234,7 @@ mod tests {
         let (hits_min, _, _) = run_min(&stream, false);
 
         let c = tiny();
-        let mut lru_cache = Cache::new(
-            c,
-            Box::new(Lru::new(c.sets(), c.associativity())),
-        );
+        let mut lru_cache = Cache::new(c, Box::new(Lru::new(c.sets(), c.associativity())));
         for &b in &stream {
             let _ = lru_cache.access(&load(b), false);
         }
@@ -274,8 +265,7 @@ mod tests {
             let stream: Vec<u64> = (0..500).map(|_| rng.gen_range(0..8)).collect();
             let (hits_min, _, _) = run_min(&stream, true);
             let c = tiny();
-            let mut lru_cache =
-                Cache::new(c, Box::new(Lru::new(c.sets(), c.associativity())));
+            let mut lru_cache = Cache::new(c, Box::new(Lru::new(c.sets(), c.associativity())));
             for &b in &stream {
                 let _ = lru_cache.access(&load(b), false);
             }

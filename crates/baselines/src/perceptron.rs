@@ -140,13 +140,7 @@ impl PerceptronPolicy {
         }
     }
 
-    fn sampler_access(
-        &mut self,
-        set: u32,
-        block: u64,
-        indices: [u16; FEATURES],
-        confidence: i32,
-    ) {
+    fn sampler_access(&mut self, set: u32, block: u64, indices: [u16; FEATURES], confidence: i32) {
         if !set.is_multiple_of(self.sample_stride) {
             return;
         }
@@ -157,9 +151,9 @@ impl PerceptronPolicy {
         let tag = fold8(block) | (fold8(block >> 8) << 8);
         let set_entries_len = self.sampler[sampler_set].len();
 
-        if let Some(i) = (0..set_entries_len)
-            .find(|&i| self.sampler[sampler_set][i].valid && self.sampler[sampler_set][i].tag == tag)
-        {
+        if let Some(i) = (0..set_entries_len).find(|&i| {
+            self.sampler[sampler_set][i].valid && self.sampler[sampler_set][i].tag == tag
+        }) {
             // Reuse: train live with the stored feature indices.
             let entry = self.sampler[sampler_set][i];
             self.train(&entry.indices, i32::from(entry.confidence), false);
@@ -324,7 +318,10 @@ mod tests {
         p.set_measure_only(true);
         let mut cache = Cache::new(c, Box::new(p));
         for i in 0..100_000u64 {
-            assert_ne!(cache.access(&load(0x400000, i), false), AccessResult::Bypassed);
+            assert_ne!(
+                cache.access(&load(0x400000, i), false),
+                AccessResult::Bypassed
+            );
         }
     }
 

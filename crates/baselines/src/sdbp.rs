@@ -287,7 +287,10 @@ mod tests {
         p.set_measure_only(true);
         let mut cache = Cache::new(c, Box::new(p));
         for i in 0..200_000u64 {
-            assert_ne!(cache.access(&load(0x400000, i), false), AccessResult::Bypassed);
+            assert_ne!(
+                cache.access(&load(0x400000, i), false),
+                AccessResult::Bypassed
+            );
         }
     }
 

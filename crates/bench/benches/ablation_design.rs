@@ -6,9 +6,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mrp_cache::{Cache, CacheConfig};
+use mrp_core::feature_sets;
 use mrp_core::mpppb::{Mpppb, MpppbConfig};
 use mrp_core::tables::WeightTables;
-use mrp_core::feature_sets;
 use mrp_trace::workloads;
 
 /// Replays a fixed workload prefix against an MPPPB-managed LLC and

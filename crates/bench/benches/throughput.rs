@@ -2,7 +2,7 @@
 //! the hierarchy under each policy class, and the raw predictor hot path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mrp_cache::{HierarchyConfig};
+use mrp_cache::HierarchyConfig;
 use mrp_cpu::SingleCoreSim;
 use mrp_experiments::PolicyKind;
 use mrp_trace::workloads;
@@ -60,5 +60,43 @@ fn bench_predictor_indexing(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_hierarchy, bench_predictor_indexing);
+fn bench_pool_scaling(c: &mut Criterion) {
+    // Scaling of the mrp-runtime work queue on a realistic job shape: a
+    // batch of small independent LRU simulations, as the experiment
+    // drivers fan out. On an N-core machine the 2/4-thread points should
+    // approach 1/2 and 1/4 of the 1-thread wall clock (modulo N).
+    const JOBS: usize = 8;
+    const INSTRUCTIONS: u64 = 50_000;
+    let mut group = c.benchmark_group("pool_scaling");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(JOBS as u64 * INSTRUCTIONS));
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mpkis = mrp_runtime::map_indexed_with(JOBS, threads, |job| {
+                        let config = HierarchyConfig::single_thread();
+                        let mut sim = SingleCoreSim::new(
+                            config,
+                            PolicyKind::Lru.build(&config.llc),
+                            workloads::suite()[job % 4].trace(1),
+                        );
+                        sim.run(0, INSTRUCTIONS).mpki
+                    });
+                    criterion::black_box(mpkis)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hierarchy,
+    bench_predictor_indexing,
+    bench_pool_scaling
+);
 criterion_main!(benches);

@@ -41,6 +41,9 @@ pub struct Cache {
     ways: Vec<Option<u64>>,
     policy: Box<dyn ReplacementPolicy + Send>,
     stats: CacheStats,
+    /// Victim-scan scratch, reused across accesses so a full-set miss
+    /// does not allocate. Only meaningful within one `access` call.
+    occupants: Vec<u64>,
 }
 
 impl fmt::Debug for Cache {
@@ -62,6 +65,7 @@ impl Cache {
             ways: vec![None; slots],
             policy,
             stats: CacheStats::default(),
+            occupants: Vec::with_capacity(config.associativity() as usize),
         }
     }
 
@@ -108,13 +112,27 @@ impl Cache {
         let info = AccessInfo::from_access(access, &self.config, is_prefetch);
         self.policy.on_access(&info);
 
-        // Lookup.
+        // One pass over the set: the hit way, the first invalid way, and
+        // (should the set turn out full) the occupant blocks for the
+        // victim scan. `occupants` aligns way-for-way with the set only
+        // when no way is invalid, which is the only case that reads it.
         let assoc = self.config.associativity();
+        let base = self.slot(info.set, 0);
         let mut hit_way = None;
+        let mut invalid_way = None;
+        self.occupants.clear();
         for way in 0..assoc {
-            if self.ways[self.slot(info.set, way)] == Some(info.block) {
-                hit_way = Some(way);
-                break;
+            match self.ways[base + way as usize] {
+                Some(block) if block == info.block => {
+                    hit_way = Some(way);
+                    break;
+                }
+                Some(block) => self.occupants.push(block),
+                None => {
+                    if invalid_way.is_none() {
+                        invalid_way = Some(way);
+                    }
+                }
             }
         }
 
@@ -140,25 +158,13 @@ impl Cache {
         }
 
         // Prefer an invalid way; otherwise ask the policy for a victim.
-        let mut fill_way = None;
-        for way in 0..assoc {
-            if self.ways[self.slot(info.set, way)].is_none() {
-                fill_way = Some(way);
-                break;
-            }
-        }
         let mut evicted = None;
-        let way = match fill_way {
+        let way = match invalid_way {
             Some(w) => w,
             None => {
-                let occupants: Vec<u64> = self
-                    .set_ways(info.set)
-                    .iter()
-                    .map(|b| b.expect("set is full"))
-                    .collect();
-                let victim = self.policy.choose_victim(&info, &occupants);
+                let victim = self.policy.choose_victim(&info, &self.occupants);
                 assert!(victim < assoc, "policy chose way {victim} of {assoc}");
-                let block = occupants[victim as usize];
+                let block = self.occupants[victim as usize];
                 self.policy.on_evict(info.set, victim, block);
                 self.stats.evictions += 1;
                 evicted = Some(block);

@@ -350,7 +350,11 @@ mod tests {
             latency_without += without.access(&load(b)).latency;
         }
         let s = with.stats();
-        assert!(s.prefetches_issued > 1000, "prefetches: {}", s.prefetches_issued);
+        assert!(
+            s.prefetches_issued > 1000,
+            "prefetches: {}",
+            s.prefetches_issued
+        );
         assert!(
             latency_with < latency_without,
             "prefetching should reduce stream latency ({latency_with} vs {latency_without})"

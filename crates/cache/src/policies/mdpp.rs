@@ -43,8 +43,14 @@ impl Mdpp {
     ///
     /// Panics if a configured position is outside `0..assoc`.
     pub fn new(sets: u32, assoc: u32, config: MdppConfig) -> Self {
-        assert!(config.insert_position < assoc, "insert position out of range");
-        assert!(config.promote_position < assoc, "promote position out of range");
+        assert!(
+            config.insert_position < assoc,
+            "insert position out of range"
+        );
+        assert!(
+            config.promote_position < assoc,
+            "promote position out of range"
+        );
         Mdpp {
             tree: PlruTree::new(sets, assoc),
             config,

@@ -23,7 +23,10 @@ impl PlruTree {
     ///
     /// Panics if `assoc` is not a power of two or is less than 2.
     pub fn new(sets: u32, assoc: u32) -> Self {
-        assert!(assoc.is_power_of_two() && assoc >= 2, "assoc must be a power of two >= 2");
+        assert!(
+            assoc.is_power_of_two() && assoc >= 2,
+            "assoc must be a power of two >= 2"
+        );
         PlruTree {
             bits: vec![false; sets as usize * (assoc as usize - 1)],
             assoc,

@@ -215,13 +215,9 @@ impl ReplacementPolicy for Drrip {
     }
 
     fn on_fill(&mut self, info: &AccessInfo, way: u32) {
-        let rrpv = if self.use_srrip(info.set) {
-            RRIP_MAX - 1
-        } else if self.rng.gen_range(0..BRRIP_LONG_CHANCE) == 0 {
-            RRIP_MAX - 1
-        } else {
-            RRIP_MAX
-        };
+        // Short-circuit keeps the RNG stream untouched in SRRIP sets.
+        let long = self.use_srrip(info.set) || self.rng.gen_range(0..BRRIP_LONG_CHANCE) == 0;
+        let rrpv = if long { RRIP_MAX - 1 } else { RRIP_MAX };
         self.state.set(info.set, way, rrpv);
     }
 }

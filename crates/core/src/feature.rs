@@ -257,7 +257,11 @@ mod tests {
 
     #[test]
     fn single_bit_features_have_two_entries() {
-        for kind in [FeatureKind::Burst, FeatureKind::Insert, FeatureKind::LastMiss] {
+        for kind in [
+            FeatureKind::Burst,
+            FeatureKind::Insert,
+            FeatureKind::LastMiss,
+        ] {
             let f = Feature::new(9, kind, false);
             assert_eq!(f.table_size(), 2);
         }
@@ -365,7 +369,15 @@ mod tests {
     #[test]
     fn indices_always_fit_table() {
         let features = [
-            Feature::new(1, FeatureKind::Pc { begin: 0, end: 63, which: 3 }, true),
+            Feature::new(
+                1,
+                FeatureKind::Pc {
+                    begin: 0,
+                    end: 63,
+                    which: 3,
+                },
+                true,
+            ),
             Feature::new(18, FeatureKind::Address { begin: 8, end: 19 }, false),
             Feature::new(5, FeatureKind::Offset { begin: 0, end: 5 }, false),
             Feature::new(9, FeatureKind::LastMiss, true),

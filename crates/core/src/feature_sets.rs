@@ -17,7 +17,15 @@ use crate::feature::{Feature, FeatureKind};
 
 /// Shorthand constructors for readable set definitions.
 fn pc(a: u8, b: u8, e: u8, w: u8, x: u8) -> Feature {
-    Feature::new(a, FeatureKind::Pc { begin: b, end: e, which: w }, x != 0)
+    Feature::new(
+        a,
+        FeatureKind::Pc {
+            begin: b,
+            end: e,
+            which: w,
+        },
+        x != 0,
+    )
 }
 
 fn address(a: u8, b: u8, e: u8, x: u8) -> Feature {

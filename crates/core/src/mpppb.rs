@@ -479,9 +479,18 @@ mod tests {
         let llc = llc();
         let config = MpppbConfig::single_thread(&llc);
         let p = Mpppb::new(config.clone(), &llc);
-        assert_eq!(p.placement_position(config.place_thresholds[0] + 1), config.positions[0]);
-        assert_eq!(p.placement_position(config.place_thresholds[1] + 1), config.positions[1]);
-        assert_eq!(p.placement_position(config.place_thresholds[2] + 1), config.positions[2]);
+        assert_eq!(
+            p.placement_position(config.place_thresholds[0] + 1),
+            config.positions[0]
+        );
+        assert_eq!(
+            p.placement_position(config.place_thresholds[1] + 1),
+            config.positions[1]
+        );
+        assert_eq!(
+            p.placement_position(config.place_thresholds[2] + 1),
+            config.positions[2]
+        );
         assert_eq!(p.placement_position(config.place_thresholds[2] - 1), 0);
     }
 

@@ -97,7 +97,9 @@ impl Sampler {
             "feature associativity out of range"
         );
         Sampler {
-            sets: (0..sets).map(|_| Vec::with_capacity(SAMPLER_ASSOC)).collect(),
+            sets: (0..sets)
+                .map(|_| Vec::with_capacity(SAMPLER_ASSOC))
+                .collect(),
             feature_assocs,
             theta,
         }
@@ -249,7 +251,10 @@ mod tests {
         let (_, events) = run(&mut s, 0, 7, &[99], 0); // reused at p=0
         assert_eq!(
             events,
-            vec![TrainingEvent::Decrement { feature: 0, index: 42 }],
+            vec![TrainingEvent::Decrement {
+                feature: 0,
+                index: 42
+            }],
             "training must use the stored index, not the new one"
         );
     }
@@ -263,14 +268,19 @@ mod tests {
         let (_, demote_events) = run(&mut s, 0, 8, &[2], 0);
         assert_eq!(
             demote_events,
-            vec![TrainingEvent::Increment { feature: 0, index: 1 }]
+            vec![TrainingEvent::Increment {
+                feature: 0,
+                index: 1
+            }]
         );
         // Now hit tag 7 at position 1 (>= A=1): no live training.
         let (a, events) = run(&mut s, 0, 7, &[3], 0);
         assert!(a.hit);
         assert_eq!(a.hit_position, Some(1));
         assert!(
-            events.iter().all(|e| !matches!(e, TrainingEvent::Decrement { .. })),
+            events
+                .iter()
+                .all(|e| !matches!(e, TrainingEvent::Decrement { .. })),
             "no live training beyond feature associativity: {events:?}"
         );
     }
@@ -281,13 +291,19 @@ mod tests {
         let mut s = sampler(vec![1, 2], 100);
         run(&mut s, 0, 1, &[10, 20], 0); // tag 1 @ p0
         run(&mut s, 0, 2, &[11, 21], 0); // tag 2 @ p0, tag 1 -> p1 (A0 fires)
-        // Hit tag 1 (at p1): promoting it demotes tag 2 from p0 to p1,
-        // crossing feature 0's A=1.
+                                         // Hit tag 1 (at p1): promoting it demotes tag 2 from p0 to p1,
+                                         // crossing feature 0's A=1.
         let (_, events) = run(&mut s, 0, 1, &[12, 22], 0);
-        assert!(events.contains(&TrainingEvent::Increment { feature: 0, index: 11 }));
+        assert!(events.contains(&TrainingEvent::Increment {
+            feature: 0,
+            index: 11
+        }));
         // Feature 1 (A=2): tag 1 hit at p1 < 2 -> live training using tag
         // 1's own stored index (20, from its placement).
-        assert!(events.contains(&TrainingEvent::Decrement { feature: 1, index: 20 }));
+        assert!(events.contains(&TrainingEvent::Decrement {
+            feature: 1,
+            index: 20
+        }));
     }
 
     #[test]
@@ -300,7 +316,10 @@ mod tests {
         assert_eq!(s.set_len(0), 18);
         // One more insertion demotes the LRU block (tag 0) to position 18.
         let (_, events) = run(&mut s, 0, 100, &[0], 0);
-        assert!(events.contains(&TrainingEvent::Increment { feature: 0, index: 0 }));
+        assert!(events.contains(&TrainingEvent::Increment {
+            feature: 0,
+            index: 0
+        }));
         assert_eq!(s.set_len(0), 18);
     }
 
@@ -310,11 +329,17 @@ mod tests {
         // Stored confidence -200: confidently live; reuse shouldn't train.
         run(&mut s, 0, 7, &[5], -200);
         let (_, events) = run(&mut s, 0, 7, &[5], -200);
-        assert!(events.is_empty(), "confidently-correct live prediction retrained");
+        assert!(
+            events.is_empty(),
+            "confidently-correct live prediction retrained"
+        );
         // Stored confidence +200 (mispredicted dead): reuse trains.
         run(&mut s, 0, 8, &[6], 200);
         let (_, events) = run(&mut s, 0, 8, &[6], 200);
-        assert!(events.contains(&TrainingEvent::Decrement { feature: 0, index: 6 }));
+        assert!(events.contains(&TrainingEvent::Decrement {
+            feature: 0,
+            index: 6
+        }));
     }
 
     #[test]
@@ -323,7 +348,10 @@ mod tests {
         // Confidently dead (+200): demotion to A shouldn't re-train.
         run(&mut s, 0, 7, &[5], 200);
         let (_, events) = run(&mut s, 0, 8, &[6], 200);
-        assert!(events.is_empty(), "confidently-dead block retrained on demotion");
+        assert!(
+            events.is_empty(),
+            "confidently-dead block retrained on demotion"
+        );
     }
 
     #[test]

@@ -101,7 +101,15 @@ mod tests {
         vec![
             Feature::new(16, FeatureKind::Bias, false),
             Feature::new(6, FeatureKind::Burst, false),
-            Feature::new(10, FeatureKind::Pc { begin: 1, end: 53, which: 10 }, false),
+            Feature::new(
+                10,
+                FeatureKind::Pc {
+                    begin: 1,
+                    end: 53,
+                    which: 10,
+                },
+                false,
+            ),
         ]
     }
 

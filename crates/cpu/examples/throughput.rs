@@ -13,6 +13,12 @@ fn main() {
         let t = Instant::now();
         let r = sim.run(0, 20_000_000);
         let dt = t.elapsed().as_secs_f64();
-        println!("{}: {:.1} M instr/s, ipc={:.3}, mpki={:.2}", suite[idx].name(), 20.0 / dt, r.ipc, r.mpki);
+        println!(
+            "{}: {:.1} M instr/s, ipc={:.3}, mpki={:.2}",
+            suite[idx].name(),
+            20.0 / dt,
+            r.ipc,
+            r.mpki
+        );
     }
 }

@@ -202,7 +202,11 @@ mod tests {
         for _ in 0..N {
             m.retire_access(4, LAT, true);
         }
-        assert!(m.drained_cycles() >= N * LAT, "cycles: {}", m.drained_cycles());
+        assert!(
+            m.drained_cycles() >= N * LAT,
+            "cycles: {}",
+            m.drained_cycles()
+        );
     }
 
     #[test]

@@ -118,8 +118,11 @@ impl MulticoreSim {
         let outcome = core
             .private
             .access_with_llc(&access, &mut self.llc, &self.latencies);
-        core.model
-            .retire_access(access.instructions() as u32, outcome.latency, access.dependent);
+        core.model.retire_access(
+            access.instructions() as u32,
+            outcome.latency,
+            access.dependent,
+        );
     }
 
     /// Runs until every core has retired at least `instructions_per_core`

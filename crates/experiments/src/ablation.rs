@@ -51,37 +51,40 @@ pub fn run(params: MpParams, mix_count: usize, feature_limit: usize, seed: u64) 
     // multi-programmed setup (SRRIP default).
     let base = MpppbConfig::multi_core(&config.llc).with_features(feature_sets::table_1a());
 
-    let mixes: Vec<_> = (0..mix_count.max(1)).map(|i| builder.mix(100 + i)).collect();
-    let lru_weighted: Vec<f64> = mixes
-        .iter()
-        .map(|mix| {
-            run_mix_kind(mix, PolicyKind::Lru, params)
-                .weighted_ipc(&mix_standalone(mix, &standalone))
-        })
+    let mixes: Vec<_> = (0..mix_count.max(1))
+        .map(|i| builder.mix(100 + i))
         .collect();
+    let bases: Vec<Vec<f64>> = mixes
+        .iter()
+        .map(|m| mix_standalone(m, &standalone))
+        .collect();
+    let lru_weighted: Vec<f64> = mrp_runtime::map_indexed(mixes.len(), |mi| {
+        run_mix_kind(&mixes[mi], PolicyKind::Lru, params).weighted_ipc(&bases[mi])
+    });
 
-    let evaluate = |features: Vec<Feature>| -> f64 {
-        let speedups: Vec<f64> = mixes
-            .iter()
-            .zip(&lru_weighted)
-            .map(|(mix, &lru)| {
-                let policy_config = base.clone().with_features(features.clone());
-                let policy = Box::new(Mpppb::new(policy_config, &config.llc));
-                run_mix_policy(mix, policy, params)
-                    .weighted_ipc(&mix_standalone(mix, &standalone))
-                    / lru
-            })
-            .collect();
-        geometric_mean(&speedups)
-    };
+    // Candidate feature sets: the full set first, then each leave-one-out
+    // set. One job per (set × mix) cell; each set's geomean reduces its
+    // cells in mix order, exactly as the serial loop did.
+    let limit = feature_limit.max(1).min(base.features.len());
+    let mut sets: Vec<Vec<Feature>> = vec![base.features.clone()];
+    sets.extend((0..limit).map(|i| without(&base.features, i)));
 
-    let original = evaluate(base.features.clone());
+    let n_mixes = mixes.len();
+    let cells: Vec<f64> = mrp_runtime::map_indexed(sets.len() * n_mixes, |job| {
+        let (si, mi) = (job / n_mixes, job % n_mixes);
+        let policy_config = base.clone().with_features(sets[si].clone());
+        let policy = Box::new(Mpppb::new(policy_config, &config.llc));
+        run_mix_policy(&mixes[mi], policy, params).weighted_ipc(&bases[mi]) / lru_weighted[mi]
+    });
+    let geomean_of = |si: usize| geometric_mean(&cells[si * n_mixes..(si + 1) * n_mixes]);
+
+    let original = geomean_of(0);
     let omitted = base
         .features
         .iter()
-        .take(feature_limit.max(1))
+        .take(limit)
         .enumerate()
-        .map(|(i, f)| (f.to_string(), evaluate(without(&base.features, i))))
+        .map(|(i, f)| (f.to_string(), geomean_of(i + 1)))
         .collect();
 
     Ablation { original, omitted }

@@ -40,36 +40,43 @@ pub fn run(params: MpParams, mix_count: usize, assoc_step: usize, seed: u64) -> 
     let config = HierarchyConfig::multi_core();
     let base = MpppbConfig::multi_core(&config.llc);
 
-    let mixes: Vec<_> = (0..mix_count.max(1)).map(|i| builder.mix(100 + i)).collect();
-    // LRU baselines per mix.
-    let lru_weighted: Vec<f64> = mixes
+    let mixes: Vec<_> = (0..mix_count.max(1))
+        .map(|i| builder.mix(100 + i))
+        .collect();
+    let bases: Vec<Vec<f64>> = mixes
         .iter()
-        .map(|mix| {
-            run_mix_kind(mix, PolicyKind::Lru, params)
-                .weighted_ipc(&mix_standalone(mix, &standalone))
-        })
+        .map(|m| mix_standalone(m, &standalone))
         .collect();
+    // LRU baselines per mix.
+    let lru_weighted: Vec<f64> = mrp_runtime::map_indexed(mixes.len(), |mi| {
+        run_mix_kind(&mixes[mi], PolicyKind::Lru, params).weighted_ipc(&bases[mi])
+    });
 
-    let evaluate = |features: Vec<Feature>| -> f64 {
-        let speedups: Vec<f64> = mixes
-            .iter()
-            .zip(&lru_weighted)
-            .map(|(mix, &lru)| {
-                let policy_config = base.clone().with_features(features.clone());
-                let policy = Box::new(Mpppb::new(policy_config, &config.llc));
-                run_mix_policy(mix, policy, params)
-                    .weighted_ipc(&mix_standalone(mix, &standalone))
-                    / lru
-            })
-            .collect();
-        geometric_mean(&speedups)
-    };
-
-    let uniform = (1..=18u8)
-        .step_by(assoc_step.max(1))
-        .map(|a| (a, evaluate(with_uniform_assoc(&base.features, a))))
+    // Candidate feature sets: each sampled uniform associativity, then
+    // the original variable-A set last. One job per (set × mix) cell;
+    // each set's geomean reduces its cells in mix order.
+    let assocs: Vec<u8> = (1..=18u8).step_by(assoc_step.max(1)).collect();
+    let mut sets: Vec<Vec<Feature>> = assocs
+        .iter()
+        .map(|&a| with_uniform_assoc(&base.features, a))
         .collect();
-    let original = evaluate(base.features.clone());
+    sets.push(base.features.clone());
+
+    let n_mixes = mixes.len();
+    let cells: Vec<f64> = mrp_runtime::map_indexed(sets.len() * n_mixes, |job| {
+        let (si, mi) = (job / n_mixes, job % n_mixes);
+        let policy_config = base.clone().with_features(sets[si].clone());
+        let policy = Box::new(Mpppb::new(policy_config, &config.llc));
+        run_mix_policy(&mixes[mi], policy, params).weighted_ipc(&bases[mi]) / lru_weighted[mi]
+    });
+    let geomean_of = |si: usize| geometric_mean(&cells[si * n_mixes..(si + 1) * n_mixes]);
+
+    let uniform = assocs
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| (a, geomean_of(i)))
+        .collect();
+    let original = geomean_of(assocs.len());
 
     AssocSweep { uniform, original }
 }

@@ -5,7 +5,7 @@
 //!
 //! Usage: `cargo run -p mrp-experiments --release --bin co_tune --
 //! [--rounds N] [--combos N] [--moves N] [--workloads N]
-//! [--instructions N] [--seed N] [--half a|b]`
+//! [--instructions N] [--seed N] [--half a|b] [--threads N]`
 
 use mrp_cache::Cache;
 use mrp_core::mpppb::{Mpppb, MpppbConfig};
@@ -27,16 +27,13 @@ const SPLIT_SEED: u64 = 17;
 fn ratio(evaluator: &FastEvaluator, config: &MpppbConfig) -> f64 {
     let llc = *evaluator.llc();
     let lru = evaluator.lru_mpkis();
-    let total: f64 = evaluator
-        .traces()
-        .iter()
-        .zip(lru)
-        .map(|(t, &l)| {
-            let mut cache = Cache::new(llc, Box::new(Mpppb::new(config.clone(), &llc)));
-            (t.replay(&mut cache) + EPS) / (l + EPS)
-        })
-        .sum();
-    total / evaluator.traces().len() as f64
+    // Traces replay in parallel, each against its own policy instance;
+    // the sum reduces in trace order so the result matches the serial loop.
+    let ratios = mrp_runtime::map_indexed(evaluator.traces().len(), |i| {
+        let mut cache = Cache::new(llc, Box::new(Mpppb::new(config.clone(), &llc)));
+        (evaluator.traces()[i].replay(&mut cache) + EPS) / (lru[i] + EPS)
+    });
+    ratios.iter().sum::<f64>() / ratios.len() as f64
 }
 
 fn search_thresholds(
@@ -45,31 +42,40 @@ fn search_thresholds(
     combos: usize,
     rng: &mut StdRng,
 ) -> (MpppbConfig, f64) {
+    // Combinations come from the caller's serial RNG stream; scoring is
+    // parallel and the best-so-far scan walks the scores in draw order,
+    // so the winner matches the serial loop's.
+    let candidates: Vec<MpppbConfig> = (0..combos)
+        .map(|_| {
+            let mut config = base.clone();
+            let theta = rng.gen_range(5..120);
+            config.training_threshold = theta;
+            // Sums scale with the feature count; scale the draw ranges.
+            let scale = (theta + 30) * (config.features.len() as i32) / 6;
+            config.bypass_threshold = if rng.gen_range(0..100) < 15 {
+                i32::MAX / 2
+            } else {
+                rng.gen_range(scale / 2..scale * 3)
+            };
+            let tau_hi = config.bypass_threshold.min(scale * 3);
+            let mut taus: Vec<i32> = (0..3).map(|_| rng.gen_range(-scale..tau_hi)).collect();
+            taus.sort_unstable_by(|a, b| b.cmp(a));
+            config.place_thresholds = [taus[0], taus[1], taus[2]];
+            let mut pis: Vec<u32> = (0..3).map(|_| rng.gen_range(0..=15)).collect();
+            pis.sort_unstable_by(|a, b| b.cmp(a));
+            config.positions = [pis[0], pis[1], pis[2]];
+            config.promote_threshold = rng.gen_range(0..scale * 3);
+            config
+        })
+        .collect();
+    let scores = mrp_runtime::par_map(&candidates, |c| ratio(evaluator, c));
+
     let mut best = base.clone();
     let mut best_score = ratio(evaluator, base);
-    for _ in 0..combos {
-        let mut config = base.clone();
-        let theta = rng.gen_range(5..120);
-        config.training_threshold = theta;
-        // Sums scale with the feature count; scale the draw ranges.
-        let scale = (theta + 30) * (config.features.len() as i32) / 6;
-        config.bypass_threshold = if rng.gen_range(0..100) < 15 {
-            i32::MAX / 2
-        } else {
-            rng.gen_range(scale / 2..scale * 3)
-        };
-        let tau_hi = config.bypass_threshold.min(scale * 3);
-        let mut taus: Vec<i32> = (0..3).map(|_| rng.gen_range(-scale..tau_hi)).collect();
-        taus.sort_unstable_by(|a, b| b.cmp(a));
-        config.place_thresholds = [taus[0], taus[1], taus[2]];
-        let mut pis: Vec<u32> = (0..3).map(|_| rng.gen_range(0..=15)).collect();
-        pis.sort_unstable_by(|a, b| b.cmp(a));
-        config.positions = [pis[0], pis[1], pis[2]];
-        config.promote_threshold = rng.gen_range(0..scale * 3);
-        let score = ratio(evaluator, &config);
+    for (config, &score) in candidates.iter().zip(&scores) {
         if score < best_score {
             best_score = score;
-            best = config;
+            best = config.clone();
         }
     }
     (best, best_score)
@@ -96,6 +102,7 @@ fn feature_code(f: &Feature) -> String {
 
 fn main() {
     let args = Args::parse();
+    args.init_threads();
     let rounds = args.get_usize("rounds", 2);
     let combos = args.get_usize("combos", 100);
     let moves = args.get_u64("moves", 120) as u32;
@@ -114,7 +121,11 @@ fn main() {
         .collect();
     eprintln!(
         "[co_tune:{half}] workloads: {}",
-        selected.iter().map(|w| w.name()).collect::<Vec<_>>().join(", ")
+        selected
+            .iter()
+            .map(|w| w.name())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     let mut evaluator = FastEvaluator::new(&selected, seed, instructions);
 
@@ -124,14 +135,19 @@ fn main() {
     let llc = *evaluator.llc();
     let mut config = MpppbConfig::single_thread(&llc);
     let seed_features = feature_sets::perceptron_like();
-    config.features = (0..16).map(|i| seed_features[i % seed_features.len()]).collect();
+    config.features = (0..16)
+        .map(|i| seed_features[i % seed_features.len()])
+        .collect();
     config.bypass_threshold = 108 * 16 / 6;
     config.place_thresholds = [94 * 16 / 6, 77 * 16 / 6, -37 * 16 / 6];
     config.positions = [13, 8, 6];
     config.promote_threshold = 194 * 16 / 6;
 
     let mut rng = StdRng::seed_from_u64(seed ^ 0xc07e);
-    eprintln!("[co_tune:{half}] seed ratio {:.4}", ratio(&evaluator, &config));
+    eprintln!(
+        "[co_tune:{half}] seed ratio {:.4}",
+        ratio(&evaluator, &config)
+    );
 
     for round in 0..rounds {
         // Thresholds under the current features.

@@ -9,7 +9,7 @@
 //! constructors ready to paste into `mrp_core::feature_sets`.
 //!
 //! Usage: `cargo run -p mrp-experiments --release --bin derive_features --
-//! [--candidates N] [--instructions N] [--moves N] [--patience N] [--seed N]`
+//! [--candidates N] [--instructions N] [--moves N] [--patience N] [--seed N] [--threads N]`
 
 use mrp_search::{crossval, FastEvaluator, HillClimber, RandomFeatures};
 use mrp_trace::workloads;
@@ -48,23 +48,39 @@ fn search_half(
     eprintln!(
         "[{name}] recording {} workloads: {}",
         workloads.len(),
-        workloads.iter().map(|w| w.name()).collect::<Vec<_>>().join(", ")
+        workloads
+            .iter()
+            .map(|w| w.name())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     let evaluator = FastEvaluator::new(workloads, seed, instructions);
 
+    // Candidates come from one serial RNG stream, then score in parallel;
+    // scanning the scores in draw order keeps the selected set (ties go to
+    // the earliest candidate) identical to the serial loop's.
     let mut generator = RandomFeatures::new(seed ^ 0xfea7);
-    let mut best_set = generator.feature_set(16);
-    let mut best = evaluator.evaluate(&best_set);
-    eprintln!("[{name}] candidate 0: mpki {:.3} ratio {:.4}", best.0, best.1);
-    for i in 1..candidates {
-        let set = generator.feature_set(16);
-        let score = evaluator.evaluate(&set);
+    let sets: Vec<Vec<mrp_core::Feature>> = (0..candidates.max(1))
+        .map(|_| generator.feature_set(16))
+        .collect();
+    let scores = mrp_runtime::par_map(&sets, |set| evaluator.evaluate(set));
+    let mut best_idx = 0;
+    let mut best = scores[0];
+    eprintln!(
+        "[{name}] candidate 0: mpki {:.3} ratio {:.4}",
+        best.0, best.1
+    );
+    for (i, score) in scores.iter().enumerate().skip(1) {
         if score.1 < best.1 {
-            best = score;
-            best_set = set;
-            eprintln!("[{name}] candidate {i}: mpki {:.3} ratio {:.4}", best.0, best.1);
+            best = *score;
+            best_idx = i;
+            eprintln!(
+                "[{name}] candidate {i}: mpki {:.3} ratio {:.4}",
+                best.0, best.1
+            );
         }
     }
+    let best_set = sets[best_idx].clone();
 
     let mut climber = HillClimber::new(seed ^ 0xc11b, patience, moves);
     let report = climber.climb(&evaluator, best_set);
@@ -77,6 +93,7 @@ fn search_half(
 
 fn main() {
     let args = Args::parse();
+    args.init_threads();
     let candidates = args.get_usize("candidates", 120);
     let instructions = args.get_u64("instructions", 2_000_000);
     let moves = args.get_u64("moves", 250) as u32;
@@ -86,8 +103,24 @@ fn main() {
     let suite = workloads::suite();
     let (half_a, half_b) = crossval::split(&suite, seed);
 
-    let set_a = search_half("A", &half_a, candidates, instructions, patience, moves, seed);
-    let set_b = search_half("B", &half_b, candidates, instructions, patience, moves, seed + 1);
+    let set_a = search_half(
+        "A",
+        &half_a,
+        candidates,
+        instructions,
+        patience,
+        moves,
+        seed,
+    );
+    let set_b = search_half(
+        "B",
+        &half_b,
+        candidates,
+        instructions,
+        patience,
+        moves,
+        seed + 1,
+    );
 
     println!("// Derived on suite half A (report on half B):");
     println!("pub fn suite_tuned_a() -> Vec<Feature> {{\n    vec![");

@@ -2,7 +2,7 @@
 //! on identical recorded LLC streams (fast, no timing model).
 //!
 //! Usage: `cargo run -p mrp-experiments --release --bin dev_policy_ratio --
-//! [--workloads N] [--instructions N] [--seed N]`
+//! [--workloads N] [--instructions N] [--seed N] [--threads N]`
 
 use mrp_baselines::{Hawkeye, MinPolicy, PerceptronPolicy, Sdbp, Ship};
 use mrp_cache::policies::{Drrip, Lru, Mdpp, MdppConfig, Srrip};
@@ -15,6 +15,7 @@ use mrp_experiments::Args;
 
 fn main() {
     let args = Args::parse();
+    args.init_threads();
     let workload_count = args.get_usize("workloads", 14);
     let instructions = args.get_u64("instructions", 2_000_000);
     let seed = args.get_u64("seed", 17);
@@ -30,7 +31,11 @@ fn main() {
     let selected: Vec<_> = pool.into_iter().take(workload_count).collect();
     eprintln!(
         "workloads: {}",
-        selected.iter().map(|w| w.name()).collect::<Vec<_>>().join(", ")
+        selected
+            .iter()
+            .map(|w| w.name())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     let evaluator = FastEvaluator::new(&selected, seed, instructions);
     let lru = evaluator.lru_mpkis().to_vec();
@@ -44,7 +49,11 @@ fn main() {
             / mpkis.len() as f64
     };
 
-    let run = |name: &str, build: &mut dyn FnMut(&mrp_cache::CacheConfig, &mrp_search::LlcTrace) -> Box<dyn mrp_cache::ReplacementPolicy + Send>| {
+    let run = |name: &str,
+               build: &mut dyn FnMut(
+        &mrp_cache::CacheConfig,
+        &mrp_search::LlcTrace,
+    ) -> Box<dyn mrp_cache::ReplacementPolicy + Send>| {
         let llc = *evaluator.llc();
         let mpkis: Vec<f64> = evaluator
             .traces()
@@ -57,15 +66,27 @@ fn main() {
         println!("{name:<16} ratio {:.4}", ratio(&mpkis));
     };
 
-    run("LRU", &mut |llc, _| Box::new(Lru::new(llc.sets(), llc.associativity())));
-    run("SRRIP", &mut |llc, _| Box::new(Srrip::new(llc.sets(), llc.associativity())));
-    run("DRRIP", &mut |llc, _| Box::new(Drrip::new(llc.sets(), llc.associativity(), 1)));
+    run("LRU", &mut |llc, _| {
+        Box::new(Lru::new(llc.sets(), llc.associativity()))
+    });
+    run("SRRIP", &mut |llc, _| {
+        Box::new(Srrip::new(llc.sets(), llc.associativity()))
+    });
+    run("DRRIP", &mut |llc, _| {
+        Box::new(Drrip::new(llc.sets(), llc.associativity(), 1))
+    });
     run("MDPP", &mut |llc, _| {
-        Box::new(Mdpp::new(llc.sets(), llc.associativity(), MdppConfig::default()))
+        Box::new(Mdpp::new(
+            llc.sets(),
+            llc.associativity(),
+            MdppConfig::default(),
+        ))
     });
     run("SHiP", &mut |llc, _| Box::new(Ship::new(llc)));
     run("SDBP", &mut |llc, _| Box::new(Sdbp::new(llc, 64)));
-    run("Perceptron", &mut |llc, _| Box::new(PerceptronPolicy::new(llc, 160)));
+    run("Perceptron", &mut |llc, _| {
+        Box::new(PerceptronPolicy::new(llc, 160))
+    });
     run("Hawkeye", &mut |llc, _| Box::new(Hawkeye::new(llc, 64)));
     run("MPPPB(cfg-A)", &mut |llc, _| {
         Box::new(Mpppb::new(MpppbConfig::single_thread(llc), llc))
@@ -74,7 +95,12 @@ fn main() {
         Box::new(Mpppb::new(MpppbConfig::single_thread_alt(llc), llc))
     });
     run("MPPPB(adapt)", &mut |llc, _| {
-        Box::new(mrp_core::AdaptiveMpppb::new(MpppbConfig::single_thread(llc), llc))
+        Box::new(mrp_core::AdaptiveMpppb::new(
+            MpppbConfig::single_thread(llc),
+            llc,
+        ))
     });
-    run("MIN", &mut |llc, t| Box::new(MinPolicy::new(llc, &t.blocks())));
+    run("MIN", &mut |llc, t| {
+        Box::new(MinPolicy::new(llc, &t.blocks()))
+    });
 }

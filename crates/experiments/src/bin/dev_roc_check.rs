@@ -3,7 +3,7 @@
 //! is sound, the Perceptron-equivalent set should track the Perceptron
 //! policy's curve; richer sets should beat it.
 //!
-//! Usage: `cargo run -p mrp-experiments --release --bin dev_roc_check`
+//! Usage: `cargo run -p mrp-experiments --release --bin dev_roc_check -- [--threads N]`
 
 use mrp_core::feature_sets;
 use mrp_experiments::roc;
@@ -12,6 +12,7 @@ use mrp_experiments::Args;
 
 fn main() {
     let args = Args::parse();
+    args.init_threads();
     let params = StParams {
         warmup: args.get_u64("warmup", 300_000),
         measure: args.get_u64("measure", 1_500_000),
@@ -42,15 +43,16 @@ fn main() {
         45,
         "MP(t1a,160s,th45)",
     );
-    let t1b = roc::run_custom_features(
-        params,
-        workloads,
-        feature_sets::table_1b(),
-        "MP(table-1b)",
-    );
+    let t1b = roc::run_custom_features(params, workloads, feature_sets::table_1b(), "MP(table-1b)");
 
-    println!("{:<22} {:>10} {:>10} {:>10}", "predictor", "TPR@0.25", "TPR@0.28", "TPR@0.31");
-    for curve in baseline.iter().chain([&like, &like_scaled, &t1a_scaled, &t1b]) {
+    println!(
+        "{:<22} {:>10} {:>10} {:>10}",
+        "predictor", "TPR@0.25", "TPR@0.28", "TPR@0.31"
+    );
+    for curve in baseline
+        .iter()
+        .chain([&like, &like_scaled, &t1a_scaled, &t1b])
+    {
         println!(
             "{:<22} {:>10.3} {:>10.3} {:>10.3}",
             curve.predictor,

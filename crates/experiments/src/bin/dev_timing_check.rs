@@ -2,7 +2,7 @@
 //! operating points on the policy-sensitive workloads, against the
 //! Perceptron reference.
 //!
-//! Usage: `cargo run -p mrp-experiments --release --bin dev_timing_check`
+//! Usage: `cargo run -p mrp-experiments --release --bin dev_timing_check -- [--threads N]`
 
 use mrp_cache::HierarchyConfig;
 use mrp_core::mpppb::MpppbConfig;
@@ -14,12 +14,20 @@ use mrp_trace::workloads;
 
 fn main() {
     let args = Args::parse();
+    args.init_threads();
     let params = StParams {
         warmup: args.get_u64("warmup", 600_000),
         measure: args.get_u64("measure", 2_500_000),
         seed: 1,
     };
-    let names = ["scanhot.protect", "loop.edge", "spmv.fit", "mm.naive", "sat.clauses", "chase.2m"];
+    let names = [
+        "scanhot.protect",
+        "loop.edge",
+        "spmv.fit",
+        "mm.naive",
+        "sat.clauses",
+        "chase.2m",
+    ];
     let suite = workloads::suite();
 
     println!(

@@ -1,7 +1,7 @@
 //! Figure 10: performance impact of removing each feature.
 //!
 //! Usage: `cargo run -p mrp-experiments --release --bin fig10_ablation --
-//! [--warmup N] [--measure N] [--mixes N] [--features N] [--seed N]`
+//! [--warmup N] [--measure N] [--mixes N] [--features N] [--seed N] [--threads N]`
 
 use mrp_experiments::ablation;
 use mrp_experiments::output::pct;
@@ -10,6 +10,7 @@ use mrp_experiments::Args;
 
 fn main() {
     let args = Args::parse();
+    let threads = args.init_threads();
     let params = MpParams {
         warmup: args.get_u64("warmup", 1_000_000),
         measure: args.get_u64("measure", 5_000_000),
@@ -18,14 +19,22 @@ fn main() {
     let features = args.get_usize("features", 16);
     let seed = args.get_u64("seed", 42);
 
-    eprintln!("fig10: leave-one-out over {features} features x {mixes} mixes");
+    eprintln!("fig10: leave-one-out over {features} features x {mixes} mixes on {threads} threads");
     let result = ablation::run(params, mixes, features, seed);
 
     println!("# Fig 10: geomean weighted speedup with each Table 1(a) feature omitted");
     println!("{:>22}  {:>10}", "feature omitted", "speedup");
-    println!("{:>22}  {:>10}   <- full set", "(original)", pct(result.original));
+    println!(
+        "{:>22}  {:>10}   <- full set",
+        "(original)",
+        pct(result.original)
+    );
     for (feature, speedup) in &result.omitted {
-        let marker = if *speedup > result.original { "  <- removal helps" } else { "" };
+        let marker = if *speedup > result.original {
+            "  <- removal helps"
+        } else {
+            ""
+        };
         println!("{feature:>22}  {:>10}{marker}", pct(*speedup));
     }
     let (best_feature, best_speedup) = result.most_valuable();

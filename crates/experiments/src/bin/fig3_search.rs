@@ -1,13 +1,14 @@
 //! Figure 3: random feature-set search distribution + hill climbing.
 //!
 //! Usage: `cargo run -p mrp-experiments --release --bin fig3_search --
-//! [--candidates N] [--workloads N] [--instructions N] [--moves N] [--seed N]`
+//! [--candidates N] [--workloads N] [--instructions N] [--moves N] [--seed N] [--threads N]`
 
 use mrp_experiments::search_curve::{self, SearchParams};
 use mrp_experiments::Args;
 
 fn main() {
     let args = Args::parse();
+    let threads = args.init_threads();
     let params = SearchParams {
         candidates: args.get_usize("candidates", 80),
         workload_count: args.get_usize("workloads", 10),
@@ -18,7 +19,7 @@ fn main() {
     };
 
     eprintln!(
-        "fig3: evaluating {} random 16-feature sets on {} workloads",
+        "fig3: evaluating {} random 16-feature sets on {} workloads ({threads} threads)",
         params.candidates, params.workload_count
     );
     let curve = search_curve::run(params);

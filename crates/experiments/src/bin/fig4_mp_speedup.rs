@@ -1,7 +1,7 @@
 //! Figure 4: normalized weighted speedup S-curves for 4-core mixes.
 //!
 //! Usage: `cargo run -p mrp-experiments --release --bin fig4_mp_speedup --
-//! [--warmup N] [--measure N] [--mixes N] [--seed N]`
+//! [--warmup N] [--measure N] [--mixes N] [--seed N] [--threads N]`
 
 use mrp_experiments::multi;
 use mrp_experiments::output::{pct, s_curve};
@@ -10,6 +10,7 @@ use mrp_experiments::Args;
 
 fn main() {
     let args = Args::parse();
+    let threads = args.init_threads();
     let params = MpParams {
         warmup: args.get_u64("warmup", 2_000_000),
         measure: args.get_u64("measure", 8_000_000),
@@ -17,7 +18,7 @@ fn main() {
     let mixes = args.get_usize("mixes", 32);
     let seed = args.get_u64("seed", 42);
 
-    eprintln!("fig4: running {mixes} 4-core mixes (test set, after 16 training mixes)");
+    eprintln!("fig4: running {mixes} 4-core mixes (test set, after 16 training mixes) on {threads} threads");
     let matrix = multi::run(params, mixes, 16, seed);
 
     for name in &matrix.policy_names {

@@ -1,7 +1,7 @@
 //! Figure 5: MPKI S-curves for 4-core mixes (log-scale y in the paper).
 //!
 //! Usage: `cargo run -p mrp-experiments --release --bin fig5_mp_mpki --
-//! [--warmup N] [--measure N] [--mixes N] [--seed N]`
+//! [--warmup N] [--measure N] [--mixes N] [--seed N] [--threads N]`
 
 use mrp_experiments::multi;
 use mrp_experiments::output::s_curve;
@@ -10,6 +10,7 @@ use mrp_experiments::Args;
 
 fn main() {
     let args = Args::parse();
+    let threads = args.init_threads();
     let params = MpParams {
         warmup: args.get_u64("warmup", 2_000_000),
         measure: args.get_u64("measure", 8_000_000),
@@ -17,7 +18,7 @@ fn main() {
     let mixes = args.get_usize("mixes", 32);
     let seed = args.get_u64("seed", 42);
 
-    eprintln!("fig5: running {mixes} 4-core mixes");
+    eprintln!("fig5: running {mixes} 4-core mixes on {threads} threads");
     let matrix = multi::run(params, mixes, 16, seed);
 
     print!("{}", s_curve("LRU", matrix.mpkis("LRU"), false, 30));
@@ -25,7 +26,9 @@ fn main() {
         print!("{}", s_curve(name, matrix.mpkis(name), false, 30));
     }
 
-    println!("\narithmetic mean MPKI (paper: LRU 14.1, Perceptron 12.49, Hawkeye 11.72, MPPPB 10.97):");
+    println!(
+        "\narithmetic mean MPKI (paper: LRU 14.1, Perceptron 12.49, Hawkeye 11.72, MPPPB 10.97):"
+    );
     println!("  {:<12} {:.2}", "LRU", matrix.mean_mpki("LRU"));
     for name in &matrix.policy_names {
         println!("  {:<12} {:.2}", name, matrix.mean_mpki(name));

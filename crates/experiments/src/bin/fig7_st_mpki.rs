@@ -1,7 +1,7 @@
 //! Figure 7: single-thread MPKI per benchmark (log scale in the paper).
 //!
 //! Usage: `cargo run -p mrp-experiments --release --bin fig7_st_mpki --
-//! [--warmup N] [--measure N] [--workloads N] [--min 0|1] [--seed N]`
+//! [--warmup N] [--measure N] [--workloads N] [--min 0|1|true|false] [--seed N] [--threads N]`
 
 use mrp_experiments::output::table;
 use mrp_experiments::runner::StParams;
@@ -9,16 +9,17 @@ use mrp_experiments::{single_thread, Args};
 
 fn main() {
     let args = Args::parse();
+    let threads = args.init_threads();
     let params = StParams {
         warmup: args.get_u64("warmup", 4_000_000),
         measure: args.get_u64("measure", 20_000_000),
         seed: args.get_u64("seed", 1),
     };
     let workloads = args.get_usize("workloads", 33);
-    let include_min = args.get_u64("min", 1) != 0;
-    let cv = args.get_u64("cv", 0) != 0;
+    let include_min = args.get_flag("min", true);
+    let cv = args.get_flag("cv", false);
 
-    eprintln!("fig7: running {workloads} workloads (cv={cv})");
+    eprintln!("fig7: running {workloads} workloads (cv={cv}, {threads} threads)");
     let matrix = if cv {
         single_thread::run_cv(params, workloads, include_min)
     } else {

@@ -1,7 +1,7 @@
 //! Figure 9: performance impact of uniform feature associativity.
 //!
 //! Usage: `cargo run -p mrp-experiments --release --bin fig9_assoc --
-//! [--warmup N] [--measure N] [--mixes N] [--step N] [--seed N]`
+//! [--warmup N] [--measure N] [--mixes N] [--step N] [--seed N] [--threads N]`
 
 use mrp_experiments::assoc_sweep;
 use mrp_experiments::output::pct;
@@ -10,6 +10,7 @@ use mrp_experiments::Args;
 
 fn main() {
     let args = Args::parse();
+    let threads = args.init_threads();
     let params = MpParams {
         warmup: args.get_u64("warmup", 1_000_000),
         measure: args.get_u64("measure", 5_000_000),
@@ -18,7 +19,7 @@ fn main() {
     let step = args.get_usize("step", 1);
     let seed = args.get_u64("seed", 42);
 
-    eprintln!("fig9: sweeping uniform associativity over {mixes} mixes (A step {step})");
+    eprintln!("fig9: sweeping uniform associativity over {mixes} mixes (A step {step}, {threads} threads)");
     let sweep = assoc_sweep::run(params, mixes, step, seed);
 
     println!("# Fig 9: geomean weighted speedup vs uniform feature associativity");
@@ -27,5 +28,9 @@ fn main() {
     for (a, s) in &sweep.uniform {
         println!("{a:>5}  {:>10}", pct(*s));
     }
-    println!("{:>5}  {:>10}   <- variable associativities", "orig", pct(sweep.original));
+    println!(
+        "{:>5}  {:>10}   <- variable associativities",
+        "orig",
+        pct(sweep.original)
+    );
 }

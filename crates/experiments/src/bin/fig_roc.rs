@@ -1,7 +1,7 @@
 //! Figures 1 and 8: ROC curves for SDBP, Perceptron, Multiperspective.
 //!
 //! Usage: `cargo run -p mrp-experiments --release --bin fig_roc --
-//! [--warmup N] [--measure N] [--workloads N] [--seed N]`
+//! [--warmup N] [--measure N] [--workloads N] [--seed N] [--threads N]`
 
 use mrp_experiments::roc;
 use mrp_experiments::runner::StParams;
@@ -9,6 +9,7 @@ use mrp_experiments::Args;
 
 fn main() {
     let args = Args::parse();
+    let threads = args.init_threads();
     let params = StParams {
         warmup: args.get_u64("warmup", 2_000_000),
         measure: args.get_u64("measure", 10_000_000),
@@ -16,7 +17,7 @@ fn main() {
     };
     let workloads = args.get_usize("workloads", 33);
 
-    eprintln!("fig_roc: measuring predictor accuracy on {workloads} workloads");
+    eprintln!("fig_roc: measuring predictor accuracy on {workloads} workloads ({threads} threads)");
     let curves = roc::run(params, workloads);
 
     for curve in &curves {
@@ -31,7 +32,10 @@ fn main() {
     }
 
     println!("# Fig 8(b) inset: TPR in the bypass-relevant FPR region (paper: multiperspective dominates at 0.25-0.31)");
-    println!("{:<18} {:>10} {:>10} {:>10}", "predictor", "TPR@0.25", "TPR@0.28", "TPR@0.31");
+    println!(
+        "{:<18} {:>10} {:>10} {:>10}",
+        "predictor", "TPR@0.25", "TPR@0.28", "TPR@0.31"
+    );
     for curve in &curves {
         println!(
             "{:<18} {:>10.3} {:>10.3} {:>10.3}",

@@ -1,7 +1,7 @@
 //! Table 3: per-workload feature contributions.
 //!
 //! Usage: `cargo run -p mrp-experiments --release --bin table3_contrib --
-//! [--workloads N] [--instructions N] [--seed N]`
+//! [--workloads N] [--instructions N] [--seed N] [--threads N]`
 
 use mrp_experiments::feature_table;
 use mrp_experiments::output::table;
@@ -9,13 +9,14 @@ use mrp_experiments::Args;
 
 fn main() {
     let args = Args::parse();
+    let threads = args.init_threads();
     let workloads = args.get_usize("workloads", 33);
     let instructions = args.get_u64("instructions", 3_000_000);
     // A fresh seed so traces differ from every tuning run, mirroring the
     // paper's use of SPEC CPU 2017 as an untouched testing set.
     let seed = args.get_u64("seed", 2017);
 
-    eprintln!("table3: leave-one-out over 16 features x {workloads} workloads");
+    eprintln!("table3: leave-one-out over 16 features x {workloads} workloads ({threads} threads)");
     let rows = feature_table::run(workloads, instructions, seed);
 
     let rendered: Vec<Vec<String>> = rows

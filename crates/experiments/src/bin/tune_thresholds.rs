@@ -6,7 +6,7 @@
 //! selecting the combination yielding the minimum average MPKI."
 //!
 //! Usage: `cargo run -p mrp-experiments --release --bin tune_thresholds --
-//! [--combos N] [--workloads N] [--instructions N] [--seed N] [--mode st|mp]`
+//! [--combos N] [--workloads N] [--instructions N] [--seed N] [--mode st|mp] [--threads N]`
 
 use mrp_cache::Cache;
 use mrp_core::mpppb::{Mpppb, MpppbConfig};
@@ -26,36 +26,18 @@ const EPS: f64 = 0.05;
 /// dominate a plain average.
 fn mean_mpki_ratio(evaluator: &FastEvaluator, lru: &[f64], config: &MpppbConfig) -> f64 {
     let llc = *evaluator.llc();
-    let total: f64 = evaluator
-        .traces()
-        .iter()
-        .zip(lru)
-        .map(|(t, &lru_mpki)| {
-            let mut cache = Cache::new(llc, Box::new(Mpppb::new(config.clone(), &llc)));
-            (t.replay(&mut cache) + EPS) / (lru_mpki + EPS)
-        })
-        .sum();
-    total / evaluator.traces().len() as f64
-}
-
-fn lru_mpkis(evaluator: &FastEvaluator) -> Vec<f64> {
-    use mrp_cache::policies::Lru;
-    let llc = *evaluator.llc();
-    evaluator
-        .traces()
-        .iter()
-        .map(|t| {
-            let mut cache = Cache::new(
-                llc,
-                Box::new(Lru::new(llc.sets(), llc.associativity())),
-            );
-            t.replay(&mut cache)
-        })
-        .collect()
+    // One replay per trace, each against its own policy instance; the sum
+    // reduces in trace order so the ratio matches the serial loop exactly.
+    let ratios = mrp_runtime::map_indexed(evaluator.traces().len(), |i| {
+        let mut cache = Cache::new(llc, Box::new(Mpppb::new(config.clone(), &llc)));
+        (evaluator.traces()[i].replay(&mut cache) + EPS) / (lru[i] + EPS)
+    });
+    ratios.iter().sum::<f64>() / ratios.len() as f64
 }
 
 fn main() {
     let args = Args::parse();
+    args.init_threads();
     let combos = args.get_usize("combos", 200);
     let workload_count = args.get_usize("workloads", 12);
     let instructions = args.get_u64("instructions", 2_000_000);
@@ -68,7 +50,11 @@ fn main() {
     let selected: Vec<_> = train.into_iter().take(workload_count).collect();
     eprintln!(
         "tuning on: {}",
-        selected.iter().map(|w| w.name()).collect::<Vec<_>>().join(", ")
+        selected
+            .iter()
+            .map(|w| w.name())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     let evaluator = FastEvaluator::new(&selected, seed, instructions);
 
@@ -88,7 +74,7 @@ fn main() {
     }
     let max_position = if mode == "mp" { 3u32 } else { 15u32 };
 
-    let lru = lru_mpkis(&evaluator);
+    let lru = evaluator.lru_mpkis().to_vec();
     let baseline_ratio = mean_mpki_ratio(&evaluator, &lru, &base);
     eprintln!("baseline (current defaults): mean MPKI ratio {baseline_ratio:.4}");
 
@@ -96,30 +82,39 @@ fn main() {
     // training threshold theta bounds the equilibrium confidence
     // magnitude, so the decision thresholds are drawn relative to it
     // rather than on an absolute scale.
+    // Combinations come from one serial RNG stream; scoring them is
+    // embarrassingly parallel, and the best-so-far scan walks the scores
+    // in draw order, so the winner matches the serial loop's.
     let mut rng = StdRng::seed_from_u64(seed ^ 0x7ea5);
+    let configs: Vec<MpppbConfig> = (0..combos)
+        .map(|_| {
+            let mut config = base.clone();
+            let theta = rng.gen_range(5..120);
+            config.training_threshold = theta;
+            let scale = theta + 30;
+            // ~15% of candidates disable bypass outright.
+            config.bypass_threshold = if rng.gen_range(0..100) < 15 {
+                i32::MAX / 2
+            } else {
+                rng.gen_range(scale / 2..scale * 3)
+            };
+            // Feasible: tau1 >= tau2 >= tau3, all below tau0.
+            let tau_hi = config.bypass_threshold.min(scale * 3);
+            let mut taus: Vec<i32> = (0..3).map(|_| rng.gen_range(-scale..tau_hi)).collect();
+            taus.sort_unstable_by(|a, b| b.cmp(a));
+            config.place_thresholds = [taus[0], taus[1], taus[2]];
+            let mut pis: Vec<u32> = (0..3).map(|_| rng.gen_range(0..=max_position)).collect();
+            pis.sort_unstable_by(|a, b| b.cmp(a));
+            config.positions = [pis[0], pis[1], pis[2]];
+            config.promote_threshold = rng.gen_range(0..scale * 3);
+            config
+        })
+        .collect();
+    let ratios = mrp_runtime::par_map(&configs, |c| mean_mpki_ratio(&evaluator, &lru, c));
+
     let mut best = base.clone();
     let mut best_mpki = baseline_ratio;
-    for i in 0..combos {
-        let mut config = base.clone();
-        let theta = rng.gen_range(5..120);
-        config.training_threshold = theta;
-        let scale = theta + 30;
-        // ~15% of candidates disable bypass outright.
-        config.bypass_threshold = if rng.gen_range(0..100) < 15 {
-            i32::MAX / 2
-        } else {
-            rng.gen_range(scale / 2..scale * 3)
-        };
-        // Feasible: tau1 >= tau2 >= tau3, all below tau0.
-        let tau_hi = config.bypass_threshold.min(scale * 3);
-        let mut taus: Vec<i32> = (0..3).map(|_| rng.gen_range(-scale..tau_hi)).collect();
-        taus.sort_unstable_by(|a, b| b.cmp(a));
-        config.place_thresholds = [taus[0], taus[1], taus[2]];
-        let mut pis: Vec<u32> = (0..3).map(|_| rng.gen_range(0..=max_position)).collect();
-        pis.sort_unstable_by(|a, b| b.cmp(a));
-        config.positions = [pis[0], pis[1], pis[2]];
-        config.promote_threshold = rng.gen_range(0..scale * 3);
-        let mpki = mean_mpki_ratio(&evaluator, &lru, &config);
+    for (i, (config, &mpki)) in configs.iter().zip(&ratios).enumerate() {
         if mpki < best_mpki {
             best_mpki = mpki;
             best = config.clone();

@@ -14,13 +14,13 @@ impl Args {
     ///
     /// # Panics
     ///
-    /// Panics with a usage message on malformed arguments.
+    /// Panics with a usage message on malformed or duplicated arguments.
     pub fn parse() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::from_args(std::env::args().skip(1))
     }
 
     /// Parses from an explicit iterator (tests).
-    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+    pub fn from_args<I: IntoIterator<Item = String>>(iter: I) -> Self {
         let mut values = HashMap::new();
         let mut iter = iter.into_iter();
         while let Some(key) = iter.next() {
@@ -30,7 +30,9 @@ impl Args {
             let value = iter
                 .next()
                 .unwrap_or_else(|| panic!("missing value for --{stripped}"));
-            values.insert(stripped.to_string(), value);
+            if values.insert(stripped.to_string(), value).is_some() {
+                panic!("duplicate argument --{stripped}");
+            }
         }
         Args { values }
     }
@@ -58,6 +60,28 @@ impl Args {
             .cloned()
             .unwrap_or_else(|| default.to_string())
     }
+
+    /// Boolean argument with default. Accepts `1`/`0`, `true`/`false`,
+    /// `yes`/`no`, and `on`/`off`.
+    pub fn get_flag(&self, key: &str, default: bool) -> bool {
+        self.values
+            .get(key)
+            .map(|v| match v.as_str() {
+                "1" | "true" | "yes" | "on" => true,
+                "0" | "false" | "no" | "off" => false,
+                other => panic!("--{key} expects a boolean (1/0/true/false), got {other:?}"),
+            })
+            .unwrap_or(default)
+    }
+
+    /// Resolves the shared `--threads` option and installs it as the
+    /// global worker count for parallel experiment execution. `0` or
+    /// absent defers to the `MRP_THREADS` environment variable, then to
+    /// the machine's available parallelism. Returns the resolved count.
+    pub fn init_threads(&self) -> usize {
+        mrp_runtime::set_threads(self.get_usize("threads", 0));
+        mrp_runtime::threads()
+    }
 }
 
 #[cfg(test)]
@@ -65,7 +89,7 @@ mod tests {
     use super::*;
 
     fn args(v: &[&str]) -> Args {
-        Args::from_iter(v.iter().map(|s| s.to_string()))
+        Args::from_args(v.iter().map(|s| s.to_string()))
     }
 
     #[test]
@@ -87,6 +111,39 @@ mod tests {
     #[should_panic(expected = "expected --key")]
     fn rejects_positional_arguments() {
         let _ = args(&["oops"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate argument --seed")]
+    fn rejects_duplicate_keys() {
+        let _ = args(&["--seed", "1", "--workloads", "4", "--seed", "2"]);
+    }
+
+    #[test]
+    fn parses_boolean_flags() {
+        let a = args(&["--min", "0", "--cv", "true", "--strict", "yes"]);
+        assert!(!a.get_flag("min", true));
+        assert!(a.get_flag("cv", false));
+        assert!(a.get_flag("strict", false));
+        assert!(a.get_flag("absent", true));
+        assert!(!a.get_flag("absent", false));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects a boolean")]
+    fn rejects_non_boolean_flag_values() {
+        let a = args(&["--min", "maybe"]);
+        let _ = a.get_flag("min", true);
+    }
+
+    #[test]
+    fn threads_flag_resolves_and_installs_globally() {
+        let a = args(&["--threads", "2"]);
+        assert_eq!(a.init_threads(), 2);
+        assert_eq!(mrp_runtime::threads(), 2);
+        // Absent flag resets to automatic resolution.
+        let auto = args(&[]).init_threads();
+        assert!(auto >= 1);
     }
 
     #[test]

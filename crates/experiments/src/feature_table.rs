@@ -38,12 +38,10 @@ pub fn run(workload_count: usize, instructions: u64, seed: u64) -> Vec<Contribut
     let llc = CacheConfig::llc_single();
     let base = MpppbConfig::single_thread(&llc).with_features(features.clone());
 
-    // Record each workload's LLC stream once (fresh seed = fresh traces).
-    let traces: Vec<LlcTrace> = suite
-        .iter()
-        .take(count)
-        .map(|w| LlcTrace::record(w, seed, instructions))
-        .collect();
+    // Record each workload's LLC stream once (fresh seed = fresh traces);
+    // recordings are independent simulations, so they run in parallel.
+    let traces: Vec<LlcTrace> =
+        mrp_runtime::map_indexed(count, |i| LlcTrace::record(&suite[i], seed, instructions));
 
     let evaluate = |features: &[Feature], trace: &LlcTrace| -> f64 {
         let config = base.clone().with_features(features.to_vec());
@@ -52,18 +50,24 @@ pub fn run(workload_count: usize, instructions: u64, seed: u64) -> Vec<Contribut
     };
 
     // MPKI with the full set, per workload.
-    let full: Vec<f64> = traces.iter().map(|t| evaluate(&features, t)).collect();
+    let full: Vec<f64> = mrp_runtime::par_map(&traces, |t| evaluate(&features, t));
+
+    // One replay job per (feature × workload) leave-one-out cell.
+    let cells: Vec<f64> = mrp_runtime::map_indexed(features.len() * count, |job| {
+        let (fi, ti) = (job / count, job % count);
+        let mut reduced = features.clone();
+        reduced.remove(fi);
+        evaluate(&reduced, &traces[ti])
+    });
 
     features
         .iter()
         .enumerate()
         .map(|(i, f)| {
-            let mut reduced = features.clone();
-            reduced.remove(i);
             // Find the workload with the largest relative MPKI increase.
             let mut best: Option<ContributionRow> = None;
-            for (t, &with) in traces.iter().zip(&full) {
-                let without = evaluate(&reduced, t);
+            for (ti, (t, &with)) in traces.iter().zip(&full).enumerate() {
+                let without = cells[i * count + ti];
                 let percent = if with > 0.0 {
                     (without - with) / with * 100.0
                 } else {

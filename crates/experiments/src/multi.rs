@@ -4,9 +4,7 @@ use mrp_cpu::metrics::{arithmetic_mean, geometric_mean};
 use mrp_trace::{workloads, MixBuilder};
 
 use crate::policies::PolicyKind;
-use crate::runner::{
-    mix_standalone, run_mix_hawkeye, run_mix_kind, standalone_ipcs, MpParams,
-};
+use crate::runner::{mix_standalone, run_mix_hawkeye, run_mix_kind, standalone_ipcs, MpParams};
 
 /// Per-mix results of the multi-programmed comparison.
 #[derive(Debug, Clone)]
@@ -83,37 +81,39 @@ pub fn run(params: MpParams, mix_count: usize, train_skip: usize, seed: u64) -> 
     let builder = MixBuilder::new(seed);
     let standalone = standalone_ipcs(&suite, params, seed);
 
-    let mut rows = Vec::new();
-    for i in 0..mix_count {
-        let mix = builder.mix(train_skip + i);
-        let base = mix_standalone(&mix, &standalone);
+    // One job per (mix × policy) cell, collected by index; the weighted
+    // speedups are normalized against each mix's LRU cell afterward.
+    let mixes: Vec<_> = (0..mix_count)
+        .map(|i| builder.mix(train_skip + i))
+        .collect();
+    const COLS: usize = 4;
+    let cells = mrp_runtime::map_indexed(mixes.len() * COLS, |job| {
+        let mix = &mixes[job / COLS];
+        match job % COLS {
+            0 => run_mix_kind(mix, PolicyKind::Lru, params),
+            1 => run_mix_hawkeye(mix, params),
+            2 => run_mix_kind(mix, PolicyKind::Perceptron, params),
+            _ => run_mix_kind(mix, PolicyKind::MpppbMulti, params),
+        }
+    });
 
-        let lru = run_mix_kind(&mix, PolicyKind::Lru, params);
-        let lru_weighted = lru.weighted_ipc(&base);
+    let mut rows = Vec::with_capacity(mixes.len());
+    for (mi, mix) in mixes.iter().enumerate() {
+        let base = mix_standalone(mix, &standalone);
+        let cell = |policy: usize| &cells[mi * COLS + policy];
+        let lru_weighted = cell(0).weighted_ipc(&base);
 
-        let mut speedups = Vec::new();
-        let mut mpkis = vec![("LRU".to_string(), lru.mpki)];
-
-        let hawkeye = run_mix_hawkeye(&mix, params);
-        speedups.push((
-            "Hawkeye".to_string(),
-            hawkeye.weighted_ipc(&base) / lru_weighted,
-        ));
-        mpkis.push(("Hawkeye".to_string(), hawkeye.mpki));
-
-        let perceptron = run_mix_kind(&mix, PolicyKind::Perceptron, params);
-        speedups.push((
-            "Perceptron".to_string(),
-            perceptron.weighted_ipc(&base) / lru_weighted,
-        ));
-        mpkis.push(("Perceptron".to_string(), perceptron.mpki));
-
-        let mpppb = run_mix_kind(&mix, PolicyKind::MpppbMulti, params);
-        speedups.push((
-            "MPPPB".to_string(),
-            mpppb.weighted_ipc(&base) / lru_weighted,
-        ));
-        mpkis.push(("MPPPB".to_string(), mpppb.mpki));
+        let named = [(1, "Hawkeye"), (2, "Perceptron"), (3, "MPPPB")];
+        let speedups = named
+            .iter()
+            .map(|&(p, name)| (name.to_string(), cell(p).weighted_ipc(&base) / lru_weighted))
+            .collect();
+        let mut mpkis = vec![("LRU".to_string(), cell(0).mpki)];
+        mpkis.extend(
+            named
+                .iter()
+                .map(|&(p, name)| (name.to_string(), cell(p).mpki)),
+        );
 
         rows.push(MpRow {
             label: mix.label(),

@@ -248,8 +248,10 @@ pub fn run_custom_features_with(
     let suite = workloads::suite();
     let count = workload_count.min(suite.len()).max(1);
     let thresholds: Vec<i32> = (-300..=300).step_by(4).collect();
-    let mut sums: Vec<(f64, f64)> = vec![(0.0, 0.0); thresholds.len()];
-    for w in suite.iter().take(count) {
+    // One measure-only job per workload; the per-workload rate curves are
+    // averaged afterward in suite order, exactly as the serial loop did.
+    let per_workload: Vec<Vec<(f64, f64)>> = mrp_runtime::map_indexed(count, |wi| {
+        let w = &suite[wi];
         let config = HierarchyConfig::single_thread();
         let samples = Arc::new(Mutex::new(Vec::new()));
         let mut mp_config = MpppbConfig::single_thread(&config.llc);
@@ -264,7 +266,11 @@ pub fn run_custom_features_with(
         let mut sim = SingleCoreSim::new(config, policy, w.trace(params.seed));
         let _ = sim.run(params.warmup, params.measure);
         let collected = samples.lock().expect("sample lock");
-        for (i, (fpr, tpr)) in rates(&collected, &thresholds).into_iter().enumerate() {
+        rates(&collected, &thresholds)
+    });
+    let mut sums: Vec<(f64, f64)> = vec![(0.0, 0.0); thresholds.len()];
+    for workload_rates in &per_workload {
+        for (i, &(fpr, tpr)) in workload_rates.iter().enumerate() {
             sums[i].0 += fpr;
             sums[i].1 += tpr;
         }
@@ -288,19 +294,30 @@ pub fn run(params: StParams, workload_count: usize) -> Vec<RocCurve> {
         RocPredictor::Perceptron,
         RocPredictor::Multiperspective,
     ];
+    // One measure-only job per (predictor × workload) cell; per-workload
+    // rate curves are averaged afterward in suite order, exactly as the
+    // serial loop did.
+    let per_workload: Vec<Vec<(f64, f64)>> =
+        mrp_runtime::map_indexed(predictors.len() * count, |job| {
+            let predictor = &predictors[job / count];
+            let w = &suite[job % count];
+            let thresholds = predictor.thresholds();
+            let config = HierarchyConfig::single_thread();
+            let samples = Arc::new(Mutex::new(Vec::new()));
+            let policy = predictor.build_probe(&config.llc, samples.clone());
+            let mut sim = SingleCoreSim::new(config, policy, w.trace(params.seed));
+            let _ = sim.run(params.warmup, params.measure);
+            let collected = samples.lock().expect("sample lock");
+            rates(&collected, &thresholds)
+        });
     predictors
         .iter()
-        .map(|predictor| {
+        .enumerate()
+        .map(|(pi, predictor)| {
             let thresholds = predictor.thresholds();
             let mut sums: Vec<(f64, f64)> = vec![(0.0, 0.0); thresholds.len()];
-            for w in suite.iter().take(count) {
-                let config = HierarchyConfig::single_thread();
-                let samples = Arc::new(Mutex::new(Vec::new()));
-                let policy = predictor.build_probe(&config.llc, samples.clone());
-                let mut sim = SingleCoreSim::new(config, policy, w.trace(params.seed));
-                let _ = sim.run(params.warmup, params.measure);
-                let collected = samples.lock().expect("sample lock");
-                for (i, (fpr, tpr)) in rates(&collected, &thresholds).into_iter().enumerate() {
+            for workload_rates in &per_workload[pi * count..(pi + 1) * count] {
+                for (i, &(fpr, tpr)) in workload_rates.iter().enumerate() {
                     sums[i].0 += fpr;
                     sums[i].1 += tpr;
                 }
@@ -323,9 +340,7 @@ mod tests {
 
     #[test]
     fn rates_are_monotone_in_threshold() {
-        let samples: Vec<Sample> = (0..100)
-            .map(|i| (i - 50, i % 3 == 0))
-            .collect();
+        let samples: Vec<Sample> = (0..100).map(|i| (i - 50, i % 3 == 0)).collect();
         let thresholds: Vec<i32> = (-60..=60).step_by(10).collect();
         let r = rates(&samples, &thresholds);
         for pair in r.windows(2) {
@@ -338,7 +353,13 @@ mod tests {
     fn perfect_predictor_has_ideal_corner() {
         // Confidence 100 for dead, -100 for live.
         let samples: Vec<Sample> = (0..100)
-            .map(|i| if i % 2 == 0 { (100, true) } else { (-100, false) })
+            .map(|i| {
+                if i % 2 == 0 {
+                    (100, true)
+                } else {
+                    (-100, false)
+                }
+            })
             .collect();
         let r = rates(&samples, &[0]);
         assert_eq!(r[0], (0.0, 1.0));

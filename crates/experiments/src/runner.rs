@@ -2,7 +2,8 @@
 //! two passes), multi-programmed runs, and the standalone-IPC baseline
 //! needed for weighted speedup.
 
-use std::sync::{Arc, Mutex};
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use mrp_baselines::{MinPolicy, StreamRecorder};
 use mrp_cache::{HierarchyConfig, ReplacementPolicy};
@@ -106,10 +107,19 @@ pub fn mpppb_cv_policy(workload: &Workload) -> Box<dyn ReplacementPolicy + Send>
 /// cross-validation split ([`crate::SPLIT_SEED`]). The single source of
 /// the half-membership rule shared by the headline and CV policy
 /// builders.
+///
+/// The split is a pure function of the fixed seed, so the half-A id set
+/// is computed once and memoized: rebuilding the 33-workload suite and
+/// re-running the shuffle on every policy construction was measurable
+/// overhead on the headline matrix.
 pub fn in_tuning_half_a(workload: &Workload) -> bool {
-    let suite = mrp_trace::workloads::suite();
-    let (half_a, _) = mrp_search::crossval::split(&suite, crate::SPLIT_SEED);
-    half_a.iter().any(|w| w.id() == workload.id())
+    static HALF_A_IDS: OnceLock<HashSet<usize>> = OnceLock::new();
+    let ids = HALF_A_IDS.get_or_init(|| {
+        let suite = mrp_trace::workloads::suite();
+        let (half_a, _) = mrp_search::crossval::split(&suite, crate::SPLIT_SEED);
+        half_a.iter().map(|w| w.id().0).collect()
+    });
+    ids.contains(&workload.id().0)
 }
 
 /// Runs one workload under the cross-validated MPPPB configuration.
@@ -185,15 +195,12 @@ pub fn run_mix_policy(
 /// (§4.5 "SingleIPC_i ... running in isolation with a 8MB cache with LRU
 /// replacement"). Returns IPC per suite index.
 pub fn standalone_ipcs(workloads: &[Workload], params: MpParams, seed: u64) -> Vec<f64> {
-    workloads
-        .iter()
-        .map(|w| {
-            let config = HierarchyConfig::multi_core();
-            let policy = PolicyKind::Lru.build(&config.llc);
-            let mut sim = SingleCoreSim::new(config, policy, w.trace(seed));
-            sim.run(params.warmup, params.measure).ipc
-        })
-        .collect()
+    mrp_runtime::par_map(workloads, |w| {
+        let config = HierarchyConfig::multi_core();
+        let policy = PolicyKind::Lru.build(&config.llc);
+        let mut sim = SingleCoreSim::new(config, policy, w.trace(seed));
+        sim.run(params.warmup, params.measure).ipc
+    })
 }
 
 /// Looks up the standalone IPCs for a mix's members.
@@ -233,7 +240,11 @@ mod tests {
     fn all_headline_policies_run_on_one_workload() {
         let suite = workloads::suite();
         let w = &suite[14]; // scanhot.protect
-        for kind in [PolicyKind::Lru, PolicyKind::Perceptron, PolicyKind::MpppbSingle] {
+        for kind in [
+            PolicyKind::Lru,
+            PolicyKind::Perceptron,
+            PolicyKind::MpppbSingle,
+        ] {
             let r = run_single_kind(w, kind, tiny());
             assert!(r.ipc > 0.0, "{:?} produced zero IPC", kind);
         }

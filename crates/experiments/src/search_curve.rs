@@ -65,19 +65,21 @@ pub fn run(params: SearchParams) -> SearchCurve {
         .collect();
     let evaluator = FastEvaluator::new(&selected, params.seed, params.instructions);
 
-    let lru_mpki = evaluator
-        .average_mpki_with(|llc, _| Box::new(Lru::new(llc.sets(), llc.associativity())));
-    let min_mpki = evaluator.average_mpki_with(|llc, trace| {
-        Box::new(MinPolicy::new(llc, &trace.blocks()))
-    });
+    let lru_mpki =
+        evaluator.average_mpki_with(|llc, _| Box::new(Lru::new(llc.sets(), llc.associativity())));
+    let min_mpki =
+        evaluator.average_mpki_with(|llc, trace| Box::new(MinPolicy::new(llc, &trace.blocks())));
 
+    // The candidate sets are drawn serially (one deterministic RNG
+    // stream), then evaluated in parallel — every evaluation replays
+    // recorded traces against its own policy instance, so candidate
+    // scores are independent of the schedule.
     let mut generator = RandomFeatures::new(params.seed);
-    let mut scored: Vec<(f64, Vec<mrp_core::Feature>)> = (0..params.candidates.max(1))
-        .map(|_| {
-            let set = generator.feature_set(16);
-            (evaluator.average_mpki(&set), set)
-        })
+    let sets: Vec<Vec<mrp_core::Feature>> = (0..params.candidates.max(1))
+        .map(|_| generator.feature_set(16))
         .collect();
+    let mpkis = mrp_runtime::par_map(&sets, |set| evaluator.average_mpki(set));
+    let mut scored: Vec<(f64, Vec<mrp_core::Feature>)> = mpkis.into_iter().zip(sets).collect();
     scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite mpki"));
 
     let best = scored.last().expect("at least one candidate").clone();

@@ -92,28 +92,44 @@ pub fn run_cv(params: StParams, workload_count: usize, include_min: bool) -> StM
 fn run_inner(params: StParams, workload_count: usize, include_min: bool, cv: bool) -> StMatrix {
     let suite = workloads::suite();
     let count = workload_count.min(suite.len()).max(1);
-    let mut rows = Vec::new();
-    for w in suite.iter().take(count) {
-        let lru = run_single_kind(w, PolicyKind::Lru, params);
-        let mut policies = Vec::new();
-        let hawkeye = run_single_hawkeye(w, params);
-        policies.push(("Hawkeye".to_string(), hawkeye.ipc, hawkeye.mpki));
-        let perceptron = run_single_kind(w, PolicyKind::Perceptron, params);
-        policies.push(("Perceptron".to_string(), perceptron.ipc, perceptron.mpki));
-        let mpppb = if cv {
-            run_single_mpppb_cv(w, params)
-        } else {
-            run_single_mpppb(w, params)
-        };
-        policies.push(("MPPPB".to_string(), mpppb.ipc, mpppb.mpki));
+    let selected = &suite[..count];
+
+    // One job per (workload × policy) cell: every cell owns its own trace
+    // stream and policy instance, and cells are collected by index, so
+    // the parallel schedule cannot affect row contents or order.
+    let cols = if include_min { 5 } else { 4 };
+    let cells = mrp_runtime::map_indexed(count * cols, |job| {
+        let w = &selected[job / cols];
+        match job % cols {
+            0 => run_single_kind(w, PolicyKind::Lru, params),
+            1 => run_single_hawkeye(w, params),
+            2 => run_single_kind(w, PolicyKind::Perceptron, params),
+            3 => {
+                if cv {
+                    run_single_mpppb_cv(w, params)
+                } else {
+                    run_single_mpppb(w, params)
+                }
+            }
+            _ => run_single_min(w, params),
+        }
+    });
+
+    let mut rows = Vec::with_capacity(count);
+    for (wi, w) in selected.iter().enumerate() {
+        let cell = |policy: usize| &cells[wi * cols + policy];
+        let mut policies = vec![
+            ("Hawkeye".to_string(), cell(1).ipc, cell(1).mpki),
+            ("Perceptron".to_string(), cell(2).ipc, cell(2).mpki),
+            ("MPPPB".to_string(), cell(3).ipc, cell(3).mpki),
+        ];
         if include_min {
-            let min = run_single_min(w, params);
-            policies.push(("MIN".to_string(), min.ipc, min.mpki));
+            policies.push(("MIN".to_string(), cell(4).ipc, cell(4).mpki));
         }
         rows.push(StRow {
             workload: w.name().to_string(),
-            lru_ipc: lru.ipc,
-            lru_mpki: lru.mpki,
+            lru_ipc: cell(0).ipc,
+            lru_mpki: cell(0).mpki,
             policies,
         });
     }

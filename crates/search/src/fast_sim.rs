@@ -4,7 +4,7 @@ use std::fmt;
 use std::sync::{Arc, Mutex};
 
 use mrp_cache::policies::Lru;
-use mrp_cache::{AccessInfo, Cache, CacheConfig, HierarchyConfig, Hierarchy, ReplacementPolicy};
+use mrp_cache::{AccessInfo, Cache, CacheConfig, Hierarchy, HierarchyConfig, ReplacementPolicy};
 use mrp_core::mpppb::{Mpppb, MpppbConfig};
 use mrp_core::Feature;
 use mrp_trace::{MemoryAccess, Workload};
@@ -174,10 +174,9 @@ impl FastEvaluator {
     /// Panics if `workloads` is empty.
     pub fn new(workloads: &[Workload], seed: u64, instructions: u64) -> Self {
         assert!(!workloads.is_empty(), "need at least one workload");
-        let traces = workloads
-            .iter()
-            .map(|w| LlcTrace::record(w, seed, instructions))
-            .collect();
+        // Each recording is an independent simulation of its own trace
+        // stream, so the suite records in parallel.
+        let traces = mrp_runtime::par_map(workloads, |w| LlcTrace::record(w, seed, instructions));
         FastEvaluator::from_traces(traces)
     }
 
@@ -185,16 +184,10 @@ impl FastEvaluator {
     pub fn from_traces(traces: Vec<LlcTrace>) -> Self {
         assert!(!traces.is_empty(), "need at least one trace");
         let llc = CacheConfig::llc_single();
-        let lru_mpkis = traces
-            .iter()
-            .map(|t| {
-                let mut cache = Cache::new(
-                    llc,
-                    Box::new(Lru::new(llc.sets(), llc.associativity())),
-                );
-                t.replay(&mut cache)
-            })
-            .collect();
+        let lru_mpkis = mrp_runtime::par_map(&traces, |t| {
+            let mut cache = Cache::new(llc, Box::new(Lru::new(llc.sets(), llc.associativity())));
+            t.replay(&mut cache)
+        });
         FastEvaluator {
             traces,
             llc,
@@ -221,15 +214,23 @@ impl FastEvaluator {
     /// workload equally and is the selection objective, so that one
     /// enormous-MPKI workload cannot dominate the search.
     pub fn evaluate(&self, features: &[Feature]) -> (f64, f64) {
-        let mut total_mpki = 0.0;
-        let mut total_ratio = 0.0;
-        for (t, &lru) in self.traces.iter().zip(&self.lru_mpkis) {
+        // Each trace replays against its own policy instance in parallel;
+        // the two sums then reduce in trace order, so the result is
+        // bit-identical to the serial loop. (Fan-outs above — e.g. over
+        // search candidates — make this call run serially on the worker;
+        // see `mrp_runtime` on nesting.)
+        let scores: Vec<(f64, f64)> = mrp_runtime::map_indexed(self.traces.len(), |i| {
             let config = self.base_config.clone().with_features(features.to_vec());
             let policy = Mpppb::new(config, &self.llc);
             let mut cache = Cache::new(self.llc, Box::new(policy));
-            let mpki = t.replay(&mut cache);
+            let mpki = self.traces[i].replay(&mut cache);
+            (mpki, (mpki + RATIO_EPS) / (self.lru_mpkis[i] + RATIO_EPS))
+        });
+        let mut total_mpki = 0.0;
+        let mut total_ratio = 0.0;
+        for &(mpki, ratio) in &scores {
             total_mpki += mpki;
-            total_ratio += (mpki + RATIO_EPS) / (lru + RATIO_EPS);
+            total_ratio += ratio;
         }
         let n = self.traces.len() as f64;
         (total_mpki / n, total_ratio / n)
@@ -254,19 +255,18 @@ impl FastEvaluator {
     /// Average MPKI of an arbitrary policy builder across the suite (used
     /// for the LRU and MIN reference lines in Figure 3). The builder also
     /// receives the trace so stream-derived policies (MIN) can be built.
-    pub fn average_mpki_with<F>(&self, mut make_policy: F) -> f64
+    ///
+    /// The builder runs once per trace, possibly concurrently, so it must
+    /// be `Fn + Sync`; per-trace MPKIs reduce in trace order.
+    pub fn average_mpki_with<F>(&self, make_policy: F) -> f64
     where
-        F: FnMut(&CacheConfig, &LlcTrace) -> Box<dyn ReplacementPolicy + Send>,
+        F: Fn(&CacheConfig, &LlcTrace) -> Box<dyn ReplacementPolicy + Send> + Sync,
     {
-        let total: f64 = self
-            .traces
-            .iter()
-            .map(|t| {
-                let mut cache = Cache::new(self.llc, make_policy(&self.llc, t));
-                t.replay(&mut cache)
-            })
-            .sum();
-        total / self.traces.len() as f64
+        let mpkis = mrp_runtime::par_map(&self.traces, |t| {
+            let mut cache = Cache::new(self.llc, make_policy(&self.llc, t));
+            t.replay(&mut cache)
+        });
+        mpkis.iter().sum::<f64>() / self.traces.len() as f64
     }
 
     /// The LLC geometry candidates are evaluated on.
@@ -308,9 +308,7 @@ mod tests {
     #[test]
     fn lru_reference_is_computable() {
         let e = small_evaluator();
-        let lru = e.average_mpki_with(|llc, _| {
-            Box::new(Lru::new(llc.sets(), llc.associativity()))
-        });
+        let lru = e.average_mpki_with(|llc, _| Box::new(Lru::new(llc.sets(), llc.associativity())));
         assert!(lru > 0.0);
     }
 

@@ -24,5 +24,5 @@ pub mod hillclimb;
 pub mod random;
 
 pub use fast_sim::{FastEvaluator, LlcTrace};
-pub use hillclimb::{HillClimber, HillClimbReport};
+pub use hillclimb::{HillClimbReport, HillClimber};
 pub use random::RandomFeatures;

@@ -76,8 +76,11 @@ impl RandomFeatures {
             _ => {
                 kind = match kind {
                     FeatureKind::Pc { begin, end, which } => {
-                        let which =
-                            which.saturating_add_signed(if self.rng.gen_bool(0.5) { 1 } else { -1 });
+                        let which = which.saturating_add_signed(if self.rng.gen_bool(0.5) {
+                            1
+                        } else {
+                            -1
+                        });
                         FeatureKind::Pc {
                             begin,
                             end,
@@ -85,7 +88,8 @@ impl RandomFeatures {
                         }
                     }
                     FeatureKind::Address { begin, end } => {
-                        let end = end.saturating_add_signed(if self.rng.gen_bool(0.5) { 1 } else { -1 });
+                        let end =
+                            end.saturating_add_signed(if self.rng.gen_bool(0.5) { 1 } else { -1 });
                         FeatureKind::Address {
                             begin,
                             end: end.max(begin),

@@ -103,7 +103,11 @@ pub fn profile<I: Iterator<Item = MemoryAccess>>(trace: I, accesses: u64) -> Tra
         instructions,
         footprint_blocks: last_touch.len() as u64,
         distinct_pcs: pcs.len() as u64,
-        store_fraction: if analyzed == 0 { 0.0 } else { stores as f64 / analyzed as f64 },
+        store_fraction: if analyzed == 0 {
+            0.0
+        } else {
+            stores as f64 / analyzed as f64
+        },
         dependent_fraction: if analyzed == 0 {
             0.0
         } else {

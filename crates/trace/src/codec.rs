@@ -77,7 +77,10 @@ pub fn read_trace<R: Read>(reader: &mut R) -> io::Result<Vec<MemoryAccess>> {
     let mut header = [0u8; 16];
     reader.read_exact(&mut header)?;
     if header[0..4] != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad trace magic",
+        ));
     }
     let version = u16::from_le_bytes([header[4], header[5]]);
     if version != VERSION {

@@ -32,7 +32,10 @@ impl BTreeProbe {
     /// Panics if there are no levels or a level is empty.
     pub fn new(region_base: u64, level_blocks: Vec<u64>, theta: f64, seed: u64) -> Self {
         assert!(!level_blocks.is_empty(), "need at least one level");
-        assert!(level_blocks.iter().all(|&b| b > 0), "levels must be nonzero");
+        assert!(
+            level_blocks.iter().all(|&b| b > 0),
+            "levels must be nonzero"
+        );
         let leaves = *level_blocks.last().expect("nonempty") as usize;
         BTreeProbe {
             region_base,

@@ -95,14 +95,21 @@ impl AccessPattern for KeyValue {
                 KvState::Chain { key, remaining } => {
                     if remaining == 0 {
                         let length = 1 + (key % u64::from(self.value_blocks_max)) as u32;
-                        self.state = KvState::Value { key, index: 0, length };
+                        self.state = KvState::Value {
+                            key,
+                            index: 0,
+                            length,
+                        };
                         continue;
                     }
                     let node = key
                         .wrapping_mul(0x2545_f491_4f6c_dd1d)
                         .wrapping_add(u64::from(remaining))
                         % self.chain_blocks;
-                    self.state = KvState::Chain { key, remaining: remaining - 1 };
+                    self.state = KvState::Chain {
+                        key,
+                        remaining: remaining - 1,
+                    };
                     // Chain nodes are found by following the bucket pointer.
                     return dependent_access(
                         0x0047_0000,
@@ -117,12 +124,15 @@ impl AccessPattern for KeyValue {
                         continue;
                     }
                     let value_base = key * u64::from(self.value_blocks_max);
-                    self.state = KvState::Value { key, index: index + 1, length };
+                    self.state = KvState::Value {
+                        key,
+                        index: index + 1,
+                        length,
+                    };
                     return access(
                         0x0047_0000,
                         2 + (index % 2),
-                        self.value_region()
-                            + (value_base + u64::from(index)) * BLOCK_BYTES,
+                        self.value_region() + (value_base + u64::from(index)) * BLOCK_BYTES,
                         AccessKind::Load,
                     );
                 }

@@ -147,6 +147,9 @@ mod tests {
             .windows(2)
             .filter(|w| (w[1] - w[0]).abs() <= 1)
             .count();
-        assert!(sequential_steps < 32, "{sequential_steps} near-unit strides");
+        assert!(
+            sequential_steps < 32,
+            "{sequential_steps} near-unit strides"
+        );
     }
 }

@@ -2,9 +2,9 @@
 
 use super::util::access;
 use super::AccessPattern;
-use crate::record::{AccessKind, MemoryAccess};
 #[cfg(test)]
 use crate::record::BLOCK_BYTES;
+use crate::record::{AccessKind, MemoryAccess};
 
 /// Blocked `C += A * B` over `n × n` matrices of 8-byte elements with
 /// `tile × tile` tiles.
@@ -91,19 +91,34 @@ impl AccessPattern for TiledMatmul {
         let row = self.ti * self.tile + self.i;
         let col = self.tj * self.tile + self.j;
         let inner = self.tk * self.tile + self.k;
-        
+
         match self.phase {
             0 => {
                 self.phase = 1;
-                access(0x004a_0000, 0, self.element_addr(0, row, inner), AccessKind::Load)
+                access(
+                    0x004a_0000,
+                    0,
+                    self.element_addr(0, row, inner),
+                    AccessKind::Load,
+                )
             }
             1 => {
                 self.phase = 2;
-                access(0x004a_0000, 1, self.element_addr(1, inner, col), AccessKind::Load)
+                access(
+                    0x004a_0000,
+                    1,
+                    self.element_addr(1, inner, col),
+                    AccessKind::Load,
+                )
             }
             _ => {
                 self.phase = 0;
-                let a = access(0x004a_0000, 2, self.element_addr(2, row, col), AccessKind::Store);
+                let a = access(
+                    0x004a_0000,
+                    2,
+                    self.element_addr(2, row, col),
+                    AccessKind::Store,
+                );
                 self.advance();
                 a
             }

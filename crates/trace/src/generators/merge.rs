@@ -70,7 +70,8 @@ impl AccessPattern for Merge {
         }
         let s = self.current_stream;
         let cursor = self.cursors[s];
-        let addr = self.stream_base(s) + cursor * BLOCK_BYTES + u64::from(self.element_in_block) * 8;
+        let addr =
+            self.stream_base(s) + cursor * BLOCK_BYTES + u64::from(self.element_in_block) * 8;
         self.element_in_block += 1;
         if self.element_in_block == 8 {
             self.element_in_block = 0;

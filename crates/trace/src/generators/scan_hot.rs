@@ -45,7 +45,10 @@ impl ScanHot {
         hot_probability: f64,
         seed: u64,
     ) -> Self {
-        assert!(hot_blocks > 0 && scan_blocks > 0, "working sets must be nonzero");
+        assert!(
+            hot_blocks > 0 && scan_blocks > 0,
+            "working sets must be nonzero"
+        );
         assert!(hot_blocks <= u64::from(u32::MAX), "hot set too large");
         assert!(
             (0.0..=1.0).contains(&hot_probability),

@@ -41,7 +41,13 @@ impl SparseMatrix {
     /// # Panics
     ///
     /// Panics if any parameter is zero.
-    pub fn new(region_base: u64, rows: u64, nnz_per_row_max: u32, vector_blocks: u64, seed: u64) -> Self {
+    pub fn new(
+        region_base: u64,
+        rows: u64,
+        nnz_per_row_max: u32,
+        vector_blocks: u64,
+        seed: u64,
+    ) -> Self {
         assert!(rows > 0 && nnz_per_row_max > 0 && vector_blocks > 0);
         SparseMatrix {
             region_base,

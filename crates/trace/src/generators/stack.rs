@@ -5,9 +5,9 @@ use rand::Rng;
 
 use super::util::{access, rng_from_seed};
 use super::AccessPattern;
-use crate::record::{AccessKind, MemoryAccess};
 #[cfg(test)]
 use crate::record::BLOCK_BYTES;
+use crate::record::{AccessKind, MemoryAccess};
 
 /// A random-walk call stack: frames are pushed (stores) and popped (loads)
 /// near the top of a stack region.

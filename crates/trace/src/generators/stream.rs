@@ -66,7 +66,12 @@ impl AccessPattern for Stream {
             AccessKind::Load
         };
         let site = (block % 4) as u32;
-        access(0x0040_0000, site, self.region_base + block * BLOCK_BYTES, kind)
+        access(
+            0x0040_0000,
+            site,
+            self.region_base + block * BLOCK_BYTES,
+            kind,
+        )
     }
 }
 

@@ -113,130 +113,263 @@ macro_rules! workload {
 /// The suite is a constant: `suite()[i].id() == WorkloadId(i)`.
 pub fn suite() -> Vec<Workload> {
     let list: Vec<Workload> = vec![
-        workload!(0, "stream.far", "sequential sweep over 64MB, dead-on-arrival blocks", |s| {
-            Box::new(Stream::new(0x1000_0000, 64 * MB, 1, 0.05, s))
-        }),
-        workload!(1, "stream.strided", "4-block strided sweep over 32MB", |s| {
-            Box::new(Stream::new(0x1000_0000, 32 * MB, 4, 0.0, s))
-        }),
-        workload!(2, "stream.rw", "read-write sweep over 16MB (50% stores)", |s| {
-            Box::new(Stream::new(0x1000_0000, 16 * MB, 1, 0.5, s))
-        }),
+        workload!(
+            0,
+            "stream.far",
+            "sequential sweep over 64MB, dead-on-arrival blocks",
+            |s| { Box::new(Stream::new(0x1000_0000, 64 * MB, 1, 0.05, s)) }
+        ),
+        workload!(
+            1,
+            "stream.strided",
+            "4-block strided sweep over 32MB",
+            |s| { Box::new(Stream::new(0x1000_0000, 32 * MB, 4, 0.0, s)) }
+        ),
+        workload!(
+            2,
+            "stream.rw",
+            "read-write sweep over 16MB (50% stores)",
+            |s| { Box::new(Stream::new(0x1000_0000, 16 * MB, 1, 0.5, s)) }
+        ),
         workload!(3, "loop.fit", "1MB loop, fits a 2MB LLC", |_| {
             Box::new(LoopPattern::new(0x2000_0000, MB, 2))
         }),
-        workload!(4, "loop.edge", "2.5MB permuted loop, just over a 2MB LLC (LRU-pathological)", |s| {
-            Box::new(LoopPattern::new_permuted(0x2000_0000, 5 * MB / 2, 1, s))
-        }),
-        workload!(5, "loop.4m", "4MB permuted loop, 2x the single-thread LLC", |s| {
-            Box::new(LoopPattern::new_permuted(0x2000_0000, 4 * MB, 1, s))
-        }),
-        workload!(6, "loop.12m", "12MB permuted loop, thrashes even the 8MB shared LLC", |s| {
-            Box::new(LoopPattern::new_permuted(0x2000_0000, 12 * MB, 1, s))
-        }),
-        workload!(7, "chase.fit", "pointer chase over 512KB, cache-resident", |s| {
-            Box::new(PointerChase::new(0x3000_0000, MB / 2, s))
-        }),
+        workload!(
+            4,
+            "loop.edge",
+            "2.5MB permuted loop, just over a 2MB LLC (LRU-pathological)",
+            |s| { Box::new(LoopPattern::new_permuted(0x2000_0000, 5 * MB / 2, 1, s)) }
+        ),
+        workload!(
+            5,
+            "loop.4m",
+            "4MB permuted loop, 2x the single-thread LLC",
+            |s| { Box::new(LoopPattern::new_permuted(0x2000_0000, 4 * MB, 1, s)) }
+        ),
+        workload!(
+            6,
+            "loop.12m",
+            "12MB permuted loop, thrashes even the 8MB shared LLC",
+            |s| { Box::new(LoopPattern::new_permuted(0x2000_0000, 12 * MB, 1, s)) }
+        ),
+        workload!(
+            7,
+            "chase.fit",
+            "pointer chase over 512KB, cache-resident",
+            |s| { Box::new(PointerChase::new(0x3000_0000, MB / 2, s)) }
+        ),
         workload!(8, "chase.2m", "pointer chase over 2MB, marginal", |s| {
             Box::new(PointerChase::new(0x3000_0000, 2 * MB, s))
         }),
-        workload!(9, "chase.16m", "pointer chase over 16MB, mcf-like misses", |s| {
-            Box::new(PointerChase::new(0x3000_0000, 16 * MB, s))
-        }),
-        workload!(10, "zipf.hot", "Zipf(1.2) popularity over 16MB, small hot set", |s| {
-            Box::new(Zipf::new(0x4000_0000, 16 * MB, 1.2, s))
-        }),
-        workload!(11, "zipf.flat", "Zipf(0.6) popularity over 8MB, diffuse reuse", |s| {
-            Box::new(Zipf::new(0x4000_0000, 8 * MB, 0.6, s))
-        }),
-        workload!(12, "walk.tight", "Gaussian walk, sigma 8 blocks over 4MB", |s| {
-            Box::new(GaussianWalk::new(0x5000_0000, 4 * MB, 8.0, s))
-        }),
-        workload!(13, "walk.wide", "Gaussian walk, sigma 512 blocks over 32MB", |s| {
-            Box::new(GaussianWalk::new(0x5000_0000, 32 * MB, 512.0, s))
-        }),
-        workload!(14, "scanhot.protect", "50% hits to 1.25MB hot set + 32MB scan (LRU thrashes, bypass protects)", |s| {
-            Box::new(ScanHot::new(0x6000_0000, 5 * MB / 4, 32 * MB, 0.5, s))
-        }),
-        workload!(15, "scanhot.pressure", "30% hits to 1.5MB hot set + 64MB scan", |s| {
-            Box::new(ScanHot::new(0x6000_0000, 3 * MB / 2, 64 * MB, 0.3, s))
-        }),
-        workload!(16, "fields.gcc", "field dereferencing over 64K 256B objects (offset-feature rich)", |s| {
-            Box::new(FieldAccess::new(0x7000_0000, 1 << 16, 256, vec![0, 8, 24, 64, 80, 136], 0.9, s))
-        }),
-        workload!(17, "fields.big", "field access over 512K 512B objects, low skew", |s| {
-            Box::new(FieldAccess::new(0x7000_0000, 1 << 19, 512, vec![0, 16, 72, 256, 264], 0.5, s))
-        }),
-        workload!(18, "kv.server", "memcached-like: Zipf(1.1) keys, short chains, 4-block values", |s| {
-            Box::new(KeyValue::new(0x8000_0000, 1 << 15, 1 << 15, 4, 1.1, s))
-        }),
-        workload!(19, "kv.uniform", "key-value with uniform keys (no hot set)", |s| {
-            Box::new(KeyValue::new(0x8000_0000, 1 << 16, 1 << 16, 2, 0.0, s))
-        }),
-        workload!(20, "spmv.fit", "CSR SpMV, 1MB vector (gathers cache well)", |s| {
-            Box::new(SparseMatrix::new(0x9000_0000, 1 << 14, 8, MB, s))
-        }),
-        workload!(21, "spmv.large", "CSR SpMV, 16MB vector (gathers miss)", |s| {
-            Box::new(SparseMatrix::new(0x9000_0000, 1 << 16, 8, 16 * MB, s))
-        }),
-        workload!(22, "stack.deep", "recursive push/pop over up to 64K frames", |s| {
-            Box::new(StackPattern::new(0xa000_0000, 1 << 16, 128, s))
-        }),
-        workload!(23, "mm.tiled", "blocked matmul, 512x512, 16-tile (cache friendly)", |_| {
-            Box::new(TiledMatmul::new(0xb000_0000, 512, 16))
-        }),
-        workload!(24, "mm.naive", "unblocked matmul, 768x768 (B streams, thrashes)", |_| {
-            Box::new(TiledMatmul::new(0xb000_0000, 768, 768))
-        }),
-        workload!(25, "phase.loopstream", "alternates 1.5MB permuted loop and 32MB stream phases", |s| {
-            Box::new(Phased::new(
-                vec![
-                    Box::new(LoopPattern::new_permuted(0xc000_0000, 3 * MB / 2, 1, s)),
-                    Box::new(Stream::new(0xd000_0000, 32 * MB, 1, 0.0, s)),
-                ],
-                200_000,
-            ))
-        }),
-        workload!(26, "phase.chaseloop", "alternates 4MB chase and 1MB permuted loop phases", |s| {
-            Box::new(Phased::new(
-                vec![
-                    Box::new(PointerChase::new(0xc000_0000, 4 * MB, s)),
-                    Box::new(LoopPattern::new_permuted(0xd000_0000, MB, 1, s ^ 9)),
-                ],
-                150_000,
-            ))
-        }),
-        workload!(27, "phase.hetero", "three-phase mix: zipf, stream, fields", |s| {
-            Box::new(Phased::new(
-                vec![
-                    Box::new(Zipf::new(0xc000_0000, 4 * MB, 1.0, s)),
-                    Box::new(Stream::new(0xd000_0000, 16 * MB, 1, 0.0, s ^ 1)),
-                    Box::new(FieldAccess::new(0xe000_0000, 1 << 15, 256, vec![0, 8, 24, 64], 0.8, s ^ 2)),
-                ],
-                120_000,
-            ))
-        }),
-        workload!(28, "merge.sort", "3-way merge of 8MB runs with output stream", |s| {
-            Box::new(Merge::new(0xf000_0000, 3, 8 * MB, s))
-        }),
-        workload!(29, "hash.build", "hash-join build: 8MB table scatter + input stream", |s| {
-            Box::new(HashBuild::new(0x1_0000_0000, 8 * MB, 8 * MB, s))
-        }),
-        workload!(30, "btree.probe", "4-level B-tree probes, Zipf(0.9) keys", |s| {
-            Box::new(BTreeProbe::new(0x1_1000_0000, vec![16, 1024, 32 * 1024, 512 * 1024], 0.9, s))
-        }),
-        workload!(31, "graph.bfs", "BFS over 1M vertices, 60% community locality", |s| {
-            Box::new(GraphBfs::new(0x1_2000_0000, 1 << 20, 6, 0.6, s))
-        }),
-        workload!(32, "sat.clauses", "clause scan + Zipf literal gathers (sat_solver-like)", |s| {
-            Box::new(Phased::new(
-                vec![
-                    Box::new(Zipf::new(0x1_3000_0000, 2 * MB, 1.3, s)),
-                    Box::new(Stream::new(0x1_4000_0000, 24 * MB, 1, 0.1, s ^ 3)),
-                ],
-                40_000,
-            ))
-        }),
+        workload!(
+            9,
+            "chase.16m",
+            "pointer chase over 16MB, mcf-like misses",
+            |s| { Box::new(PointerChase::new(0x3000_0000, 16 * MB, s)) }
+        ),
+        workload!(
+            10,
+            "zipf.hot",
+            "Zipf(1.2) popularity over 16MB, small hot set",
+            |s| { Box::new(Zipf::new(0x4000_0000, 16 * MB, 1.2, s)) }
+        ),
+        workload!(
+            11,
+            "zipf.flat",
+            "Zipf(0.6) popularity over 8MB, diffuse reuse",
+            |s| { Box::new(Zipf::new(0x4000_0000, 8 * MB, 0.6, s)) }
+        ),
+        workload!(
+            12,
+            "walk.tight",
+            "Gaussian walk, sigma 8 blocks over 4MB",
+            |s| { Box::new(GaussianWalk::new(0x5000_0000, 4 * MB, 8.0, s)) }
+        ),
+        workload!(
+            13,
+            "walk.wide",
+            "Gaussian walk, sigma 512 blocks over 32MB",
+            |s| { Box::new(GaussianWalk::new(0x5000_0000, 32 * MB, 512.0, s)) }
+        ),
+        workload!(
+            14,
+            "scanhot.protect",
+            "50% hits to 1.25MB hot set + 32MB scan (LRU thrashes, bypass protects)",
+            |s| { Box::new(ScanHot::new(0x6000_0000, 5 * MB / 4, 32 * MB, 0.5, s)) }
+        ),
+        workload!(
+            15,
+            "scanhot.pressure",
+            "30% hits to 1.5MB hot set + 64MB scan",
+            |s| { Box::new(ScanHot::new(0x6000_0000, 3 * MB / 2, 64 * MB, 0.3, s)) }
+        ),
+        workload!(
+            16,
+            "fields.gcc",
+            "field dereferencing over 64K 256B objects (offset-feature rich)",
+            |s| {
+                Box::new(FieldAccess::new(
+                    0x7000_0000,
+                    1 << 16,
+                    256,
+                    vec![0, 8, 24, 64, 80, 136],
+                    0.9,
+                    s,
+                ))
+            }
+        ),
+        workload!(
+            17,
+            "fields.big",
+            "field access over 512K 512B objects, low skew",
+            |s| {
+                Box::new(FieldAccess::new(
+                    0x7000_0000,
+                    1 << 19,
+                    512,
+                    vec![0, 16, 72, 256, 264],
+                    0.5,
+                    s,
+                ))
+            }
+        ),
+        workload!(
+            18,
+            "kv.server",
+            "memcached-like: Zipf(1.1) keys, short chains, 4-block values",
+            |s| { Box::new(KeyValue::new(0x8000_0000, 1 << 15, 1 << 15, 4, 1.1, s)) }
+        ),
+        workload!(
+            19,
+            "kv.uniform",
+            "key-value with uniform keys (no hot set)",
+            |s| { Box::new(KeyValue::new(0x8000_0000, 1 << 16, 1 << 16, 2, 0.0, s)) }
+        ),
+        workload!(
+            20,
+            "spmv.fit",
+            "CSR SpMV, 1MB vector (gathers cache well)",
+            |s| { Box::new(SparseMatrix::new(0x9000_0000, 1 << 14, 8, MB, s)) }
+        ),
+        workload!(
+            21,
+            "spmv.large",
+            "CSR SpMV, 16MB vector (gathers miss)",
+            |s| { Box::new(SparseMatrix::new(0x9000_0000, 1 << 16, 8, 16 * MB, s)) }
+        ),
+        workload!(
+            22,
+            "stack.deep",
+            "recursive push/pop over up to 64K frames",
+            |s| { Box::new(StackPattern::new(0xa000_0000, 1 << 16, 128, s)) }
+        ),
+        workload!(
+            23,
+            "mm.tiled",
+            "blocked matmul, 512x512, 16-tile (cache friendly)",
+            |_| { Box::new(TiledMatmul::new(0xb000_0000, 512, 16)) }
+        ),
+        workload!(
+            24,
+            "mm.naive",
+            "unblocked matmul, 768x768 (B streams, thrashes)",
+            |_| { Box::new(TiledMatmul::new(0xb000_0000, 768, 768)) }
+        ),
+        workload!(
+            25,
+            "phase.loopstream",
+            "alternates 1.5MB permuted loop and 32MB stream phases",
+            |s| {
+                Box::new(Phased::new(
+                    vec![
+                        Box::new(LoopPattern::new_permuted(0xc000_0000, 3 * MB / 2, 1, s)),
+                        Box::new(Stream::new(0xd000_0000, 32 * MB, 1, 0.0, s)),
+                    ],
+                    200_000,
+                ))
+            }
+        ),
+        workload!(
+            26,
+            "phase.chaseloop",
+            "alternates 4MB chase and 1MB permuted loop phases",
+            |s| {
+                Box::new(Phased::new(
+                    vec![
+                        Box::new(PointerChase::new(0xc000_0000, 4 * MB, s)),
+                        Box::new(LoopPattern::new_permuted(0xd000_0000, MB, 1, s ^ 9)),
+                    ],
+                    150_000,
+                ))
+            }
+        ),
+        workload!(
+            27,
+            "phase.hetero",
+            "three-phase mix: zipf, stream, fields",
+            |s| {
+                Box::new(Phased::new(
+                    vec![
+                        Box::new(Zipf::new(0xc000_0000, 4 * MB, 1.0, s)),
+                        Box::new(Stream::new(0xd000_0000, 16 * MB, 1, 0.0, s ^ 1)),
+                        Box::new(FieldAccess::new(
+                            0xe000_0000,
+                            1 << 15,
+                            256,
+                            vec![0, 8, 24, 64],
+                            0.8,
+                            s ^ 2,
+                        )),
+                    ],
+                    120_000,
+                ))
+            }
+        ),
+        workload!(
+            28,
+            "merge.sort",
+            "3-way merge of 8MB runs with output stream",
+            |s| { Box::new(Merge::new(0xf000_0000, 3, 8 * MB, s)) }
+        ),
+        workload!(
+            29,
+            "hash.build",
+            "hash-join build: 8MB table scatter + input stream",
+            |s| { Box::new(HashBuild::new(0x1_0000_0000, 8 * MB, 8 * MB, s)) }
+        ),
+        workload!(
+            30,
+            "btree.probe",
+            "4-level B-tree probes, Zipf(0.9) keys",
+            |s| {
+                Box::new(BTreeProbe::new(
+                    0x1_1000_0000,
+                    vec![16, 1024, 32 * 1024, 512 * 1024],
+                    0.9,
+                    s,
+                ))
+            }
+        ),
+        workload!(
+            31,
+            "graph.bfs",
+            "BFS over 1M vertices, 60% community locality",
+            |s| { Box::new(GraphBfs::new(0x1_2000_0000, 1 << 20, 6, 0.6, s)) }
+        ),
+        workload!(
+            32,
+            "sat.clauses",
+            "clause scan + Zipf literal gathers (sat_solver-like)",
+            |s| {
+                Box::new(Phased::new(
+                    vec![
+                        Box::new(Zipf::new(0x1_3000_0000, 2 * MB, 1.3, s)),
+                        Box::new(Stream::new(0x1_4000_0000, 24 * MB, 1, 0.1, s ^ 3)),
+                    ],
+                    40_000,
+                ))
+            }
+        ),
     ];
     debug_assert!(list.iter().enumerate().all(|(i, w)| w.id().0 == i));
     list

@@ -25,7 +25,11 @@ fn main() {
     let base = mix_standalone(&mix, &standalone);
 
     let config = HierarchyConfig::multi_core();
-    for kind in [PolicyKind::Lru, PolicyKind::Perceptron, PolicyKind::MpppbMulti] {
+    for kind in [
+        PolicyKind::Lru,
+        PolicyKind::Perceptron,
+        PolicyKind::MpppbMulti,
+    ] {
         let mut sim = MulticoreSim::new(config, kind.build(&config.llc), &mix);
         let result = sim.run(params.warmup, params.measure);
         println!(

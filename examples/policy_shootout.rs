@@ -21,7 +21,10 @@ fn main() {
         seed: 1,
     };
 
-    println!("{:<12} {:>8} {:>8} {:>10}", "policy", "IPC", "MPKI", "bypasses");
+    println!(
+        "{:<12} {:>8} {:>8} {:>10}",
+        "policy", "IPC", "MPKI", "bypasses"
+    );
     let kinds = [
         PolicyKind::Random,
         PolicyKind::Lru,

@@ -18,7 +18,11 @@ fn main() {
     for curve in &curves {
         println!("\n{} — selected operating points:", curve.predictor);
         println!("  {:>10} {:>8} {:>8}", "threshold", "FPR", "TPR");
-        for &(t, fpr, tpr) in curve.points.iter().filter(|(_, f, _)| *f > 0.02 && *f < 0.9) {
+        for &(t, fpr, tpr) in curve
+            .points
+            .iter()
+            .filter(|(_, f, _)| *f > 0.02 && *f < 0.9)
+        {
             // Print a sparse selection.
             if t % 16 == 0 || curve.predictor == "SDBP" {
                 println!("  {t:>10} {fpr:>8.3} {tpr:>8.3}");

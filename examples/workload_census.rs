@@ -25,7 +25,11 @@ fn main() {
             p.store_fraction * 100.0,
             p.dependent_fraction * 100.0,
             below_llc * 100.0,
-            if total == 0 { 0.0 } else { (1.0 - below_llc) * 100.0 },
+            if total == 0 {
+                0.0
+            } else {
+                (1.0 - below_llc) * 100.0
+            },
         );
     }
 }

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Re-runs the four headline figures after policy-assignment changes.
+# THREADS=0 (default) uses every core; results are identical at any count.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 mkdir -p results
 BIN=target/release
+THREADS="${THREADS:-0}"
 
 run() {
   local name="$1"; shift
@@ -11,8 +13,8 @@ run() {
   "$@" 2>&1 | tee "results/$name.txt"
 }
 
-run fig6  $BIN/fig6_st_speedup --warmup 1500000 --measure 6000000 --workloads 33
-run fig7  $BIN/fig7_st_mpki    --warmup 1500000 --measure 6000000 --workloads 33
-run fig4  $BIN/fig4_mp_speedup --warmup 1000000 --measure 4000000 --mixes 16
-run fig5  $BIN/fig5_mp_mpki    --warmup 1000000 --measure 4000000 --mixes 16
+run fig6  $BIN/fig6_st_speedup --warmup 1500000 --measure 6000000 --workloads 33 --threads "$THREADS"
+run fig7  $BIN/fig7_st_mpki    --warmup 1500000 --measure 6000000 --workloads 33 --threads "$THREADS"
+run fig4  $BIN/fig4_mp_speedup --warmup 1000000 --measure 4000000 --mixes 16 --threads "$THREADS"
+run fig5  $BIN/fig5_mp_mpki    --warmup 1000000 --measure 4000000 --mixes 16 --threads "$THREADS"
 echo "headline reruns complete"

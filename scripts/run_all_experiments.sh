@@ -6,7 +6,12 @@ cd "$(dirname "$0")/.."
 mkdir -p results
 
 # Defaults sized for a ~45 minute single-core pass; scale up for tighter
-# numbers (the paper-scale equivalents are noted in DESIGN.md).
+# numbers (the paper-scale equivalents are noted in DESIGN.md). THREADS=0
+# (the default) uses every available core, which cuts the wall clock
+# roughly by the core count on the fan-out-heavy drivers (fig4-fig10,
+# table3) — e.g. to ~12-15 minutes on a 4-core machine — with
+# bit-identical outputs at any thread count.
+THREADS="${THREADS:-0}"
 ST_WARMUP="${ST_WARMUP:-2000000}"
 ST_MEASURE="${ST_MEASURE:-8000000}"
 MP_WARMUP="${MP_WARMUP:-1500000}"
@@ -26,15 +31,15 @@ run() {
   "$@" 2>&1 | tee "results/$name.txt"
 }
 
-run fig_roc       $BIN/fig_roc --warmup 2000000 --measure "$ROC_MEASURE" --workloads 33
-run fig6          $BIN/fig6_st_speedup --warmup "$ST_WARMUP" --measure "$ST_MEASURE" --workloads 33
-run fig7          $BIN/fig7_st_mpki   --warmup "$ST_WARMUP" --measure "$ST_MEASURE" --workloads 33
-run fig4          $BIN/fig4_mp_speedup --warmup "$MP_WARMUP" --measure "$MP_MEASURE" --mixes "$MIXES"
-run fig5          $BIN/fig5_mp_mpki    --warmup "$MP_WARMUP" --measure "$MP_MEASURE" --mixes "$MIXES"
-run fig3_search   $BIN/fig3_search --candidates "$CANDIDATES" --workloads 10 --instructions 2000000
-run fig9          $BIN/fig9_assoc --mixes "$SWEEP_MIXES" --warmup 1000000 --measure "$SWEEP_MEASURE" --step 2
-run fig10         $BIN/fig10_ablation --mixes "$SWEEP_MIXES" --warmup 1000000 --measure "$SWEEP_MEASURE"
+run fig_roc       $BIN/fig_roc --warmup 2000000 --measure "$ROC_MEASURE" --workloads 33 --threads "$THREADS"
+run fig6          $BIN/fig6_st_speedup --warmup "$ST_WARMUP" --measure "$ST_MEASURE" --workloads 33 --threads "$THREADS"
+run fig7          $BIN/fig7_st_mpki   --warmup "$ST_WARMUP" --measure "$ST_MEASURE" --workloads 33 --threads "$THREADS"
+run fig4          $BIN/fig4_mp_speedup --warmup "$MP_WARMUP" --measure "$MP_MEASURE" --mixes "$MIXES" --threads "$THREADS"
+run fig5          $BIN/fig5_mp_mpki    --warmup "$MP_WARMUP" --measure "$MP_MEASURE" --mixes "$MIXES" --threads "$THREADS"
+run fig3_search   $BIN/fig3_search --candidates "$CANDIDATES" --workloads 10 --instructions 2000000 --threads "$THREADS"
+run fig9          $BIN/fig9_assoc --mixes "$SWEEP_MIXES" --warmup 1000000 --measure "$SWEEP_MEASURE" --step 2 --threads "$THREADS"
+run fig10         $BIN/fig10_ablation --mixes "$SWEEP_MIXES" --warmup 1000000 --measure "$SWEEP_MEASURE" --threads "$THREADS"
 run tables        $BIN/tables_features
-run table3        $BIN/table3_contrib --workloads 33 --instructions 2000000
+run table3        $BIN/table3_contrib --workloads 33 --instructions 2000000 --threads "$THREADS"
 
 echo "all experiments complete; outputs in results/"

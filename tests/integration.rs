@@ -21,7 +21,10 @@ fn tiny() -> StParams {
 #[test]
 fn mpppb_beats_lru_on_scan_hot_workload() {
     let suite = workloads::suite();
-    let scanhot = suite.iter().find(|w| w.name() == "scanhot.protect").unwrap();
+    let scanhot = suite
+        .iter()
+        .find(|w| w.name() == "scanhot.protect")
+        .unwrap();
     let lru = run_single_kind(scanhot, PolicyKind::Lru, tiny());
     let mpppb = run_single_kind(scanhot, PolicyKind::MpppbSingle, tiny());
     assert!(
@@ -65,7 +68,11 @@ fn hawkeye_never_bypasses_but_mpppb_does() {
 fn single_thread_runs_are_reproducible_across_policies() {
     let suite = workloads::suite();
     let w = &suite[10];
-    for kind in [PolicyKind::Lru, PolicyKind::Perceptron, PolicyKind::MpppbSingle] {
+    for kind in [
+        PolicyKind::Lru,
+        PolicyKind::Perceptron,
+        PolicyKind::MpppbSingle,
+    ] {
         let a = run_single_kind(w, kind, tiny());
         let b = run_single_kind(w, kind, tiny());
         assert_eq!(a.cycles, b.cycles, "{kind:?} not deterministic");
@@ -119,7 +126,10 @@ fn adaptive_guard_tracks_raw_mpppb_on_friendly_workloads() {
     // On a workload where MPPPB clearly wins, the guard must not give the
     // win away entirely (leader overhead and convergence cost a margin).
     let suite = workloads::suite();
-    let scanhot = suite.iter().find(|w| w.name() == "scanhot.protect").unwrap();
+    let scanhot = suite
+        .iter()
+        .find(|w| w.name() == "scanhot.protect")
+        .unwrap();
     let raw = run_single_kind(scanhot, PolicyKind::MpppbSingle, tiny());
     let guarded = run_single_kind(scanhot, PolicyKind::MpppbAdaptive, tiny());
     let lru = run_single_kind(scanhot, PolicyKind::Lru, tiny());
@@ -156,6 +166,54 @@ fn suite_profile_matches_workload_descriptions() {
     let chase = suite.iter().find(|w| w.name() == "chase.16m").unwrap();
     let p = profile(chase.trace(1), 20_000);
     assert!(p.dependent_fraction > 0.9);
+}
+
+#[test]
+fn parallel_single_thread_matrix_is_bit_identical_to_serial() {
+    // The whole point of mrp-runtime: any --threads value must reproduce
+    // the serial results exactly, bit for bit. Run the full single-thread
+    // matrix (all policy columns incl. MIN) serially and on 4 workers and
+    // compare every float through to_bits().
+    let params = StParams {
+        warmup: 20_000,
+        measure: 80_000,
+        seed: 3,
+    };
+    mrp_runtime::set_threads(1);
+    let serial = mrp_experiments::single_thread::run(params, 3, true);
+    mrp_runtime::set_threads(4);
+    let parallel = mrp_experiments::single_thread::run(params, 3, true);
+    mrp_runtime::set_threads(0);
+
+    assert_eq!(serial.policy_names, parallel.policy_names);
+    assert_eq!(serial.rows.len(), parallel.rows.len());
+    for (s, p) in serial.rows.iter().zip(&parallel.rows) {
+        assert_eq!(s.workload, p.workload);
+        assert_eq!(
+            s.lru_ipc.to_bits(),
+            p.lru_ipc.to_bits(),
+            "{}: LRU IPC diverged",
+            s.workload
+        );
+        assert_eq!(s.lru_mpki.to_bits(), p.lru_mpki.to_bits());
+        for ((sn, s_ipc, s_mpki), (pn, p_ipc, p_mpki)) in s.policies.iter().zip(&p.policies) {
+            assert_eq!(sn, pn);
+            assert_eq!(
+                s_ipc.to_bits(),
+                p_ipc.to_bits(),
+                "{}: {} IPC diverged between 1 and 4 threads",
+                s.workload,
+                sn
+            );
+            assert_eq!(
+                s_mpki.to_bits(),
+                p_mpki.to_bits(),
+                "{}: {} MPKI diverged between 1 and 4 threads",
+                s.workload,
+                sn
+            );
+        }
+    }
 }
 
 #[test]

@@ -11,15 +11,8 @@ use mrp_core::sampler::{clamp_confidence, partial_tag, Sampler, TrainingEvent};
 use mrp_trace::MemoryAccess;
 
 fn arbitrary_feature() -> impl Strategy<Value = Feature> {
-    (
-        1u8..=18,
-        0u8..7,
-        any::<bool>(),
-        0u8..32,
-        1u8..32,
-        0u8..=17,
-    )
-        .prop_map(|(assoc, kind_tag, xor, begin, width, which)| {
+    (1u8..=18, 0u8..7, any::<bool>(), 0u8..32, 1u8..32, 0u8..=17).prop_map(
+        |(assoc, kind_tag, xor, begin, width, which)| {
             let end = begin.saturating_add(width).min(63);
             let kind = match kind_tag {
                 0 => FeatureKind::Pc { begin, end, which },
@@ -34,7 +27,8 @@ fn arbitrary_feature() -> impl Strategy<Value = Feature> {
                 },
             };
             Feature::new(assoc, kind, xor)
-        })
+        },
+    )
 }
 
 proptest! {
