@@ -41,9 +41,15 @@ struct SamplerEntry {
 /// The perceptron reuse predictor policy.
 #[derive(Debug)]
 pub struct PerceptronPolicy {
-    tables: Vec<[i8; TABLE_ENTRIES]>,
+    /// All six weight tables flattened into one arena; feature `f`'s
+    /// table starts at `f * TABLE_ENTRIES`, and the index vector carries
+    /// precombined arena offsets.
+    tables: Vec<i8>,
     sampler: Vec<[SamplerEntry; SAMPLER_ASSOC]>,
     sample_stride: u32,
+    /// `(shift, mask)` when `sample_stride` is a power of two: replaces
+    /// the division pair in the sampled-set check.
+    sample_pow2: Option<(u32, u32)>,
     history: [u64; 4],
     dead_bits: Vec<bool>,
     lru: Lru,
@@ -76,10 +82,14 @@ impl PerceptronPolicy {
             sampler_sets > 0 && sampler_sets <= llc.sets(),
             "sampler sets out of range"
         );
+        let sample_stride = (llc.sets() / sampler_sets).max(1);
         PerceptronPolicy {
-            tables: vec![[0i8; TABLE_ENTRIES]; FEATURES],
+            tables: vec![0i8; FEATURES * TABLE_ENTRIES],
             sampler: vec![[SamplerEntry::default(); SAMPLER_ASSOC]; sampler_sets as usize],
-            sample_stride: (llc.sets() / sampler_sets).max(1),
+            sample_stride,
+            sample_pow2: sample_stride
+                .is_power_of_two()
+                .then(|| (sample_stride.trailing_zeros(), sample_stride - 1)),
             history: [0; 4],
             dead_bits: vec![false; llc.sets() as usize * llc.associativity() as usize],
             lru: Lru::new(llc.sets(), llc.associativity()),
@@ -99,9 +109,11 @@ impl PerceptronPolicy {
         self.last_confidence
     }
 
+    /// Per-feature arena offsets (`f * TABLE_ENTRIES + index`) for an
+    /// access — ready for direct gather/update against `tables`.
     fn indices(&self, pc: u64, block: u64) -> [u16; FEATURES] {
         let tag = block;
-        [
+        let mut offsets = [
             fold8(pc >> 2),
             fold8(self.history[1]),
             fold8(self.history[2]),
@@ -109,14 +121,17 @@ impl PerceptronPolicy {
             fold8(tag >> 4) ^ fold8(pc) & 0xff,
             fold8(tag >> 7) ^ fold8(pc >> 5) & 0xff,
         ]
-        .map(|i| i % TABLE_ENTRIES as u16)
+        .map(|i| i % TABLE_ENTRIES as u16);
+        for (f, offset) in offsets.iter_mut().enumerate() {
+            *offset += (f * TABLE_ENTRIES) as u16;
+        }
+        offsets
     }
 
     fn confidence(&self, indices: &[u16; FEATURES]) -> i32 {
         indices
             .iter()
-            .enumerate()
-            .map(|(f, &i)| i32::from(self.tables[f][i as usize]))
+            .map(|&i| i32::from(self.tables[usize::from(i)]))
             .sum()
     }
 
@@ -130,8 +145,8 @@ impl PerceptronPolicy {
         if !should {
             return;
         }
-        for (f, &i) in indices.iter().enumerate() {
-            let w = &mut self.tables[f][i as usize];
+        for &i in indices {
+            let w = &mut self.tables[usize::from(i)];
             *w = if dead {
                 w.saturating_add(1).min(WEIGHT_MAX)
             } else {
@@ -141,10 +156,20 @@ impl PerceptronPolicy {
     }
 
     fn sampler_access(&mut self, set: u32, block: u64, indices: [u16; FEATURES], confidence: i32) {
-        if !set.is_multiple_of(self.sample_stride) {
-            return;
-        }
-        let sampler_set = (set / self.sample_stride) as usize;
+        let sampler_set = match self.sample_pow2 {
+            Some((shift, mask)) => {
+                if set & mask != 0 {
+                    return;
+                }
+                (set >> shift) as usize
+            }
+            None => {
+                if !set.is_multiple_of(self.sample_stride) {
+                    return;
+                }
+                (set / self.sample_stride) as usize
+            }
+        };
         if sampler_set >= self.sampler.len() {
             return;
         }

@@ -35,9 +35,14 @@ struct SamplerEntry {
 /// The SDBP policy.
 #[derive(Debug)]
 pub struct Sdbp {
-    tables: Vec<Vec<u8>>,
+    /// The three skewed tables flattened into one arena; table `t`
+    /// starts at `t * TABLE_ENTRIES`.
+    tables: Vec<u8>,
     sampler: Vec<[SamplerEntry; SAMPLER_ASSOC]>,
     sample_stride: u32,
+    /// `(shift, mask)` when `sample_stride` is a power of two: replaces
+    /// the division pair in the sampled-set check.
+    sample_pow2: Option<(u32, u32)>,
     dead_bits: Vec<bool>,
     lru: Lru,
     assoc: u32,
@@ -55,10 +60,11 @@ fn pc_hash(pc: u64) -> u32 {
 
 #[inline]
 fn table_index(pc_hash: u32, table: usize) -> usize {
-    // Skewed indexing: different shifts/multipliers per table.
+    // Skewed indexing: different shifts/multipliers per table. The
+    // returned value is a flat-arena offset (table base folded in).
     let salts: [u32; TABLES] = [0x9e37_79b9, 0x85eb_ca6b, 0xc2b2_ae35];
     let h = pc_hash.wrapping_mul(salts[table]);
-    (h >> 16) as usize % TABLE_ENTRIES
+    table * TABLE_ENTRIES + (h >> 16) as usize % TABLE_ENTRIES
 }
 
 impl Sdbp {
@@ -72,10 +78,14 @@ impl Sdbp {
             sampler_sets > 0 && sampler_sets <= llc.sets(),
             "sampler sets out of range"
         );
+        let sample_stride = (llc.sets() / sampler_sets).max(1);
         Sdbp {
-            tables: vec![vec![0u8; TABLE_ENTRIES]; TABLES],
+            tables: vec![0u8; TABLES * TABLE_ENTRIES],
             sampler: vec![[SamplerEntry::default(); SAMPLER_ASSOC]; sampler_sets as usize],
-            sample_stride: (llc.sets() / sampler_sets).max(1),
+            sample_stride,
+            sample_pow2: sample_stride
+                .is_power_of_two()
+                .then(|| (sample_stride.trailing_zeros(), sample_stride - 1)),
             dead_bits: vec![false; llc.sets() as usize * llc.associativity() as usize],
             lru: Lru::new(llc.sets(), llc.associativity()),
             assoc: llc.associativity(),
@@ -106,14 +116,13 @@ impl Sdbp {
     pub fn confidence(&self, pc: u64) -> u32 {
         let h = pc_hash(pc);
         (0..TABLES)
-            .map(|t| u32::from(self.tables[t][table_index(h, t)]))
+            .map(|t| u32::from(self.tables[table_index(h, t)]))
             .sum()
     }
 
     fn train(&mut self, pc_hash_value: u32, dead: bool) {
         for t in 0..TABLES {
-            let idx = table_index(pc_hash_value, t);
-            let counter = &mut self.tables[t][idx];
+            let counter = &mut self.tables[table_index(pc_hash_value, t)];
             if dead {
                 *counter = (*counter + 1).min(3);
             } else {
@@ -123,10 +132,20 @@ impl Sdbp {
     }
 
     fn sampler_access(&mut self, set: u32, block: u64, pc: u64) {
-        if !set.is_multiple_of(self.sample_stride) {
-            return;
-        }
-        let sampler_set = (set / self.sample_stride) as usize;
+        let sampler_set = match self.sample_pow2 {
+            Some((shift, mask)) => {
+                if set & mask != 0 {
+                    return;
+                }
+                (set >> shift) as usize
+            }
+            None => {
+                if !set.is_multiple_of(self.sample_stride) {
+                    return;
+                }
+                (set / self.sample_stride) as usize
+            }
+        };
         if sampler_set >= self.sampler.len() {
             return;
         }

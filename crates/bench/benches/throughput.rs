@@ -34,12 +34,15 @@ fn bench_hierarchy(c: &mut Criterion) {
 
 fn bench_predictor_indexing(c: &mut Criterion) {
     use mrp_core::context::FeatureContext;
-    use mrp_core::feature_sets;
+    use mrp_core::{feature_sets, FeaturePlan, MultiperspectivePredictor};
     let features = feature_sets::table_1a();
     let history: Vec<u64> = (0..18).map(|i| 0x40_0000 + i * 1357).collect();
     let mut group = c.benchmark_group("predictor_hot_path");
     group.throughput(Throughput::Elements(1));
+    // The predictor's index path: one access through the compiled feature
+    // plan (what `compute_indices` runs per LLC access).
     group.bench_function("index_16_features", |b| {
+        let plan = FeaturePlan::new(&features);
         let mut out = Vec::with_capacity(16);
         let mut pc = 0x40_0000u64;
         b.iter(|| {
@@ -52,9 +55,34 @@ fn bench_predictor_indexing(c: &mut Criterion) {
                 is_insert: pc.is_multiple_of(3),
                 last_miss: pc.is_multiple_of(5),
             };
-            out.clear();
-            out.extend(features.iter().map(|f| f.index(&ctx)));
+            plan.compute_offsets(&ctx, &mut out);
             criterion::black_box(out.len())
+        })
+    });
+    // The full predict→train loop: index computation, confidence
+    // gather-sum, and sampler-driven weight training on sampled sets.
+    group.bench_function("confidence_and_train", |b| {
+        const LLC_SETS: u32 = 2048;
+        let mut predictor =
+            MultiperspectivePredictor::new(feature_sets::table_1a(), LLC_SETS, 64, 18);
+        let mut indices = Vec::with_capacity(16);
+        let mut pc = 0x40_0000u64;
+        let mut block = 0u64;
+        b.iter(|| {
+            pc = pc.wrapping_add(4);
+            block = block.wrapping_add(0x61c8_8646_80b5_83eb);
+            let ctx = FeatureContext {
+                pc,
+                address: block << 6,
+                pc_history: &history,
+                is_mru: pc.is_multiple_of(2),
+                is_insert: pc.is_multiple_of(3),
+                last_miss: pc.is_multiple_of(5),
+            };
+            predictor.compute_indices(&ctx, &mut indices);
+            let confidence = predictor.confidence(&indices);
+            predictor.train(block as u32 % LLC_SETS, block, &indices, confidence);
+            criterion::black_box(confidence)
         })
     });
     group.finish();

@@ -35,10 +35,21 @@ impl AccessResult {
 }
 
 /// One cache level: a tag array plus a replacement policy.
+///
+/// Tags are stored structure-of-arrays: a packed `u64` tag per slot plus
+/// one validity bitmask per set, instead of `Vec<Option<u64>>`. This
+/// halves tag-array memory traffic (no discriminant byte + padding per
+/// way) and lets the hit scan run branch-light over a dense `u64` slice
+/// once a set is full — the steady state for every warmed-up workload.
 pub struct Cache {
     config: CacheConfig,
-    /// `ways[set * assoc + way]` is the resident block, or `None`.
-    ways: Vec<Option<u64>>,
+    /// `tags[set * assoc + way]` is the resident block's tag; meaningful
+    /// only when bit `way` of `valid[set]` is set.
+    tags: Vec<u64>,
+    /// Per-set validity bitmask (bit `way` = slot holds a block).
+    valid: Vec<u64>,
+    /// `(1 << assoc) - 1`: the bitmask of a full set.
+    full_mask: u64,
     policy: Box<dyn ReplacementPolicy + Send>,
     stats: CacheStats,
     /// Victim-scan scratch, reused across accesses so a full-set miss
@@ -58,14 +69,27 @@ impl fmt::Debug for Cache {
 
 impl Cache {
     /// Creates the cache with the given geometry and policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the associativity exceeds 64 (the per-set valid bitmask
+    /// width).
     pub fn new(config: CacheConfig, policy: Box<dyn ReplacementPolicy + Send>) -> Self {
-        let slots = config.sets() as usize * config.associativity() as usize;
+        let assoc = config.associativity();
+        assert!(assoc <= 64, "associativity {assoc} exceeds valid bitmask");
+        let slots = config.sets() as usize * assoc as usize;
         Cache {
             config,
-            ways: vec![None; slots],
+            tags: vec![0; slots],
+            valid: vec![0; config.sets() as usize],
+            full_mask: if assoc == 64 {
+                u64::MAX
+            } else {
+                (1u64 << assoc) - 1
+            },
             policy,
             stats: CacheStats::default(),
-            occupants: Vec::with_capacity(config.associativity() as usize),
+            occupants: Vec::with_capacity(assoc as usize),
         }
     }
 
@@ -97,12 +121,16 @@ impl Cache {
     /// Looks a block up without touching policy or stats state.
     pub fn probe(&self, block: u64) -> bool {
         let set = self.config.set_of(block);
-        self.set_ways(set).contains(&Some(block))
-    }
-
-    fn set_ways(&self, set: u32) -> &[Option<u64>] {
-        let base = set as usize * self.config.associativity() as usize;
-        &self.ways[base..base + self.config.associativity() as usize]
+        let base = self.slot(set, 0);
+        let mut vmask = self.valid[set as usize];
+        while vmask != 0 {
+            let way = vmask.trailing_zeros() as usize;
+            if self.tags[base + way] == block {
+                return true;
+            }
+            vmask &= vmask - 1;
+        }
+        false
     }
 
     /// Simulates one access. `is_prefetch` marks hardware prefetch
@@ -112,27 +140,40 @@ impl Cache {
         let info = AccessInfo::from_access(access, &self.config, is_prefetch);
         self.policy.on_access(&info);
 
-        // One pass over the set: the hit way, the first invalid way, and
-        // (should the set turn out full) the occupant blocks for the
-        // victim scan. `occupants` aligns way-for-way with the set only
-        // when no way is invalid, which is the only case that reads it.
+        // The hit scan splits on set fullness. A full set — the steady
+        // state once warmed up — compares every packed tag with no
+        // validity checks; the occupant snapshot for the victim scan is
+        // the tag slice itself. A partially filled set walks only its
+        // valid bits, and the first invalid way is a `trailing_zeros` of
+        // the inverted mask. `occupants` aligns way-for-way with the set
+        // only in the full case, which is the only case that reads it.
         let assoc = self.config.associativity();
         let base = self.slot(info.set, 0);
+        let vmask = self.valid[info.set as usize];
+        let set_tags = &self.tags[base..base + assoc as usize];
         let mut hit_way = None;
         let mut invalid_way = None;
         self.occupants.clear();
-        for way in 0..assoc {
-            match self.ways[base + way as usize] {
-                Some(block) if block == info.block => {
+        if vmask == self.full_mask {
+            for (way, &tag) in set_tags.iter().enumerate() {
+                if tag == info.block {
+                    hit_way = Some(way as u32);
+                    break;
+                }
+            }
+            if hit_way.is_none() {
+                self.occupants.extend_from_slice(set_tags);
+            }
+        } else {
+            invalid_way = Some((!vmask).trailing_zeros());
+            let mut scan = vmask;
+            while scan != 0 {
+                let way = scan.trailing_zeros();
+                if set_tags[way as usize] == info.block {
                     hit_way = Some(way);
                     break;
                 }
-                Some(block) => self.occupants.push(block),
-                None => {
-                    if invalid_way.is_none() {
-                        invalid_way = Some(way);
-                    }
-                }
+                scan &= scan - 1;
             }
         }
 
@@ -172,14 +213,15 @@ impl Cache {
             }
         };
         let slot = self.slot(info.set, way);
-        self.ways[slot] = Some(info.block);
+        self.tags[slot] = info.block;
+        self.valid[info.set as usize] |= 1u64 << way;
         self.policy.on_fill(&info, way);
         AccessResult::Miss { evicted }
     }
 
     /// Number of resident blocks (for tests and invariant checks).
     pub fn resident_blocks(&self) -> usize {
-        self.ways.iter().filter(|b| b.is_some()).count()
+        self.valid.iter().map(|v| v.count_ones() as usize).sum()
     }
 }
 

@@ -71,7 +71,7 @@ pub struct Feature {
 
 /// Folds an arbitrary-width value down to `bits` bits by XOR-folding.
 #[inline]
-fn fold(mut value: u64, bits: u32) -> u64 {
+pub(crate) fn fold(mut value: u64, bits: u32) -> u64 {
     debug_assert!(bits > 0 && bits <= 32);
     let mask = (1u64 << bits) - 1;
     let mut out = 0u64;

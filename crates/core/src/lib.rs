@@ -9,7 +9,9 @@
 //! * [`context`] — the per-core/per-set runtime state features are
 //!   evaluated against (PC history, last-block and last-miss tracking).
 //! * [`tables`] — the hashed-perceptron weight tables (6-bit saturating
-//!   weights, §3.4).
+//!   weights, §3.4), stored as one flat arena.
+//! * [`plan`] — construction-time lowering of feature sets into
+//!   straight-line index programs emitting arena offsets (the hot path).
 //! * [`sampler`] — the 18-way LRU sampler with per-feature associativity
 //!   training (§3.3, §3.8).
 //! * [`predictor`] — [`MultiperspectivePredictor`], tying the above into a
@@ -40,6 +42,7 @@ pub mod context;
 pub mod feature;
 pub mod feature_sets;
 pub mod mpppb;
+pub mod plan;
 pub mod predictor;
 pub mod sampler;
 pub mod tables;
@@ -47,4 +50,5 @@ pub mod tables;
 pub use adaptive::AdaptiveMpppb;
 pub use feature::{Feature, FeatureKind};
 pub use mpppb::{DefaultPolicyKind, Mpppb, MpppbConfig};
+pub use plan::FeaturePlan;
 pub use predictor::MultiperspectivePredictor;

@@ -1,0 +1,387 @@
+//! Compiled feature plans: the hot-path form of [`Feature::index`].
+//!
+//! [`Feature::index`] is general but re-derives everything on every
+//! access: it re-matches the kind enum, recomputes `table_size()` and its
+//! `trailing_zeros()`, and re-folds the PC for every `xor_pc` feature.
+//! [`FeaturePlan`] lowers the feature set once, at predictor
+//! construction, into straight-line per-feature programs:
+//!
+//! * the raw-bit extraction becomes a precomputed shift + mask
+//!   ([`Source`]), with the `offset` feature's 6-bit clamp folded into
+//!   the mask;
+//! * the fold width (`log2(table_size)`) is a stored constant;
+//! * every `xor_pc` feature's table has [`MAX_TABLE_SIZE`] entries, so
+//!   the PC fold width is always [`MAX_INDEX_BITS`] — the plan folds the
+//!   PC **once per access** and shares it across all XOR features;
+//! * each feature's base offset in the flat weight arena
+//!   (see [`crate::tables::WeightTables`]) is baked in, so the plan
+//!   emits precombined arena offsets and `confidence` becomes a single
+//!   gather-sum over one slice.
+//!
+//! The lowering is semantics-preserving: for every context, the emitted
+//! offset is exactly `base(feature) + Feature::index(ctx)`. Unit tests
+//! here and the property test in `tests/properties.rs` hold it to that
+//! bit-for-bit.
+
+use crate::context::FeatureContext;
+use crate::feature::{fold, Feature, FeatureKind, MAX_INDEX_BITS, MAX_TABLE_SIZE};
+
+/// Where a compiled feature reads its raw bits from. Shift/mask are
+/// precomputed from the feature's bit range with `Feature::index`'s
+/// clamping rules baked in.
+#[derive(Debug, Clone, Copy)]
+enum Source {
+    /// `pc(..)`: bits of the `which`-th most recent PC.
+    PcHist { which: u16, shift: u32, mask: u64 },
+    /// `address(..)`: bits of the physical address.
+    Address { shift: u32, mask: u64 },
+    /// `offset(..)`: bits of the 6-bit block offset; the `& 0x3f` clamp
+    /// is folded into `mask`.
+    Offset { shift: u32, mask: u64 },
+    /// `bias(..)`: the constant 0.
+    Zero,
+    /// `burst(..)`: 1 iff the access is to the set's MRU block.
+    Mru,
+    /// `insert(..)`: 1 iff the access is a miss fill.
+    Insert,
+    /// `lastmiss(..)`: 1 iff the previous access to the set missed.
+    LastMiss,
+}
+
+/// Shift/mask pair reproducing `field(value, begin, end)`.
+fn field_plan(begin: u8, end: u8) -> (u32, u64) {
+    let width = u32::from(end - begin) + 1;
+    let mask = if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    (u32::from(begin.min(63)), mask)
+}
+
+/// How a feature's raw bits reach its table index — decided once at
+/// lowering instead of looping [`fold`] on every access.
+#[derive(Debug, Clone, Copy)]
+enum FoldKind {
+    /// The source mask already guarantees `raw < table_size`: the fold
+    /// loop would run at most one iteration and return `raw` unchanged.
+    Identity,
+    /// Wide field into a [`MAX_TABLE_SIZE`]-entry table: a fixed
+    /// shift-XOR cascade computes the 8-bit fold branch-free.
+    Fold8,
+    /// Fallback to the reference fold loop (unreachable for any feature
+    /// [`Feature::new`] accepts, kept for safety).
+    Loop,
+}
+
+/// One feature lowered to straight-line index computation.
+#[derive(Debug, Clone, Copy)]
+pub struct CompiledFeature {
+    source: Source,
+    /// `log2(table_size)`; 0 means a single-entry table (index is 0).
+    fold_bits: u32,
+    fold_kind: FoldKind,
+    /// `table_size - 1`.
+    index_mask: u64,
+    /// XOR the folded value with the shared 8-bit PC fold.
+    xor_pc: bool,
+    /// This feature's base offset in the flat weight arena.
+    base: u16,
+}
+
+/// XOR-fold of all eight bytes of `value`: bit-identical to
+/// `fold(value, 8)` but branch-free.
+#[inline]
+fn fold8(mut value: u64) -> u64 {
+    value ^= value >> 32;
+    value ^= value >> 16;
+    value ^= value >> 8;
+    value & 0xff
+}
+
+impl CompiledFeature {
+    fn lower(feature: &Feature, base: u16) -> Self {
+        let source = match feature.kind {
+            FeatureKind::Pc { begin, end, which } => {
+                let (shift, mask) = field_plan(begin, end);
+                Source::PcHist {
+                    which: u16::from(which),
+                    shift,
+                    mask,
+                }
+            }
+            FeatureKind::Address { begin, end } => {
+                let (shift, mask) = field_plan(begin, end);
+                Source::Address { shift, mask }
+            }
+            FeatureKind::Offset { begin, end } => {
+                // field(address & 0x3f, begin.min(5), end.min(5)): shifting
+                // the pre-masked offset equals masking the shifted address
+                // with `0x3f >> shift`, so both masks merge into one.
+                let (shift, mask) = field_plan(begin.min(5), end.min(5));
+                Source::Offset {
+                    shift,
+                    mask: mask & (0x3f >> shift),
+                }
+            }
+            FeatureKind::Bias => Source::Zero,
+            FeatureKind::Burst => Source::Mru,
+            FeatureKind::Insert => Source::Insert,
+            FeatureKind::LastMiss => Source::LastMiss,
+        };
+        let table_size = feature.table_size();
+        debug_assert!(
+            !feature.xor_pc || table_size == MAX_TABLE_SIZE,
+            "xor_pc implies a full-size table; the shared PC fold relies on it"
+        );
+        let fold_bits = table_size.trailing_zeros();
+        // The widest value each source can produce, for fold elision.
+        let source_max = match source {
+            Source::PcHist { mask, .. }
+            | Source::Address { mask, .. }
+            | Source::Offset { mask, .. } => mask,
+            Source::Zero => 0,
+            Source::Mru | Source::Insert | Source::LastMiss => 1,
+        };
+        let fold_kind = if fold_bits >= 64 || source_max < (1u64 << fold_bits) {
+            FoldKind::Identity
+        } else if fold_bits == MAX_INDEX_BITS {
+            FoldKind::Fold8
+        } else {
+            FoldKind::Loop
+        };
+        CompiledFeature {
+            source,
+            fold_bits,
+            fold_kind,
+            index_mask: table_size as u64 - 1,
+            xor_pc: feature.xor_pc,
+            base,
+        }
+    }
+
+    /// The arena offset this feature selects for `ctx`. `pc_fold8` must
+    /// be [`shared_pc_fold`] of `ctx.pc`.
+    #[inline]
+    pub fn index_offset(&self, ctx: &FeatureContext<'_>, pc_fold8: u64) -> u16 {
+        let raw = match self.source {
+            Source::PcHist { which, shift, mask } => {
+                (ctx.history_pc(usize::from(which)) >> shift) & mask
+            }
+            Source::Address { shift, mask } => (ctx.address >> shift) & mask,
+            Source::Offset { shift, mask } => (ctx.address >> shift) & mask,
+            Source::Zero => 0,
+            Source::Mru => u64::from(ctx.is_mru),
+            Source::Insert => u64::from(ctx.is_insert),
+            Source::LastMiss => u64::from(ctx.last_miss),
+        };
+        if self.fold_bits == 0 {
+            return self.base;
+        }
+        let mut value = match self.fold_kind {
+            FoldKind::Identity => raw,
+            FoldKind::Fold8 => fold8(raw),
+            FoldKind::Loop => fold(raw, self.fold_bits),
+        };
+        if self.xor_pc {
+            value ^= pc_fold8;
+        }
+        self.base + (value & self.index_mask) as u16
+    }
+}
+
+/// The 8-bit PC fold shared by every `xor_pc` feature in an access
+/// (bit-identical to `fold(pc, MAX_INDEX_BITS)`).
+#[inline]
+pub fn shared_pc_fold(pc: u64) -> u64 {
+    fold8(pc)
+}
+
+/// A feature set lowered for the hot path, plus the arena geometry the
+/// matching [`crate::tables::WeightTables`] uses.
+#[derive(Debug, Clone)]
+pub struct FeaturePlan {
+    compiled: Vec<CompiledFeature>,
+    /// Whether any feature XORs with the PC (skip the shared fold if not).
+    any_xor: bool,
+    arena_len: usize,
+}
+
+impl FeaturePlan {
+    /// Lowers `features`, assigning arena base offsets in feature order
+    /// (the same layout [`crate::tables::WeightTables`] allocates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined table sizes overflow the 16-bit offset
+    /// space (would need > 256 full-size features).
+    pub fn new(features: &[Feature]) -> Self {
+        let mut base = 0usize;
+        let compiled = features
+            .iter()
+            .map(|f| {
+                let c =
+                    CompiledFeature::lower(f, u16::try_from(base).expect("arena offsets fit u16"));
+                base += f.table_size();
+                c
+            })
+            .collect();
+        assert!(
+            base <= usize::from(u16::MAX) + 1,
+            "weight arena exceeds u16 offsets"
+        );
+        FeaturePlan {
+            compiled,
+            any_xor: features.iter().any(|f| f.xor_pc),
+            arena_len: base,
+        }
+    }
+
+    /// Number of compiled features.
+    pub fn len(&self) -> usize {
+        self.compiled.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.compiled.is_empty()
+    }
+
+    /// Total weight-arena entries across all features.
+    pub fn arena_len(&self) -> usize {
+        self.arena_len
+    }
+
+    /// Computes every feature's arena offset for an access into `out`
+    /// (cleared first). Allocation-free on the hot path.
+    #[inline]
+    pub fn compute_offsets(&self, ctx: &FeatureContext<'_>, out: &mut Vec<u16>) {
+        let pc_fold8 = if self.any_xor {
+            shared_pc_fold(ctx.pc)
+        } else {
+            0
+        };
+        out.clear();
+        out.extend(self.compiled.iter().map(|c| c.index_offset(ctx, pc_fold8)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature_sets;
+
+    /// Contexts exercising warm/cold history, all flag combinations, and
+    /// extreme PC/address values.
+    fn contexts(history: &[u64]) -> Vec<FeatureContext<'_>> {
+        let mut out = Vec::new();
+        for seed in 0..256u64 {
+            let pc = seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .rotate_left((seed % 64) as u32);
+            let address = seed.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ (pc >> 3);
+            out.push(FeatureContext {
+                pc,
+                address,
+                pc_history: if seed % 3 == 0 { &[] } else { history },
+                is_mru: seed % 2 == 0,
+                is_insert: seed % 3 == 0,
+                last_miss: seed % 5 == 0,
+            });
+        }
+        for pc in [0, 1, u64::MAX, 0x7fff_ffff_ffff_ffff] {
+            out.push(FeatureContext {
+                pc,
+                address: pc ^ 0x3f,
+                pc_history: history,
+                is_mru: true,
+                is_insert: true,
+                last_miss: true,
+            });
+        }
+        out
+    }
+
+    fn assert_plan_matches(features: &[Feature]) {
+        let plan = FeaturePlan::new(features);
+        let history: Vec<u64> = (0..18).map(|i| 0x40_0000 + i * 0x1351).collect();
+        let mut offsets = Vec::new();
+        for ctx in contexts(&history) {
+            plan.compute_offsets(&ctx, &mut offsets);
+            let mut base = 0u16;
+            for (f, &offset) in features.iter().zip(&offsets) {
+                assert_eq!(
+                    offset,
+                    base + f.index(&ctx),
+                    "{f} diverged at pc={:#x} address={:#x}",
+                    ctx.pc,
+                    ctx.address
+                );
+                base += f.table_size() as u16;
+            }
+        }
+    }
+
+    #[test]
+    fn published_feature_sets_compile_bit_identically() {
+        assert_plan_matches(&feature_sets::table_1a());
+        assert_plan_matches(&feature_sets::table_1b());
+        assert_plan_matches(&feature_sets::table_2());
+    }
+
+    #[test]
+    fn every_kind_compiles_bit_identically_with_and_without_xor() {
+        for xor_pc in [false, true] {
+            let features: Vec<Feature> = [
+                FeatureKind::Pc {
+                    begin: 1,
+                    end: 53,
+                    which: 10,
+                },
+                FeatureKind::Pc {
+                    begin: 0,
+                    end: 63,
+                    which: 0,
+                },
+                FeatureKind::Address { begin: 8, end: 19 },
+                FeatureKind::Address { begin: 0, end: 63 },
+                FeatureKind::Bias,
+                FeatureKind::Burst,
+                FeatureKind::Insert,
+                FeatureKind::LastMiss,
+                FeatureKind::Offset { begin: 0, end: 5 },
+                FeatureKind::Offset { begin: 3, end: 5 },
+            ]
+            .into_iter()
+            .map(|kind| Feature::new(9, kind, xor_pc))
+            .collect();
+            assert_plan_matches(&features);
+        }
+    }
+
+    #[test]
+    fn offset_clamp_matches_reference() {
+        // begin/end beyond bit 5 clamp to the block-offset width.
+        for (begin, end) in [(4, 9), (6, 9), (0, 63)] {
+            let features = vec![Feature::new(3, FeatureKind::Offset { begin, end }, false)];
+            assert_plan_matches(&features);
+        }
+    }
+
+    #[test]
+    fn arena_layout_is_cumulative_table_sizes() {
+        let features = feature_sets::table_1a();
+        let plan = FeaturePlan::new(&features);
+        assert_eq!(
+            plan.arena_len(),
+            features.iter().map(|f| f.table_size()).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn shared_fold_matches_per_feature_fold() {
+        for pc in [0u64, 0x400_000, u64::MAX, 0xdead_beef_cafe_f00d] {
+            assert_eq!(shared_pc_fold(pc), fold(pc, MAX_INDEX_BITS));
+        }
+    }
+}

@@ -4,6 +4,7 @@ use std::fmt;
 
 use crate::context::FeatureContext;
 use crate::feature::Feature;
+use crate::plan::FeaturePlan;
 use crate::sampler::{clamp_confidence, partial_tag, Sampler, TrainingEvent};
 use crate::tables::WeightTables;
 
@@ -29,10 +30,16 @@ pub struct PredictorStats {
 /// mode for ROC analysis.
 pub struct MultiperspectivePredictor {
     features: Vec<Feature>,
+    /// The feature set lowered to straight-line arena-offset programs.
+    plan: FeaturePlan,
     tables: WeightTables,
     sampler: Sampler,
     /// LLC sets between consecutive sampled sets.
     sample_stride: u32,
+    /// `(shift, mask)` when `sample_stride` is a power of two (the common
+    /// configuration): turns the two divisions per access in the sampled
+    /// check into a mask test and a shift.
+    sample_pow2: Option<(u32, u32)>,
     stats: PredictorStats,
     events_buf: Vec<TrainingEvent>,
 }
@@ -66,12 +73,24 @@ impl MultiperspectivePredictor {
             "sampler sets out of range"
         );
         let tables = WeightTables::new(&features);
+        let plan = FeaturePlan::new(&features);
+        debug_assert_eq!(
+            plan.arena_len(),
+            tables.arena_len(),
+            "plan/arena layout drift"
+        );
         let assocs: Vec<u8> = features.iter().map(|f| f.assoc).collect();
+        let sample_stride = (llc_sets / sampler_sets).max(1);
+        let sample_pow2 = sample_stride
+            .is_power_of_two()
+            .then(|| (sample_stride.trailing_zeros(), sample_stride - 1));
         MultiperspectivePredictor {
             features,
+            plan,
             tables,
             sampler: Sampler::new(sampler_sets, assocs, theta),
-            sample_stride: (llc_sets / sampler_sets).max(1),
+            sample_stride,
+            sample_pow2,
             stats: PredictorStats::default(),
             events_buf: Vec::with_capacity(64),
         }
@@ -87,18 +106,39 @@ impl MultiperspectivePredictor {
         self.stats
     }
 
+    /// The sampler set `llc_set` maps to, if it is a sampled set.
+    #[inline]
+    fn sampler_set(&self, llc_set: u32) -> Option<u32> {
+        let quotient = match self.sample_pow2 {
+            Some((shift, mask)) => {
+                if llc_set & mask != 0 {
+                    return None;
+                }
+                llc_set >> shift
+            }
+            None => {
+                if !llc_set.is_multiple_of(self.sample_stride) {
+                    return None;
+                }
+                llc_set / self.sample_stride
+            }
+        };
+        (quotient < self.sampler.sets()).then_some(quotient)
+    }
+
     /// Whether `llc_set` is a sampled set.
     #[inline]
     pub fn is_sampled(&self, llc_set: u32) -> bool {
-        llc_set.is_multiple_of(self.sample_stride)
-            && llc_set / self.sample_stride < self.sampler.sets()
+        self.sampler_set(llc_set).is_some()
     }
 
-    /// Computes the per-feature table indices for an access into `out`
-    /// (cleared first). Allocation-free on the hot path.
+    /// Computes the per-feature weight-arena offsets for an access into
+    /// `out` (cleared first). Allocation-free on the hot path; entries
+    /// are precombined `base + index` offsets into the flat arena (see
+    /// [`FeaturePlan`]), which is what [`Self::confidence`] and
+    /// [`Self::train`] consume.
     pub fn compute_indices(&self, ctx: &FeatureContext<'_>, out: &mut Vec<u16>) {
-        out.clear();
-        out.extend(self.features.iter().map(|f| f.index(ctx)));
+        self.plan.compute_offsets(ctx, out);
     }
 
     /// Sums the weights selected by `indices`: the confidence that the
@@ -117,10 +157,9 @@ impl MultiperspectivePredictor {
     /// any resulting training to the weight tables. `confidence` must be
     /// the value just computed from `indices`.
     pub fn train(&mut self, llc_set: u32, block: u64, indices: &[u16], confidence: i32) {
-        if !self.is_sampled(llc_set) {
+        let Some(sampler_set) = self.sampler_set(llc_set) else {
             return;
-        }
-        let sampler_set = llc_set / self.sample_stride;
+        };
         self.stats.sampler_accesses += 1;
         self.events_buf.clear();
         let mut events = std::mem::take(&mut self.events_buf);
@@ -134,14 +173,18 @@ impl MultiperspectivePredictor {
         if outcome.hit {
             self.stats.sampler_hits += 1;
         }
+        // The sampler stores and replays whatever index values it was
+        // given — precombined arena offsets here — so training addresses
+        // the arena directly; the event's feature id only selects the
+        // per-feature associativity inside the sampler.
         for event in &events {
             self.stats.weight_updates += 1;
             match *event {
-                TrainingEvent::Decrement { feature, index } => {
-                    self.tables.decrement(usize::from(feature), index);
+                TrainingEvent::Decrement { index, .. } => {
+                    self.tables.decrement_at(index);
                 }
-                TrainingEvent::Increment { feature, index } => {
-                    self.tables.increment(usize::from(feature), index);
+                TrainingEvent::Increment { index, .. } => {
+                    self.tables.increment_at(index);
                 }
             }
         }

@@ -1,4 +1,12 @@
 //! Hashed-perceptron weight tables.
+//!
+//! All per-feature tables live in one contiguous `Vec<i8>` arena with
+//! per-feature base offsets (cumulative table sizes, in feature order —
+//! the same layout [`crate::plan::FeaturePlan`] bakes into its compiled
+//! features). The hot path addresses weights by precombined arena offset,
+//! so [`WeightTables::confidence`] is a single gather-sum over one slice;
+//! the `(table, index)` API remains for tests, ablations, and storage
+//! accounting.
 
 use crate::feature::Feature;
 
@@ -9,10 +17,12 @@ pub const WEIGHT_MIN: i8 = -32;
 /// Upper weight bound (inclusive).
 pub const WEIGHT_MAX: i8 = 31;
 
-/// One saturating weight table per feature.
+/// One saturating weight table per feature, flattened into a single arena.
 #[derive(Debug, Clone)]
 pub struct WeightTables {
-    tables: Vec<Vec<i8>>,
+    weights: Vec<i8>,
+    /// Arena start of each table, plus a final sentinel (= arena length).
+    bases: Vec<u32>,
     weight_min: i8,
     weight_max: i8,
 }
@@ -33,8 +43,20 @@ impl WeightTables {
     pub fn with_weight_bits(features: &[Feature], bits: u32) -> Self {
         assert!((2..=8).contains(&bits), "weight bits must be 2..=8");
         let half = 1i16 << (bits - 1);
+        let mut bases = Vec::with_capacity(features.len() + 1);
+        let mut total = 0u32;
+        for f in features {
+            bases.push(total);
+            total += f.table_size() as u32;
+        }
+        bases.push(total);
+        assert!(
+            total as usize <= usize::from(u16::MAX) + 1,
+            "weight arena exceeds u16 offsets"
+        );
         WeightTables {
-            tables: features.iter().map(|f| vec![0i8; f.table_size()]).collect(),
+            weights: vec![0i8; total as usize],
+            bases,
             weight_min: (-half) as i8,
             weight_max: (half - 1) as i8,
         }
@@ -42,53 +64,77 @@ impl WeightTables {
 
     /// Number of tables (= number of features).
     pub fn len(&self) -> usize {
-        self.tables.len()
+        self.bases.len() - 1
     }
 
     /// Whether there are no tables.
     pub fn is_empty(&self) -> bool {
-        self.tables.is_empty()
+        self.len() == 0
+    }
+
+    /// Arena offset where `table` starts.
+    pub fn base(&self, table: usize) -> usize {
+        self.bases[table] as usize
+    }
+
+    /// Total arena entries across all tables.
+    pub fn arena_len(&self) -> usize {
+        self.weights.len()
     }
 
     /// Reads the weight selected by `index` in `table`.
     pub fn weight(&self, table: usize, index: u16) -> i8 {
-        self.tables[table][index as usize]
+        let offset = self.bases[table] as usize + usize::from(index);
+        debug_assert!(
+            offset < self.bases[table + 1] as usize,
+            "index beyond table"
+        );
+        self.weights[offset]
     }
 
-    /// Sums the weights selected by `indices` (one per table) — the
-    /// predictor's confidence value.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `indices.len()` differs from the table count.
-    pub fn confidence(&self, indices: &[u16]) -> i32 {
-        assert_eq!(indices.len(), self.tables.len(), "index vector arity");
-        indices
+    /// Sums the weights selected by `offsets` (one precombined arena
+    /// offset per table, as emitted by
+    /// [`crate::plan::FeaturePlan::compute_offsets`]) — the predictor's
+    /// confidence value.
+    #[inline]
+    pub fn confidence(&self, offsets: &[u16]) -> i32 {
+        debug_assert_eq!(offsets.len(), self.len(), "index vector arity");
+        offsets
             .iter()
-            .zip(&self.tables)
-            .map(|(&i, t)| i32::from(t[i as usize]))
+            .map(|&o| i32::from(self.weights[usize::from(o)]))
             .sum()
     }
 
     /// Saturating increment toward "dead".
     pub fn increment(&mut self, table: usize, index: u16) {
-        let w = &mut self.tables[table][index as usize];
-        *w = (*w).saturating_add(1).min(self.weight_max);
+        let offset = self.bases[table] + u32::from(index);
+        self.increment_at(offset as u16);
     }
 
     /// Saturating decrement toward "live".
     pub fn decrement(&mut self, table: usize, index: u16) {
-        let w = &mut self.tables[table][index as usize];
+        let offset = self.bases[table] + u32::from(index);
+        self.decrement_at(offset as u16);
+    }
+
+    /// Saturating increment of the weight at a precombined arena offset.
+    #[inline]
+    pub fn increment_at(&mut self, offset: u16) {
+        let w = &mut self.weights[usize::from(offset)];
+        *w = (*w).saturating_add(1).min(self.weight_max);
+    }
+
+    /// Saturating decrement of the weight at a precombined arena offset.
+    #[inline]
+    pub fn decrement_at(&mut self, offset: u16) {
+        let w = &mut self.weights[usize::from(offset)];
         *w = (*w).saturating_sub(1).max(self.weight_min);
     }
 
     /// Total storage in bits (for the overhead accounting test against the
     /// paper's §4.4 numbers).
     pub fn storage_bits(&self, weight_bits: u32) -> u64 {
-        self.tables
-            .iter()
-            .map(|t| t.len() as u64 * u64::from(weight_bits))
-            .sum()
+        self.weights.len() as u64 * u64::from(weight_bits)
     }
 }
 
@@ -113,12 +159,31 @@ mod tests {
         ]
     }
 
+    /// Precombined arena offsets for per-table indices.
+    fn offsets(t: &WeightTables, indices: &[u16]) -> Vec<u16> {
+        indices
+            .iter()
+            .enumerate()
+            .map(|(table, &i)| (t.base(table) + usize::from(i)) as u16)
+            .collect()
+    }
+
     #[test]
     fn tables_are_sized_per_feature() {
         let t = WeightTables::new(&features());
         assert_eq!(t.len(), 3);
         assert_eq!(t.weight(0, 0), 0);
-        assert_eq!(t.confidence(&[0, 0, 0]), 0);
+        assert_eq!(t.confidence(&offsets(&t, &[0, 0, 0])), 0);
+    }
+
+    #[test]
+    fn arena_bases_are_cumulative_table_sizes() {
+        let t = WeightTables::new(&features());
+        // bias: 1 entry, burst: 2, pc: 256.
+        assert_eq!(t.base(0), 0);
+        assert_eq!(t.base(1), 1);
+        assert_eq!(t.base(2), 3);
+        assert_eq!(t.arena_len(), 259);
     }
 
     #[test]
@@ -128,8 +193,17 @@ mod tests {
         t.increment(1, 1);
         t.increment(1, 1);
         t.decrement(2, 100);
-        assert_eq!(t.confidence(&[0, 1, 100]), 1 + 2 - 1);
-        assert_eq!(t.confidence(&[0, 0, 100]), 1 - 1);
+        assert_eq!(t.confidence(&offsets(&t, &[0, 1, 100])), 1 + 2 - 1);
+        assert_eq!(t.confidence(&offsets(&t, &[0, 0, 100])), 1 - 1);
+    }
+
+    #[test]
+    fn arena_offset_updates_match_table_updates() {
+        let mut t = WeightTables::new(&features());
+        t.increment_at((t.base(2) + 100) as u16);
+        assert_eq!(t.weight(2, 100), 1);
+        t.decrement_at((t.base(2) + 100) as u16);
+        assert_eq!(t.weight(2, 100), 0);
     }
 
     #[test]
@@ -152,13 +226,6 @@ mod tests {
         }
         assert_eq!(t.weight(0, 0), 7);
         assert_eq!(t.weight(1, 0), -8);
-    }
-
-    #[test]
-    #[should_panic(expected = "index vector arity")]
-    fn confidence_checks_arity() {
-        let t = WeightTables::new(&features());
-        let _ = t.confidence(&[0, 0]);
     }
 
     #[test]

@@ -236,7 +236,7 @@ mod tests {
         // Two cores running the same workload id must not share LLC blocks:
         // verified indirectly by checking that per-core regions can't alias
         // (stride exceeds any generator footprint).
-        assert!(CORE_ADDRESS_STRIDE > (1u64 << 40));
+        const { assert!(CORE_ADDRESS_STRIDE > (1u64 << 40)) };
     }
 
     #[test]

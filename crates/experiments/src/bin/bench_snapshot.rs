@@ -1,0 +1,157 @@
+//! Machine-readable performance snapshot of the predictor hot path and
+//! hierarchy throughput, for tracking the perf trajectory across PRs.
+//!
+//! Mirrors the `predictor_hot_path` and `hierarchy_throughput` criterion
+//! groups but measures with `std::time` directly, so it runs in any
+//! environment (CI artifact upload, offline containers) and emits one
+//! JSON document instead of a criterion report.
+//!
+//! Usage: `bench_snapshot [--samples N] [--iters N] [--instructions N]
+//! [--out PATH]` — medians are taken across `--samples` repetitions.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use mrp_cache::HierarchyConfig;
+use mrp_core::context::FeatureContext;
+use mrp_core::feature_sets;
+use mrp_core::{FeaturePlan, MultiperspectivePredictor};
+use mrp_cpu::SingleCoreSim;
+use mrp_experiments::cli::Args;
+use mrp_experiments::PolicyKind;
+use mrp_trace::workloads;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    xs[xs.len() / 2]
+}
+
+/// Median ns/op of `f` run `iters` times, across `samples` repetitions.
+fn median_ns_per_op<F: FnMut()>(samples: usize, iters: u64, mut f: F) -> f64 {
+    let mut per_sample = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        per_sample.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    median(per_sample)
+}
+
+fn bench_index_16_features(samples: usize, iters: u64) -> f64 {
+    let plan = FeaturePlan::new(&feature_sets::table_1a());
+    let history: Vec<u64> = (0..18).map(|i| 0x40_0000 + i * 1357).collect();
+    let mut out = Vec::with_capacity(16);
+    let mut pc = 0x40_0000u64;
+    median_ns_per_op(samples, iters, || {
+        pc = pc.wrapping_add(4);
+        let ctx = FeatureContext {
+            pc,
+            address: pc << 3,
+            pc_history: &history,
+            is_mru: pc.is_multiple_of(2),
+            is_insert: pc.is_multiple_of(3),
+            last_miss: pc.is_multiple_of(5),
+        };
+        plan.compute_offsets(&ctx, &mut out);
+        std::hint::black_box(out.len());
+    })
+}
+
+fn bench_confidence_and_train(samples: usize, iters: u64) -> f64 {
+    const LLC_SETS: u32 = 2048;
+    let mut predictor = MultiperspectivePredictor::new(feature_sets::table_1a(), LLC_SETS, 64, 18);
+    let history: Vec<u64> = (0..18).map(|i| 0x40_0000 + i * 1357).collect();
+    let mut indices = Vec::with_capacity(16);
+    let mut pc = 0x40_0000u64;
+    let mut block = 0u64;
+    median_ns_per_op(samples, iters, || {
+        pc = pc.wrapping_add(4);
+        block = block.wrapping_add(0x61c8_8646_80b5_83eb);
+        let ctx = FeatureContext {
+            pc,
+            address: block << 6,
+            pc_history: &history,
+            is_mru: pc.is_multiple_of(2),
+            is_insert: pc.is_multiple_of(3),
+            last_miss: pc.is_multiple_of(5),
+        };
+        predictor.compute_indices(&ctx, &mut indices);
+        let confidence = predictor.confidence(&indices);
+        predictor.train(block as u32 % LLC_SETS, block, &indices, confidence);
+        std::hint::black_box(confidence);
+    })
+}
+
+/// Median instructions/second simulating `instructions` under `kind`.
+fn bench_hierarchy(kind: PolicyKind, samples: usize, instructions: u64) -> f64 {
+    let mut per_sample = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let config = HierarchyConfig::single_thread();
+        let mut sim = SingleCoreSim::new(
+            config,
+            kind.build(&config.llc),
+            workloads::suite()[10].trace(1),
+        );
+        let start = Instant::now();
+        std::hint::black_box(sim.run(0, instructions).mpki);
+        per_sample.push(instructions as f64 / start.elapsed().as_secs_f64());
+    }
+    median(per_sample)
+}
+
+fn main() {
+    let args = Args::parse();
+    let samples = args.get_usize("samples", 7).max(1);
+    let iters = args.get_u64("iters", 2_000_000).max(1);
+    let instructions = args.get_u64("instructions", 200_000).max(1);
+    let out_path = args.get_str("out", "results/bench_snapshot.json");
+
+    eprintln!("bench_snapshot: {samples} samples, {iters} hot-path iters/sample");
+
+    let index_ns = bench_index_16_features(samples, iters);
+    eprintln!("  predictor_hot_path/index_16_features: {index_ns:.1} ns/op");
+    let train_ns = bench_confidence_and_train(samples, iters);
+    eprintln!("  predictor_hot_path/confidence_and_train: {train_ns:.1} ns/op");
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"mrp-bench-snapshot-v1\",");
+    let _ = writeln!(json, "  \"samples\": {samples},");
+    let _ = writeln!(json, "  \"hot_path_iters\": {iters},");
+    let _ = writeln!(json, "  \"hierarchy_instructions\": {instructions},");
+    let _ = writeln!(json, "  \"predictor_hot_path\": {{");
+    let _ = writeln!(
+        json,
+        "    \"index_16_features\": {{ \"median_ns_per_op\": {index_ns:.3} }},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"confidence_and_train\": {{ \"median_ns_per_op\": {train_ns:.3} }}"
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"hierarchy_throughput\": {{");
+    let kinds = [PolicyKind::Lru, PolicyKind::Srrip, PolicyKind::MpppbSingle];
+    for (i, kind) in kinds.iter().enumerate() {
+        let ips = bench_hierarchy(*kind, samples, instructions);
+        eprintln!(
+            "  hierarchy_throughput/{}: {ips:.0} instructions/sec",
+            kind.name()
+        );
+        let comma = if i + 1 < kinds.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{ \"instructions_per_sec\": {ips:.1} }}{comma}",
+            kind.name()
+        );
+    }
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("{json}");
+    eprintln!("snapshot written to {out_path}");
+}

@@ -75,13 +75,22 @@ pub(crate) fn block_to_addr(region_base: u64, block_index: u64) -> u64 {
     region_base + block_index * BLOCK_BYTES + offset
 }
 
-/// A Zipf(θ) sampler over ranks `0..n` using an inverted-CDF table.
+/// A Zipf(θ) sampler over ranks `0..n` using an inverted-CDF table with a
+/// bucketed guide index.
 ///
-/// Rank 0 is the most popular item. The table costs `n` doubles; the suite
-/// keeps `n ≤ 2^20`.
+/// Rank 0 is the most popular item. The table costs `n` doubles plus a
+/// `u32` guide entry per bucket; the suite keeps `n ≤ 2^20`. The guide
+/// brackets each draw to a handful of adjacent CDF entries, so sampling is
+/// O(1) expected instead of a full binary search over a multi-megabyte
+/// table (which cache-misses on every probe level and dominated trace
+/// generation for the large-footprint workloads).
 #[derive(Debug, Clone)]
 pub struct ZipfSampler {
     cdf: Vec<f64>,
+    /// `guide[j]` is the first rank whose CDF value is `>= j / B` where
+    /// `B = guide.len() - 1` is a power of two. A uniform draw `u` then
+    /// lies in `cdf[guide[j] .. guide[j + 1]]` for `j = floor(u * B)`.
+    guide: Vec<u32>,
 }
 
 impl ZipfSampler {
@@ -101,7 +110,20 @@ impl ZipfSampler {
         for value in &mut cdf {
             *value /= total;
         }
-        ZipfSampler { cdf }
+        // One bucket per rank (power of two so `u * B` is exact — scaling
+        // by 2^k only shifts the exponent — and `j / B` below is exact for
+        // the same reason). Built in one pass: O(n + B).
+        let buckets = n.next_power_of_two().min(1 << 20);
+        let mut guide = Vec::with_capacity(buckets + 1);
+        let mut rank = 0usize;
+        for j in 0..=buckets {
+            let threshold = j as f64 / buckets as f64;
+            while rank < n && cdf[rank] < threshold {
+                rank += 1;
+            }
+            guide.push(rank as u32);
+        }
+        ZipfSampler { cdf, guide }
     }
 
     /// Number of ranks.
@@ -115,14 +137,19 @@ impl ZipfSampler {
     }
 
     /// Draws a rank in `0..n`.
+    ///
+    /// Returns exactly the rank a binary search over the full CDF would:
+    /// the CDF is strictly increasing, so the answer is the partition
+    /// point of `cdf[i] < u`, and the guide bucket `[guide[j], guide[j+1]]`
+    /// provably brackets it (`j / B <= u < (j + 1) / B`).
     pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        match self
-            .cdf
-            .binary_search_by(|probe| probe.partial_cmp(&u).expect("cdf is finite"))
-        {
-            Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
-        }
+        let buckets = self.guide.len() - 1;
+        let j = ((u * buckets as f64) as usize).min(buckets - 1);
+        let lo = self.guide[j] as usize;
+        let hi = self.guide[j + 1] as usize;
+        let i = lo + self.cdf[lo..hi].partition_point(|&probe| probe < u);
+        i.min(self.cdf.len() - 1)
     }
 }
 
@@ -173,6 +200,46 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zipf_rejects_empty() {
         let _ = ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    fn guide_sample_matches_full_binary_search() {
+        // The guide index is a pure accelerator: every draw must resolve
+        // to the same rank a binary search over the whole CDF would find.
+        for (n, theta) in [(1usize, 1.0), (7, 0.0), (1024, 1.2), (40_000, 0.6)] {
+            let sampler = ZipfSampler::new(n, theta);
+            let mut rng = rng_from_seed(42);
+            for _ in 0..5_000 {
+                let u: f64 = rng.gen();
+                let expected = match sampler
+                    .cdf
+                    .binary_search_by(|probe| probe.partial_cmp(&u).expect("cdf is finite"))
+                {
+                    Ok(i) | Err(i) => i.min(n - 1),
+                };
+                let buckets = sampler.guide.len() - 1;
+                let j = ((u * buckets as f64) as usize).min(buckets - 1);
+                let lo = sampler.guide[j] as usize;
+                let hi = sampler.guide[j + 1] as usize;
+                let got = (lo + sampler.cdf[lo..hi].partition_point(|&probe| probe < u)).min(n - 1);
+                assert_eq!(got, expected, "n={n} theta={theta} u={u}");
+            }
+        }
+    }
+
+    #[test]
+    fn guide_brackets_every_cdf_entry() {
+        let sampler = ZipfSampler::new(513, 1.1);
+        let buckets = sampler.guide.len() - 1;
+        assert!(buckets.is_power_of_two());
+        assert_eq!(sampler.guide[0], 0);
+        // The final CDF entry is exactly 1.0, so the last guide entry
+        // points at (or just before) it, never past the table.
+        assert!(sampler.guide[buckets] as usize <= sampler.len());
+        assert!(sampler.guide[buckets] as usize >= sampler.len() - 1);
+        for w in sampler.guide.windows(2) {
+            assert!(w[0] <= w[1], "guide must be monotone");
+        }
     }
 
     #[test]

@@ -19,6 +19,9 @@ pub struct Zipf {
     sampler: ZipfSampler,
     scatter: u64,
     footprint_blocks: u64,
+    /// `footprint_blocks - 1` when the footprint is a power of two: the
+    /// scatter reduction becomes a mask instead of a 64-bit division.
+    footprint_mask: Option<u64>,
     rng: SmallRng,
 }
 
@@ -36,6 +39,9 @@ impl Zipf {
             sampler: ZipfSampler::new(n, theta),
             scatter: 0x9e37_79b9_7f4a_7c15,
             footprint_blocks,
+            footprint_mask: footprint_blocks
+                .is_power_of_two()
+                .then(|| footprint_blocks - 1),
             rng: rng_from_seed(seed),
         }
     }
@@ -44,7 +50,11 @@ impl Zipf {
 impl AccessPattern for Zipf {
     fn next_access(&mut self) -> MemoryAccess {
         let rank = self.sampler.sample(&mut self.rng) as u64;
-        let block = rank.wrapping_mul(self.scatter) % self.footprint_blocks;
+        let scattered = rank.wrapping_mul(self.scatter);
+        let block = match self.footprint_mask {
+            Some(mask) => scattered & mask,
+            None => scattered % self.footprint_blocks,
+        };
         let site = (rank % 6) as u32;
         access(
             0x0043_0000,

@@ -55,6 +55,45 @@ proptest! {
     }
 
     #[test]
+    fn compiled_plan_offsets_match_reference_indexing(
+        features in proptest::collection::vec(arbitrary_feature(), 1..12),
+        pc in any::<u64>(),
+        address in any::<u64>(),
+        is_mru in any::<bool>(),
+        is_insert in any::<bool>(),
+        last_miss in any::<bool>(),
+        history in proptest::collection::vec(any::<u64>(), 0..18),
+    ) {
+        // The compiled plan is a pure lowering of `Feature::index`: for
+        // every feature set and context, each emitted arena offset must
+        // equal the feature's own base (cumulative table sizes) plus the
+        // reference per-table index.
+        let ctx = mrp_core::context::FeatureContext {
+            pc,
+            address,
+            pc_history: &history,
+            is_mru,
+            is_insert,
+            last_miss,
+        };
+        let plan = mrp_core::FeaturePlan::new(&features);
+        let mut offsets = Vec::new();
+        plan.compute_offsets(&ctx, &mut offsets);
+        prop_assert_eq!(offsets.len(), features.len());
+        let mut base = 0usize;
+        for (feature, &offset) in features.iter().zip(&offsets) {
+            let expected = base + feature.index(&ctx) as usize;
+            prop_assert_eq!(
+                offset as usize, expected,
+                "{}: arena offset {} != base {} + reference index {}",
+                feature, offset, base, feature.index(&ctx)
+            );
+            base += feature.table_size();
+        }
+        prop_assert_eq!(base, plan.arena_len());
+    }
+
+    #[test]
     fn feature_display_is_stable_notation(feature in arbitrary_feature()) {
         let s = feature.to_string();
         prop_assert!(s.ends_with(')'));
