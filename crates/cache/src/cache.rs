@@ -118,6 +118,16 @@ impl Cache {
         set as usize * self.config.associativity() as usize + way as usize
     }
 
+    /// The validity bitmask of `set` (bit `way` = slot holds a block).
+    pub fn valid_mask(&self, set: u32) -> u64 {
+        self.valid[set as usize]
+    }
+
+    /// The block resident in (`set`, `way`), if any.
+    pub fn way_block(&self, set: u32, way: u32) -> Option<u64> {
+        (self.valid[set as usize] & (1u64 << way) != 0).then(|| self.tags[self.slot(set, way)])
+    }
+
     /// Looks a block up without touching policy or stats state.
     pub fn probe(&self, block: u64) -> bool {
         let set = self.config.set_of(block);
@@ -150,6 +160,12 @@ impl Cache {
         let assoc = self.config.associativity();
         let base = self.slot(info.set, 0);
         let vmask = self.valid[info.set as usize];
+        debug_assert_eq!(
+            vmask & !self.full_mask,
+            0,
+            "valid bits beyond associativity in set {}",
+            info.set
+        );
         let set_tags = &self.tags[base..base + assoc as usize];
         let mut hit_way = None;
         let mut invalid_way = None;
@@ -212,10 +228,12 @@ impl Cache {
                 victim
             }
         };
+        debug_assert!(way < assoc, "fill way {way} of {assoc}");
         let slot = self.slot(info.set, way);
         self.tags[slot] = info.block;
         self.valid[info.set as usize] |= 1u64 << way;
         self.policy.on_fill(&info, way);
+        debug_assert!(self.probe(info.block), "filled block not resident");
         AccessResult::Miss { evicted }
     }
 

@@ -41,7 +41,9 @@ impl RripState {
 
     /// Reads a block's RRPV.
     pub fn get(&self, set: u32, way: u32) -> u8 {
-        self.rrpv[self.slot(set, way)]
+        let v = self.rrpv[self.slot(set, way)];
+        debug_assert!(v <= RRIP_MAX, "RRPV {v} exceeds {RRIP_MAX}");
+        v
     }
 
     /// Writes a block's RRPV (clamped to [`RRIP_MAX`]).
@@ -61,6 +63,10 @@ impl RripState {
                 }
             }
             for way in 0..self.assoc {
+                debug_assert!(
+                    self.rrpv[base + way as usize] < RRIP_MAX,
+                    "aging a set that already has a distant block"
+                );
                 self.rrpv[base + way as usize] += 1;
             }
         }

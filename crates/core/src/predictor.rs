@@ -195,6 +195,11 @@ impl MultiperspectivePredictor {
     pub fn tables(&self) -> &WeightTables {
         &self.tables
     }
+
+    /// The sampler (for invariant checks and white-box tests).
+    pub fn sampler(&self) -> &Sampler {
+        &self.sampler
+    }
 }
 
 #[cfg(test)]

@@ -136,7 +136,7 @@ impl Sampler {
         let entries = &mut self.sets[set as usize];
         let hit_position = entries.iter().position(|e| e.tag == tag);
 
-        match hit_position {
+        let outcome = match hit_position {
             Some(p) => {
                 // Round 1: train the reused block. For each feature with
                 // p < A the reuse is a hit at associativity A; gate on the
@@ -205,12 +205,48 @@ impl Sampler {
                     hit_position: None,
                 }
             }
-        }
+        };
+        debug_assert!(
+            self.sets[set as usize].len() <= SAMPLER_ASSOC,
+            "sampler set overfilled"
+        );
+        outcome
     }
 
     /// Occupancy of a sampler set (tests).
     pub fn set_len(&self, set: u32) -> usize {
         self.sets[set as usize].len()
+    }
+
+    /// Structural invariants: every set within [`SAMPLER_ASSOC`], unique
+    /// partial tags within a set, and every stored index vector matching
+    /// the feature arity. Returns `Err(detail)` on the first violation so
+    /// verification can fold it into a divergence report.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let arity = self.feature_assocs.len();
+        for (s, entries) in self.sets.iter().enumerate() {
+            if entries.len() > SAMPLER_ASSOC {
+                return Err(format!(
+                    "sampler set {s}: occupancy {} exceeds associativity {SAMPLER_ASSOC}",
+                    entries.len()
+                ));
+            }
+            for (q, entry) in entries.iter().enumerate() {
+                if entry.indices.len() != arity {
+                    return Err(format!(
+                        "sampler set {s} position {q}: stored {} indices for {arity} features",
+                        entry.indices.len()
+                    ));
+                }
+                if entries[..q].iter().any(|e| e.tag == entry.tag) {
+                    return Err(format!(
+                        "sampler set {s}: duplicate partial tag {:#x}",
+                        entry.tag
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 }
 

@@ -82,6 +82,11 @@ impl WeightTables {
         self.weights.len()
     }
 
+    /// The `(min, max)` saturation bounds of these tables.
+    pub fn weight_bounds(&self) -> (i8, i8) {
+        (self.weight_min, self.weight_max)
+    }
+
     /// Reads the weight selected by `index` in `table`.
     pub fn weight(&self, table: usize, index: u16) -> i8 {
         let offset = self.bases[table] as usize + usize::from(index);
@@ -122,6 +127,7 @@ impl WeightTables {
     pub fn increment_at(&mut self, offset: u16) {
         let w = &mut self.weights[usize::from(offset)];
         *w = (*w).saturating_add(1).min(self.weight_max);
+        debug_assert!(*w >= self.weight_min && *w <= self.weight_max);
     }
 
     /// Saturating decrement of the weight at a precombined arena offset.
@@ -129,6 +135,7 @@ impl WeightTables {
     pub fn decrement_at(&mut self, offset: u16) {
         let w = &mut self.weights[usize::from(offset)];
         *w = (*w).saturating_sub(1).max(self.weight_min);
+        debug_assert!(*w >= self.weight_min && *w <= self.weight_max);
     }
 
     /// Total storage in bits (for the overhead accounting test against the

@@ -2,15 +2,25 @@
 //!
 //! Usage: `cargo run -p mrp-experiments --release --bin fig10_ablation --
 //! [--warmup N] [--measure N] [--mixes N] [--features N] [--seed N] [--threads N]`
+//!
+//! `--bless` regenerates the reduced-scale golden matrix at
+//! `results/fig10_golden.txt` (checked by the `golden_tables` test)
+//! instead of running the full study.
 
 use mrp_experiments::ablation;
 use mrp_experiments::output::pct;
 use mrp_experiments::runner::MpParams;
-use mrp_experiments::Args;
+use mrp_experiments::{golden, Args};
 
 fn main() {
     let args = Args::parse();
     let threads = args.init_threads();
+    if args.get_flag("bless", false) {
+        let path = golden::results_path("fig10_golden.txt");
+        std::fs::write(&path, golden::ablation_golden()).expect("write golden");
+        eprintln!("fig10 golden regenerated at {}", path.display());
+        return;
+    }
     let params = MpParams {
         warmup: args.get_u64("warmup", 1_000_000),
         measure: args.get_u64("measure", 5_000_000),

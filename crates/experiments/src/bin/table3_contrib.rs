@@ -2,14 +2,24 @@
 //!
 //! Usage: `cargo run -p mrp-experiments --release --bin table3_contrib --
 //! [--workloads N] [--instructions N] [--seed N] [--threads N]`
+//!
+//! `--bless` regenerates the reduced-scale golden matrix at
+//! `results/table3_golden.txt` (checked by the `golden_tables` test)
+//! instead of running the full study.
 
 use mrp_experiments::feature_table;
 use mrp_experiments::output::table;
-use mrp_experiments::Args;
+use mrp_experiments::{golden, Args};
 
 fn main() {
     let args = Args::parse();
     let threads = args.init_threads();
+    if args.get_flag("bless", false) {
+        let path = golden::results_path("table3_golden.txt");
+        std::fs::write(&path, golden::table3_golden()).expect("write golden");
+        eprintln!("table3 golden regenerated at {}", path.display());
+        return;
+    }
     let workloads = args.get_usize("workloads", 33);
     let instructions = args.get_u64("instructions", 3_000_000);
     // A fresh seed so traces differ from every tuning run, mirroring the

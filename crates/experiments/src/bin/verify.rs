@@ -1,0 +1,127 @@
+//! Differential verification driver: lockstep shadow models, simulation
+//! invariants, and the MIN oracle bound over fuzzed traces.
+//!
+//! Usage: `cargo run -p mrp-experiments --release --bin verify --
+//! [--seed N] [--accesses N] [--jobs N] [--policies lru,srrip,...|all]
+//! [--threads N]`
+//!
+//! Exits nonzero on any divergence, printing the bounded divergence
+//! report and a shrunk reproducer. Any failure reproduces from the
+//! printed seed alone: `verify --seed N` replays identical streams
+//! regardless of thread count.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use mrp_cache::CacheConfig;
+use mrp_experiments::{Args, PolicyKind};
+use mrp_verify::{run_verification, PolicySpec, VerifyConfig};
+
+/// Every policy the experiments register, in CLI naming.
+const ALL_POLICIES: [&str; 13] = [
+    "lru",
+    "random",
+    "plru",
+    "srrip",
+    "drrip",
+    "mdpp",
+    "ship",
+    "sdbp",
+    "perceptron",
+    "mpppb",
+    "mpppb-srrip",
+    "mpppb-adaptive",
+    "hawkeye",
+];
+
+fn spec(name: &str) -> PolicySpec {
+    if name == "hawkeye" {
+        return PolicySpec::new(name, Arc::new(|llc: &CacheConfig| PolicyKind::hawkeye(llc)));
+    }
+    let kind = PolicyKind::from_name(name)
+        .unwrap_or_else(|| panic!("unknown policy {name:?}; known: {ALL_POLICIES:?}"));
+    PolicySpec::new(name, Arc::new(move |llc: &CacheConfig| kind.build(llc)))
+}
+
+fn main() -> ExitCode {
+    let args = Args::parse();
+    let threads = args.init_threads();
+    let cfg = VerifyConfig {
+        seed: args.get_u64("seed", 42),
+        accesses: args.get_usize("accesses", 1_000_000),
+        jobs: args.get_usize("jobs", 8),
+    };
+    let selection = args.get_str("policies", "all");
+    let names: Vec<&str> = if selection == "all" {
+        ALL_POLICIES.to_vec()
+    } else {
+        selection.split(',').map(str::trim).collect()
+    };
+    let policies: Vec<PolicySpec> = names.iter().map(|n| spec(n)).collect();
+
+    eprintln!(
+        "verify: seed {} / {} accesses over {} jobs x {} policies on {threads} threads",
+        cfg.seed,
+        cfg.accesses,
+        cfg.jobs,
+        policies.len()
+    );
+    let summary = run_verification(&cfg, &policies);
+
+    println!(
+        "# verify seed={} jobs={} accesses/job={}",
+        summary.seed, summary.jobs, summary.accesses_per_job
+    );
+    for name in &names {
+        let cells: Vec<_> = summary
+            .policy_cells
+            .iter()
+            .filter(|c| c.policy == *name)
+            .collect();
+        let divergences: usize = cells.iter().map(|c| c.report.total).sum();
+        let misses: u64 = cells.iter().map(|c| c.demand_misses).sum();
+        let status = if divergences == 0 { "ok" } else { "FAIL" };
+        println!(
+            "{name:>16}  {status:>4}  {divergences:>4} divergences  {misses:>9} demand misses"
+        );
+    }
+    let predictor_divergences: usize = summary.predictor_reports.iter().map(|r| r.total).sum();
+    println!(
+        "{:>16}  {:>4}  {predictor_divergences:>4} divergences",
+        "predictor",
+        if predictor_divergences == 0 {
+            "ok"
+        } else {
+            "FAIL"
+        }
+    );
+    println!(
+        "# MIN bound applied to {} of {} policy cells (prefetch jobs excluded)",
+        summary.min_checks.0, summary.min_checks.1
+    );
+
+    if summary.is_clean() {
+        println!("# clean: optimized and reference models agreed on every access");
+        return ExitCode::SUCCESS;
+    }
+
+    eprintln!("\n{} divergence(s) found:", summary.total_divergences());
+    for cell in summary.policy_cells.iter().filter(|c| !c.report.is_clean()) {
+        eprintln!(
+            "--- policy {} job {}:\n{}",
+            cell.policy, cell.job, cell.report
+        );
+    }
+    for (job, report) in summary
+        .predictor_reports
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| !r.is_clean())
+    {
+        eprintln!("--- predictor job {job}:\n{report}");
+    }
+    if let Some(shrunk) = &summary.shrunk {
+        eprintln!("\n{shrunk}");
+    }
+    ExitCode::FAILURE
+}

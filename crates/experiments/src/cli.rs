@@ -9,8 +9,10 @@ pub struct Args {
 }
 
 impl Args {
-    /// Parses the process arguments. Every argument must be of the form
-    /// `--key value`.
+    /// Parses the process arguments. Arguments are `--key value` pairs; a
+    /// `--key` followed by another `--key` (or by nothing) is a valueless
+    /// flag and reads as `true`, so switches like `--bless` need no
+    /// operand. Negative numbers (`--delta -5`) still parse as values.
     ///
     /// # Panics
     ///
@@ -22,14 +24,15 @@ impl Args {
     /// Parses from an explicit iterator (tests).
     pub fn from_args<I: IntoIterator<Item = String>>(iter: I) -> Self {
         let mut values = HashMap::new();
-        let mut iter = iter.into_iter();
+        let mut iter = iter.into_iter().peekable();
         while let Some(key) = iter.next() {
             let stripped = key
                 .strip_prefix("--")
                 .unwrap_or_else(|| panic!("expected --key, got {key:?}"));
-            let value = iter
-                .next()
-                .unwrap_or_else(|| panic!("missing value for --{stripped}"));
+            let value = match iter.peek() {
+                Some(next) if !next.starts_with("--") => iter.next().expect("peeked"),
+                _ => "true".to_string(),
+            };
             if values.insert(stripped.to_string(), value).is_some() {
                 panic!("duplicate argument --{stripped}");
             }
@@ -134,6 +137,22 @@ mod tests {
     fn rejects_non_boolean_flag_values() {
         let a = args(&["--min", "maybe"]);
         let _ = a.get_flag("min", true);
+    }
+
+    #[test]
+    fn valueless_flags_read_as_true() {
+        let a = args(&["--bless", "--seed", "7"]);
+        assert!(a.get_flag("bless", false));
+        assert_eq!(a.get_u64("seed", 0), 7);
+        let b = args(&["--seed", "7", "--bless"]);
+        assert!(b.get_flag("bless", false));
+    }
+
+    #[test]
+    fn negative_numbers_still_parse_as_values() {
+        let a = args(&["--delta", "-5", "--strict"]);
+        assert_eq!(a.get_str("delta", "0"), "-5");
+        assert!(a.get_flag("strict", false));
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! Golden-file plumbing for the table-producing drivers.
+//!
+//! The ablation (Fig. 10) and feature-contribution (Table 3) drivers
+//! promise deterministic, bit-identical outputs for a given seed. Each
+//! gets a reduced-scale golden matrix in `results/`, regenerated with the
+//! driver's `--bless` flag (or `MRP_UPDATE_GOLDEN=1` on the test), in the
+//! same format as `results/fig6_golden.txt`: a trace fingerprint line
+//! followed by rows carrying exact `f64::to_bits` values plus a human
+//! comment.
+//!
+//! Like the Fig. 6 golden, values are only comparable when the trace
+//! streams match — they depend on the `rand` implementation backing the
+//! generators — so a fingerprint mismatch skips the comparison with a
+//! message instead of failing.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use mrp_trace::workloads;
+
+use crate::ablation;
+use crate::feature_table;
+use crate::runner::MpParams;
+
+/// Workloads folded into the trace fingerprint (a stable, representative
+/// sample of the suite).
+const FINGERPRINT_WORKLOADS: [&str; 4] = ["scanhot.protect", "loop.edge", "zipf.hot", "stream.rw"];
+
+/// Absolute path of a golden file in `results/`.
+pub fn results_path(file: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../../results/{file}"))
+}
+
+/// Fingerprint of the access streams behind a golden matrix: FNV-folds
+/// the first 256 accesses of each fingerprint workload at `seed`.
+/// Identifies the trace generator + rand implementation, not the cache
+/// stack under test.
+pub fn trace_fingerprint(seed: u64) -> u64 {
+    let suite = workloads::suite();
+    let mut fp = 0xcbf2_9ce4_8422_2325u64;
+    for name in FINGERPRINT_WORKLOADS {
+        let w = suite.iter().find(|w| w.name() == name).expect("workload");
+        for access in w.trace(seed).take(256) {
+            for v in [access.pc, access.address] {
+                fp ^= v;
+                fp = fp.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+    }
+    fp
+}
+
+/// Seed of the ablation golden run.
+pub const ABLATION_SEED: u64 = 5;
+
+/// Renders the reduced-scale Fig. 10 ablation golden matrix.
+pub fn ablation_golden() -> String {
+    let params = MpParams {
+        warmup: 10_000,
+        measure: 50_000,
+    };
+    let result = ablation::run(params, 1, 2, ABLATION_SEED);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# fig10 ablation golden (reduced scale: warmup 10k / measure 50k, 1 mix, 2 features, seed {ABLATION_SEED})"
+    );
+    let _ = writeln!(
+        out,
+        "# regenerate: cargo run -p mrp-experiments --bin fig10_ablation -- --bless"
+    );
+    let _ = writeln!(out, "fingerprint {:016x}", trace_fingerprint(ABLATION_SEED));
+    let _ = writeln!(
+        out,
+        "(original) {:016x} # speedup={:.6}",
+        result.original.to_bits(),
+        result.original
+    );
+    for (feature, speedup) in &result.omitted {
+        let _ = writeln!(
+            out,
+            "{} {:016x} # speedup={speedup:.6}",
+            feature.replace(' ', "_"),
+            speedup.to_bits()
+        );
+    }
+    out
+}
+
+/// Seed of the Table 3 golden run.
+pub const TABLE3_SEED: u64 = 99;
+
+/// Renders the reduced-scale Table 3 feature-contribution golden matrix.
+pub fn table3_golden() -> String {
+    let rows = feature_table::run(2, 150_000, TABLE3_SEED);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# table3 contribution golden (reduced scale: 2 workloads, 150k instructions, seed {TABLE3_SEED})"
+    );
+    let _ = writeln!(
+        out,
+        "# regenerate: cargo run -p mrp-experiments --bin table3_contrib -- --bless"
+    );
+    let _ = writeln!(out, "fingerprint {:016x}", trace_fingerprint(TABLE3_SEED));
+    for r in &rows {
+        let _ = writeln!(
+            out,
+            "{} {} {:016x} {:016x} # without={:.4} with={:.4}",
+            r.feature.replace(' ', "_"),
+            r.workload,
+            r.mpki_without.to_bits(),
+            r.mpki_with.to_bits(),
+            r.mpki_without,
+            r.mpki_with
+        );
+    }
+    out
+}
+
+/// Compares a freshly rendered golden against the committed file.
+///
+/// * `MRP_UPDATE_GOLDEN=1` (or a missing-but-blessing caller) rewrites
+///   the file instead of comparing.
+/// * A fingerprint mismatch prints the regeneration instructions and
+///   skips the comparison (different rand/trace stream, values
+///   incomparable).
+/// * Otherwise every line must match exactly.
+///
+/// # Panics
+///
+/// Panics when the committed file is absent or any line differs.
+pub fn check_against_committed(file: &str, rendered: &str) {
+    let path = results_path(file);
+    if std::env::var("MRP_UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&path, rendered).expect("write golden");
+        eprintln!("golden regenerated at {}", path.display());
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate it with the driver's --bless flag",
+            path.display()
+        )
+    });
+    let fp = |text: &str| -> u64 {
+        text.lines()
+            .find_map(|l| l.strip_prefix("fingerprint "))
+            .map(|h| u64::from_str_radix(h, 16).expect("fingerprint hex"))
+            .expect("fingerprint line")
+    };
+    let (committed_fp, fresh_fp) = (fp(&committed), fp(rendered));
+    if committed_fp != fresh_fp {
+        eprintln!(
+            "{file}: trace fingerprint mismatch ({committed_fp:016x} committed vs \
+             {fresh_fp:016x} here): golden values were produced by a different \
+             rand/trace stream; skipping value comparison. Re-bless to pin this \
+             environment."
+        );
+        return;
+    }
+    let significant = |text: &str| -> Vec<String> {
+        text.lines()
+            .filter(|l| !l.starts_with('#'))
+            .map(String::from)
+            .collect()
+    };
+    let (want, got) = (significant(&committed), significant(rendered));
+    assert_eq!(
+        want, got,
+        "{file} drifted (outputs are no longer bit-identical); \
+         if the change is intentional, re-bless with the driver's --bless flag"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_depends_on_seed() {
+        assert_ne!(trace_fingerprint(1), trace_fingerprint(2));
+        assert_eq!(trace_fingerprint(5), trace_fingerprint(5));
+    }
+
+    #[test]
+    fn renderers_emit_fingerprint_and_rows() {
+        let a = ablation_golden();
+        assert!(a.contains("fingerprint "));
+        assert!(a.contains("(original) "));
+        let t = table3_golden();
+        assert!(t.contains("fingerprint "));
+        // 16 features => 16 data rows after the fingerprint line.
+        let rows = t
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.starts_with("fingerprint"))
+            .count();
+        assert_eq!(rows, 16);
+    }
+}

@@ -26,6 +26,7 @@ pub mod ablation;
 pub mod assoc_sweep;
 pub mod cli;
 pub mod feature_table;
+pub mod golden;
 pub mod multi;
 pub mod output;
 pub mod policies;

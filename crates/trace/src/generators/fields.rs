@@ -123,13 +123,23 @@ mod tests {
 
     #[test]
     fn visit_touches_object_fields_in_order() {
-        let mut g = FieldAccess::new(0, 4, 256, vec![0, 64, 128], 0.0, 3);
-        let a = g.next_access();
-        let object_base = a.address; // first field is offset 0
-        let b = g.next_access();
-        if b.address != object_base {
-            // Same visit: second field of the same object.
-            assert_eq!(b.address - object_base, 64);
+        let offsets = vec![0u16, 64, 128];
+        let mut g = FieldAccess::new(0, 4, 256, offsets.clone(), 0.0, 3);
+        let mut prev_field: Option<usize> = None;
+        for _ in 0..200 {
+            let a = g.next_access();
+            // After the call the generator state names the visit the access
+            // belongs to: field_cursor - 1 is the field just touched.
+            let field = g.field_cursor - 1;
+            let expected = g.current_object * g.object_bytes + u64::from(offsets[field]);
+            assert_eq!(a.address, expected, "access not at field {field}");
+            match prev_field {
+                // Within a visit fields advance in declaration order; a new
+                // visit restarts at the first field.
+                Some(p) => assert!(field == p + 1 || field == 0, "{p} -> {field}"),
+                None => assert_eq!(field, 0, "first access must start a visit"),
+            }
+            prev_field = Some(field);
         }
     }
 

@@ -137,18 +137,37 @@ impl ZipfSampler {
     }
 
     /// Draws a rank in `0..n`.
-    ///
-    /// Returns exactly the rank a binary search over the full CDF would:
-    /// the CDF is strictly increasing, so the answer is the partition
-    /// point of `cdf[i] < u`, and the guide bucket `[guide[j], guide[j+1]]`
-    /// provably brackets it (`j / B <= u < (j + 1) / B`).
     pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.gen();
+        self.sample_at(rng.gen())
+    }
+
+    /// The rank a uniform draw `u` in `[0, 1)` maps to, via the guide
+    /// index.
+    ///
+    /// Returns exactly the rank [`ZipfSampler::rank_by_binary_search`]
+    /// would: the CDF is strictly increasing, so the answer is the
+    /// partition point of `cdf[i] < u`, and the guide bucket
+    /// `[guide[j], guide[j+1]]` provably brackets it
+    /// (`j / B <= u < (j + 1) / B`).
+    pub fn sample_at(&self, u: f64) -> usize {
         let buckets = self.guide.len() - 1;
         let j = ((u * buckets as f64) as usize).min(buckets - 1);
         let lo = self.guide[j] as usize;
         let hi = self.guide[j + 1] as usize;
         let i = lo + self.cdf[lo..hi].partition_point(|&probe| probe < u);
+        i.min(self.cdf.len() - 1)
+    }
+
+    /// Reference form of [`ZipfSampler::sample_at`]: a binary search over
+    /// the whole CDF, with no guide acceleration. Kept for differential
+    /// tests of the guided path.
+    pub fn rank_by_binary_search(&self, u: f64) -> usize {
+        let i = match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) | Err(i) => i,
+        };
         i.min(self.cdf.len() - 1)
     }
 }
@@ -211,18 +230,11 @@ mod tests {
             let mut rng = rng_from_seed(42);
             for _ in 0..5_000 {
                 let u: f64 = rng.gen();
-                let expected = match sampler
-                    .cdf
-                    .binary_search_by(|probe| probe.partial_cmp(&u).expect("cdf is finite"))
-                {
-                    Ok(i) | Err(i) => i.min(n - 1),
-                };
-                let buckets = sampler.guide.len() - 1;
-                let j = ((u * buckets as f64) as usize).min(buckets - 1);
-                let lo = sampler.guide[j] as usize;
-                let hi = sampler.guide[j + 1] as usize;
-                let got = (lo + sampler.cdf[lo..hi].partition_point(|&probe| probe < u)).min(n - 1);
-                assert_eq!(got, expected, "n={n} theta={theta} u={u}");
+                assert_eq!(
+                    sampler.sample_at(u),
+                    sampler.rank_by_binary_search(u),
+                    "n={n} theta={theta} u={u}"
+                );
             }
         }
     }

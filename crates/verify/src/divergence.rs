@@ -1,0 +1,156 @@
+//! Bounded divergence reporting.
+//!
+//! A lockstep run does not stop at the first mismatch: it records the
+//! first [`MAX_REPORTED`] divergences with full access context (index,
+//! trace record, subject, detail) and keeps counting the rest, so one
+//! report shows whether a failure is a single glitch or a systematic
+//! drift — and the run still terminates instead of panicking mid-stream.
+
+use std::fmt;
+
+use mrp_trace::MemoryAccess;
+
+/// Divergences kept with full context per report; the rest only count.
+pub const MAX_REPORTED: usize = 8;
+
+/// One observed disagreement between the optimized and reference models
+/// (or a violated invariant), with enough context to reproduce it.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Index of the access in the driving stream. For end-of-run checks
+    /// (final stats, weight sweeps) this is the stream length.
+    pub access_index: usize,
+    /// The access being simulated when the divergence fired, if any.
+    pub access: Option<MemoryAccess>,
+    /// What was being verified: a policy name or a feature-set notation.
+    pub subject: String,
+    /// What disagreed, with both sides' values.
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] access {}: {}",
+            self.subject, self.access_index, self.detail
+        )?;
+        if let Some(a) = &self.access {
+            write!(
+                f,
+                " (pc={:#x} address={:#x} block={:#x} kind={})",
+                a.pc,
+                a.address,
+                a.block(),
+                a.kind
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Accumulates divergences for one lockstep run, keeping full context for
+/// the first [`MAX_REPORTED`] and a total count beyond that.
+#[derive(Debug, Clone, Default)]
+pub struct DivergenceReport {
+    /// The first [`MAX_REPORTED`] divergences, in stream order.
+    pub recorded: Vec<Divergence>,
+    /// Total divergences observed, including unrecorded ones.
+    pub total: usize,
+}
+
+impl DivergenceReport {
+    /// Records a divergence (context kept only below the cap).
+    pub fn push(&mut self, divergence: Divergence) {
+        self.total += 1;
+        if self.recorded.len() < MAX_REPORTED {
+            self.recorded.push(divergence);
+        }
+    }
+
+    /// Whether the run was divergence-free.
+    pub fn is_clean(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Whether the context buffer is full — callers may stop early, the
+    /// report cannot get more informative.
+    pub fn saturated(&self) -> bool {
+        self.total >= MAX_REPORTED
+    }
+
+    /// Folds another report into this one (context still capped).
+    pub fn merge(&mut self, other: &DivergenceReport) {
+        self.total += other.total;
+        for d in &other.recorded {
+            if self.recorded.len() >= MAX_REPORTED {
+                break;
+            }
+            self.recorded.push(d.clone());
+        }
+    }
+}
+
+impl fmt::Display for DivergenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return f.write_str("clean");
+        }
+        writeln!(
+            f,
+            "{} divergence(s), first {}:",
+            self.total,
+            self.recorded.len()
+        )?;
+        for d in &self.recorded {
+            writeln!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(i: usize) -> Divergence {
+        Divergence {
+            access_index: i,
+            access: Some(MemoryAccess::load(0x400000, i as u64 * 64)),
+            subject: "lru".to_string(),
+            detail: format!("mismatch {i}"),
+        }
+    }
+
+    #[test]
+    fn report_counts_beyond_the_context_cap() {
+        let mut r = DivergenceReport::default();
+        for i in 0..MAX_REPORTED + 5 {
+            r.push(d(i));
+        }
+        assert_eq!(r.total, MAX_REPORTED + 5);
+        assert_eq!(r.recorded.len(), MAX_REPORTED);
+        assert!(r.saturated());
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn merge_preserves_totals() {
+        let mut a = DivergenceReport::default();
+        let mut b = DivergenceReport::default();
+        for i in 0..6 {
+            a.push(d(i));
+            b.push(d(100 + i));
+        }
+        a.merge(&b);
+        assert_eq!(a.total, 12);
+        assert_eq!(a.recorded.len(), MAX_REPORTED);
+    }
+
+    #[test]
+    fn display_includes_access_context() {
+        let rendered = d(3).to_string();
+        assert!(rendered.contains("access 3"), "{rendered}");
+        assert!(rendered.contains("block=0x3"), "{rendered}");
+    }
+}

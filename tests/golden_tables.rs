@@ -1,0 +1,24 @@
+//! Golden regression tests for the table-producing drivers: the Fig. 10
+//! ablation and Table 3 feature-contribution matrices at reduced scale
+//! must match their committed references bit-for-bit.
+//!
+//! Regenerate after an *intentional* output change with the driver's
+//! `--bless` flag (`cargo run -p mrp-experiments --bin fig10_ablation --
+//! --bless`, likewise `table3_contrib`), or with
+//! `MRP_UPDATE_GOLDEN=1 cargo test -p mrp-experiments --test golden_tables`.
+//!
+//! Values depend on the rand implementation backing the trace generators;
+//! a fingerprint mismatch skips the comparison (see
+//! `mrp_experiments::golden`).
+
+use mrp_experiments::golden;
+
+#[test]
+fn fig10_ablation_matches_committed_golden() {
+    golden::check_against_committed("fig10_golden.txt", &golden::ablation_golden());
+}
+
+#[test]
+fn table3_contrib_matches_committed_golden() {
+    golden::check_against_committed("table3_golden.txt", &golden::table3_golden());
+}

@@ -8,6 +8,7 @@ use mrp_core::context::PcHistory;
 use mrp_core::feature::{Feature, FeatureKind};
 use mrp_core::mpppb::{Mpppb, MpppbConfig};
 use mrp_core::sampler::{clamp_confidence, partial_tag, Sampler, TrainingEvent};
+use mrp_trace::generators::ZipfSampler;
 use mrp_trace::MemoryAccess;
 
 fn arbitrary_feature() -> impl Strategy<Value = Feature> {
@@ -253,6 +254,53 @@ proptest! {
                 AccessResult::Hit => prop_assert!(cache.probe(b)),
                 AccessResult::Bypassed => prop_assert!(!cache.probe(b)),
             }
+        }
+    }
+
+    #[test]
+    fn soa_cache_matches_shadow_reference_on_random_streams(
+        policy_tag in 0u8..3,
+        accesses in proptest::collection::vec((0u64..64, 0u64..7, any::<bool>()), 1..200),
+    ) {
+        // The optimized SoA cache and the naive `Option<u64>`-slot shadow
+        // reference must stay bit-equal on arbitrary short streams — the
+        // same property the `verify` binary checks at fuzz scale, here
+        // under proptest's own shrinking.
+        let llc = CacheConfig::new(64 * 8, 4); // 2 sets x 4 ways
+        let build = move |cfg: &CacheConfig| -> Box<dyn mrp_cache::ReplacementPolicy + Send> {
+            match policy_tag {
+                0 => Box::new(Lru::new(cfg.sets(), cfg.associativity())),
+                1 => Box::new(Srrip::new(cfg.sets(), cfg.associativity())),
+                _ => Box::new(mrp_cache::policies::TreePlru::new(cfg.sets(), cfg.associativity())),
+            }
+        };
+        let stream: Vec<(MemoryAccess, bool)> = accesses
+            .iter()
+            .map(|&(block, pc_site, is_prefetch)| {
+                (MemoryAccess::load(0x400000 + pc_site * 4, block * 64), is_prefetch)
+            })
+            .collect();
+        let (report, _) = mrp_verify::run_lockstep(&llc, "properties", &build, &stream);
+        prop_assert!(report.is_clean(), "divergence:\n{}", report);
+    }
+
+    #[test]
+    fn guided_zipf_rank_equals_plain_binary_search(
+        n in 1usize..5000,
+        theta_milli in 0u32..2000,
+        draws in proptest::collection::vec(0u64..(1u64 << 53), 1..50),
+    ) {
+        // The bucketed guide index is a pure accelerator over the CDF:
+        // for any uniform draw it must return the same rank as an
+        // unaccelerated binary search.
+        let sampler = ZipfSampler::new(n, f64::from(theta_milli) / 1000.0);
+        for &v in &draws {
+            let u = v as f64 / (1u64 << 53) as f64;
+            prop_assert_eq!(
+                sampler.sample_at(u),
+                sampler.rank_by_binary_search(u),
+                "n={} theta={} u={}", n, theta_milli, u
+            );
         }
     }
 }

@@ -1,0 +1,93 @@
+//! Smoke tier of the differential verification subsystem: every
+//! registered policy runs lockstep against the shadow reference cache on
+//! small fuzzed streams, the predictor lockstep runs on random feature
+//! specs, and the MIN oracle bound is applied — all at a scale that fits
+//! in a normal `cargo test` run. The full-scale sweep is
+//! `cargo run -p mrp-experiments --release --bin verify`.
+
+use std::sync::Arc;
+
+use mrp_cache::CacheConfig;
+use mrp_experiments::PolicyKind;
+use mrp_verify::{run_verification, PolicySpec, VerifyConfig};
+
+fn spec(name: &str) -> PolicySpec {
+    if name == "hawkeye" {
+        return PolicySpec::new(name, Arc::new(|llc: &CacheConfig| PolicyKind::hawkeye(llc)));
+    }
+    let kind = PolicyKind::from_name(name).expect("known policy");
+    PolicySpec::new(name, Arc::new(move |llc: &CacheConfig| kind.build(llc)))
+}
+
+#[test]
+fn all_policies_verify_clean_at_smoke_scale() {
+    let cfg = VerifyConfig {
+        seed: 0xC0FFEE,
+        accesses: 16_000,
+        jobs: 4,
+    };
+    let policies: Vec<PolicySpec> = [
+        "lru",
+        "random",
+        "plru",
+        "srrip",
+        "drrip",
+        "mdpp",
+        "ship",
+        "sdbp",
+        "perceptron",
+        "mpppb",
+        "mpppb-srrip",
+        "mpppb-adaptive",
+        "hawkeye",
+    ]
+    .iter()
+    .map(|n| spec(n))
+    .collect();
+
+    let summary = run_verification(&cfg, &policies);
+    let failures: Vec<String> = summary
+        .policy_cells
+        .iter()
+        .filter(|c| !c.report.is_clean())
+        .map(|c| format!("policy {} job {}:\n{}", c.policy, c.job, c.report))
+        .chain(
+            summary
+                .predictor_reports
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| !r.is_clean())
+                .map(|(j, r)| format!("predictor job {j}:\n{r}")),
+        )
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "verification failures:\n{}",
+        failures.join("\n")
+    );
+    assert_eq!(summary.policy_cells.len(), 13 * 4);
+    assert_eq!(summary.predictor_reports.len(), 4);
+    assert!(summary.min_checks.0 > 0, "MIN bound never applied");
+    assert!(summary.shrunk.is_none());
+}
+
+#[test]
+fn verification_replays_identically_across_thread_counts() {
+    let cfg = VerifyConfig {
+        seed: 99,
+        accesses: 4_000,
+        jobs: 4,
+    };
+    let policies = vec![spec("lru"), spec("mpppb")];
+    let run = |threads: usize| {
+        mrp_runtime::set_threads(threads);
+        let summary = run_verification(&cfg, &policies);
+        mrp_runtime::set_threads(0);
+        summary
+            .policy_cells
+            .iter()
+            .map(|c| (c.policy.clone(), c.job, c.demand_misses, c.min_misses))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(1), run(4), "results must not depend on thread count");
+}
