@@ -29,7 +29,7 @@ pub mod sdbp;
 pub mod ship;
 
 pub use hawkeye::Hawkeye;
-pub use min::{MinPolicy, StreamRecorder};
+pub use min::MinPolicy;
 pub use perceptron::PerceptronPolicy;
 pub use sdbp::Sdbp;
 pub use ship::Ship;

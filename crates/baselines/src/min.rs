@@ -5,62 +5,21 @@
 //! MIN needs future knowledge, so reproduction takes two passes over the
 //! same deterministic trace:
 //!
-//! 1. Run the hierarchy with a [`StreamRecorder`] LLC policy (LRU +
-//!    recording). The LLC access stream is *independent of the LLC
+//! 1. Record the workload's LLC stream with
+//!    `mrp_cache::replay::LlcRecording` (its `llc_blocks()` is the block
+//!    sequence). The LLC access stream is *independent of the LLC
 //!    policy* — L1/L2 filtering and the prefetcher only observe levels
 //!    above — so the recorded stream is exactly what any LLC policy sees.
-//! 2. Compute each access's next-use index and re-run with [`MinPolicy`],
+//! 2. Compute each access's next-use index and replay with [`MinPolicy`],
 //!    which evicts the block with the farthest next use and bypasses
 //!    blocks whose next use is farther than every resident block's.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
 
-use mrp_cache::policies::Lru;
 use mrp_cache::{AccessInfo, CacheConfig, ReplacementPolicy};
 
 /// Sentinel next-use index for "never used again".
 const NEVER: u64 = u64::MAX;
-
-/// An LRU policy that records the block-address sequence of every access
-/// it sees, for the MIN prepass.
-#[derive(Debug)]
-pub struct StreamRecorder {
-    lru: Lru,
-    log: Arc<Mutex<Vec<u64>>>,
-}
-
-impl StreamRecorder {
-    /// Creates the recorder; the recorded stream appears in `log`.
-    pub fn new(llc: &CacheConfig, log: Arc<Mutex<Vec<u64>>>) -> Self {
-        StreamRecorder {
-            lru: Lru::new(llc.sets(), llc.associativity()),
-            log,
-        }
-    }
-}
-
-impl ReplacementPolicy for StreamRecorder {
-    fn name(&self) -> &str {
-        "recorder-lru"
-    }
-
-    fn on_access(&mut self, info: &AccessInfo) {
-        self.log.lock().expect("recorder lock").push(info.block);
-    }
-
-    fn on_hit(&mut self, info: &AccessInfo, way: u32) {
-        self.lru.on_hit(info, way);
-    }
-
-    fn choose_victim(&mut self, info: &AccessInfo, occupants: &[u64]) -> u32 {
-        self.lru.choose_victim(info, occupants)
-    }
-
-    fn on_fill(&mut self, info: &AccessInfo, way: u32) {
-        self.lru.on_fill(info, way);
-    }
-}
 
 /// Computes, for each access in `stream`, the index of the next access to
 /// the same block ([`u64::MAX`] if none).
@@ -196,6 +155,7 @@ impl ReplacementPolicy for MinPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mrp_cache::policies::Lru;
     use mrp_cache::Cache;
     use mrp_trace::MemoryAccess;
 
@@ -278,17 +238,6 @@ mod tests {
     }
 
     #[test]
-    fn recorder_captures_stream_in_order() {
-        let c = tiny();
-        let log = Arc::new(Mutex::new(Vec::new()));
-        let mut cache = Cache::new(c, Box::new(StreamRecorder::new(&c, log.clone())));
-        for b in [5u64, 6, 5, 7] {
-            let _ = cache.access(&load(b), false);
-        }
-        assert_eq!(*log.lock().unwrap(), vec![5, 6, 5, 7]);
-    }
-
-    #[test]
     fn min_without_bypass_never_bypasses() {
         let stream: Vec<u64> = (0..100).collect();
         let (_, _, bypasses) = run_min(&stream, false);
@@ -362,20 +311,30 @@ mod tests {
 
     #[test]
     fn recorded_stream_drives_an_optimal_second_pass() {
-        // The two-pass workflow on a 4-access stream: record the LLC
-        // stream with a StreamRecorder, then replay under MIN. [8, 9, 8, 9]
-        // fits entirely in the 2 ways: 2 cold misses, 2 hits — optimal.
-        let c = tiny();
-        let log = Arc::new(Mutex::new(Vec::new()));
-        let mut recorder = Cache::new(c, Box::new(StreamRecorder::new(&c, log.clone())));
-        for b in [8u64, 9, 8, 9] {
-            let _ = recorder.access(&load(b), false);
-        }
-        let recorded = log.lock().unwrap().clone();
-        assert_eq!(recorded, vec![8, 9, 8, 9]);
-        let cache = run_min_cache(&recorded, true);
-        assert_eq!(cache.stats().demand_hits, 2);
-        assert_eq!(cache.stats().demand_misses, 2);
-        assert_eq!(cache.stats().bypasses, 0);
+        // The full two-pass workflow: record a real workload's LLC stream
+        // once, then replay it under MIN and under LRU on the same
+        // geometry. MIN must not lose to LRU on its own stream.
+        use mrp_cache::replay::LlcRecording;
+        use mrp_cache::HierarchyConfig;
+
+        let suite = mrp_trace::workloads::suite();
+        let config = HierarchyConfig::single_thread();
+        let rec = LlcRecording::record(suite[4].name(), suite[4].trace(3), &config, 0, 60_000);
+        let blocks = rec.llc_blocks();
+        assert_eq!(blocks.len(), rec.llc_len());
+
+        let mut min_cache = Cache::new(config.llc, Box::new(MinPolicy::new(&config.llc, &blocks)));
+        rec.replay_llc(&mut min_cache);
+        let mut lru_cache = Cache::new(
+            config.llc,
+            Box::new(Lru::new(config.llc.sets(), config.llc.associativity())),
+        );
+        rec.replay_llc(&mut lru_cache);
+        assert!(
+            min_cache.stats().demand_misses <= lru_cache.stats().demand_misses,
+            "MIN ({}) lost to LRU ({}) on its own stream",
+            min_cache.stats().demand_misses,
+            lru_cache.stats().demand_misses
+        );
     }
 }

@@ -252,6 +252,10 @@ impl ReplacementPolicy for PerceptronPolicy {
         self.history[0] = access.pc;
     }
 
+    fn uses_core_accesses(&self) -> bool {
+        true
+    }
+
     fn on_hit(&mut self, info: &AccessInfo, way: u32) {
         let confidence = self.predict(info);
         let slot = self.slot(info.set, way);

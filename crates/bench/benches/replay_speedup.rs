@@ -1,0 +1,84 @@
+//! Record-once/replay-many vs full simulation on a 13-policy sweep.
+//!
+//! The workload of every single-thread figure driver: one workload, all
+//! thirteen registered policies. `full_sim_13_policies` re-simulates the
+//! trace generator, L1, L2, and prefetcher per policy;
+//! `record_and_replay_13_policies` records the LLC-bound stream once and
+//! replays it into each policy (including the recording cost each
+//! iteration, as a cold driver pays it). Both produce bit-identical
+//! results; the ratio is the headline win of the replay layer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrp_bench::{BENCH_MEASURE, BENCH_WARMUP};
+use mrp_cache::replay::LlcRecording;
+use mrp_cache::{Cache, HierarchyConfig, ReplacementPolicy};
+use mrp_cpu::{replay_single, SingleCoreSim};
+use mrp_experiments::PolicyKind;
+use mrp_trace::workloads;
+
+const POLICY_NAMES: [&str; 12] = [
+    "lru",
+    "random",
+    "plru",
+    "srrip",
+    "drrip",
+    "mdpp",
+    "ship",
+    "sdbp",
+    "perceptron",
+    "mpppb",
+    "mpppb-srrip",
+    "mpppb-adaptive",
+];
+
+/// Fresh instances of all 13 policies (the 12 named kinds plus Hawkeye).
+fn all_policies(config: &HierarchyConfig) -> Vec<Box<dyn ReplacementPolicy + Send>> {
+    let mut out: Vec<Box<dyn ReplacementPolicy + Send>> = POLICY_NAMES
+        .iter()
+        .map(|n| {
+            PolicyKind::from_name(n)
+                .expect("known policy")
+                .build(&config.llc)
+        })
+        .collect();
+    out.push(PolicyKind::hawkeye(&config.llc));
+    out
+}
+
+fn bench(c: &mut Criterion) {
+    let config = HierarchyConfig::single_thread();
+    let workload = &workloads::suite()[10];
+    let mut group = c.benchmark_group("replay_speedup");
+    group.sample_size(10);
+    group.bench_function("full_sim_13_policies", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for policy in all_policies(&config) {
+                let mut sim = SingleCoreSim::new(config, policy, workload.trace(1));
+                total += sim.run(BENCH_WARMUP, BENCH_MEASURE).mpki;
+            }
+            criterion::black_box(total)
+        })
+    });
+    group.bench_function("record_and_replay_13_policies", |b| {
+        b.iter(|| {
+            let recording = LlcRecording::record(
+                workload.name(),
+                workload.trace(1),
+                &config,
+                BENCH_WARMUP,
+                BENCH_MEASURE,
+            );
+            let mut total = 0.0;
+            for policy in all_policies(&config) {
+                let mut cache = Cache::new(config.llc, policy);
+                total += replay_single(&recording, &mut cache, &config.latencies).mpki;
+            }
+            criterion::black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

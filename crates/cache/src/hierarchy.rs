@@ -2,13 +2,14 @@
 
 use std::fmt;
 
-use mrp_trace::MemoryAccess;
+use mrp_trace::{MemoryAccess, ServiceLevel};
 
 use crate::cache::Cache;
 use crate::config::CacheConfig;
 use crate::policies::Lru;
 use crate::policy::ReplacementPolicy;
 use crate::prefetch::StreamPrefetcher;
+use crate::replay::LlcRecording;
 use crate::stats::HierarchyStats;
 
 /// Access latencies (cycles) per level, matching the paper's parameters
@@ -279,6 +280,56 @@ impl CorePrivate {
             serviced_by: ServicedBy::Dram,
             latency: latencies.l1 + latencies.l2 + latencies.llc + latencies.dram,
         }
+    }
+
+    /// Simulates one demand access against the private levels with *no*
+    /// LLC, logging into `recording` every event an LLC would observe.
+    ///
+    /// Mirrors [`CorePrivate::access_with_llc`] step for step — the
+    /// private levels never consult the LLC, so the logged stream is
+    /// exactly what any LLC policy at any geometry would see: the demand
+    /// access (in `on_core_access` position, its servicing level patched
+    /// once the L1/L2 probes resolve), then the prefetch fills whose
+    /// delay elapsed and which missed the L2.
+    pub fn access_recorded(&mut self, access: &MemoryAccess, recording: &mut LlcRecording) {
+        self.instructions += access.instructions();
+        self.accesses += 1;
+        let event = recording.push_core(access);
+
+        while let Some(&(due, pf)) = self.in_flight.front() {
+            if due > self.accesses {
+                break;
+            }
+            self.in_flight.pop_front();
+            if self.l2.access(&pf, true).is_miss() {
+                recording.push_prefetch(&pf);
+            }
+        }
+
+        if self.l1d.access(access, false).is_hit() {
+            recording.set_level(event, ServiceLevel::L1);
+            return;
+        }
+
+        if let Some(prefetcher) = &mut self.prefetcher {
+            let requests = prefetcher.on_l1_miss(access.block());
+            self.prefetches_issued += requests.len() as u64;
+            for block in requests {
+                let pf = MemoryAccess {
+                    address: block * mrp_trace::BLOCK_BYTES,
+                    ..*access
+                };
+                self.in_flight
+                    .push_back((self.accesses + PREFETCH_FILL_DELAY_ACCESSES, pf));
+            }
+        }
+
+        if self.l2.access(access, false).is_hit() {
+            recording.set_level(event, ServiceLevel::L2);
+            return;
+        }
+
+        recording.set_level(event, ServiceLevel::Llc);
     }
 }
 

@@ -37,6 +37,7 @@ pub mod hierarchy;
 pub mod policies;
 pub mod policy;
 pub mod prefetch;
+pub mod replay;
 pub mod stats;
 
 pub use cache::{AccessResult, Cache};
@@ -44,4 +45,5 @@ pub use config::CacheConfig;
 pub use hierarchy::{Hierarchy, HierarchyConfig, LevelLatencies};
 pub use policy::{AccessInfo, ReplacementPolicy};
 pub use prefetch::StreamPrefetcher;
+pub use replay::{LlcRecording, RecordedWindow};
 pub use stats::{CacheStats, HierarchyStats};

@@ -78,6 +78,15 @@ pub trait ReplacementPolicy {
         let _ = access;
     }
 
+    /// Whether [`ReplacementPolicy::on_core_access`] does anything. Must
+    /// return `true` for any policy that overrides (or forwards) the
+    /// hook; replay fast paths skip the per-access call — and the access
+    /// reconstruction feeding it — when this is `false`. The replay
+    /// equivalence suite (`mrp-verify`) catches a stale override.
+    fn uses_core_accesses(&self) -> bool {
+        false
+    }
+
     /// The access hit in `way`.
     fn on_hit(&mut self, info: &AccessInfo, way: u32);
 

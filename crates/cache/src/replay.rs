@@ -1,0 +1,705 @@
+//! Record-once / replay-many LLC streams.
+//!
+//! The stream of accesses reaching the LLC depends only on the trace and
+//! the levels above it (L1D, L2, stream prefetcher) — never on the LLC
+//! policy *or* geometry, because the private levels neither consult the
+//! LLC nor observe its contents. [`LlcRecording`] exploits this: it
+//! drives one pass of a workload through the private levels **with no
+//! LLC at all**, logging every event an LLC (and the timing model) could
+//! observe:
+//!
+//! * every demand access, tagged with the level that serviced it
+//!   ([`ServiceLevel`]), carrying its full CPU metadata
+//!   (`non_memory_before`, `dependent`) so IPC can be reconstructed;
+//! * every prefetch fill that missed the L2 and would therefore reach
+//!   the LLC.
+//!
+//! The recording then replays into any [`ReplacementPolicy`] at any LLC
+//! geometry: [`LlcRecording::replay_llc`] walks only the LLC-bound
+//! events (the MPKI-only fast path used by `mrp-search`), while
+//! `mrp-cpu`'s full replay walks all events through the core timing
+//! model for bit-identical MPKI *and* IPC versus full simulation.
+//!
+//! Recording is single-threaded and lock-free: events append to plain
+//! `Vec`s owned by the recording (no `Arc<Mutex<…>>` side channels).
+//! Recordings persist via the v2 `MRPT` stream codec plus an `MRPR`
+//! trailer carrying the window snapshots that are not reconstructible
+//! from the event log alone (L1/L2 counters, prefetches issued).
+
+use std::io::{self, Read, Write};
+
+use mrp_trace::codec::{self, FLAG_PREFETCH, LEVEL_MASK, LEVEL_SHIFT};
+use mrp_trace::{AccessKind, MemoryAccess, ServiceLevel, StreamEvent};
+
+use crate::cache::Cache;
+use crate::hierarchy::{CorePrivate, HierarchyConfig};
+use crate::stats::{CacheStats, HierarchyStats};
+
+/// Magic of the recording trailer that follows the v2 event stream.
+pub const TRAILER_MAGIC: [u8; 4] = *b"MRPR";
+
+/// Snapshot of the recorded private-level state at a window edge
+/// (warmup/measure boundary or end of recording).
+///
+/// L1/L2 counters and prefetch accounting cannot be reconstructed from
+/// the event log (e.g. L2 prefetch hits never produce an event), so the
+/// recording carries these snapshots; replay diffs them to rebuild the
+/// measure-window [`HierarchyStats`] exactly as full simulation would.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecordedWindow {
+    /// L1 data cache counters at the snapshot point.
+    pub l1d: CacheStats,
+    /// L2 counters at the snapshot point.
+    pub l2: CacheStats,
+    /// Instructions retired by the recorded core at the snapshot point.
+    pub instructions: u64,
+    /// Prefetch requests issued at the snapshot point.
+    pub prefetches_issued: u64,
+}
+
+impl RecordedWindow {
+    fn from_stats(stats: &HierarchyStats) -> Self {
+        RecordedWindow {
+            l1d: stats.l1d,
+            l2: stats.l2,
+            instructions: stats.instructions,
+            prefetches_issued: stats.prefetches_issued,
+        }
+    }
+}
+
+/// One workload's recorded upper-hierarchy stream.
+///
+/// Events are stored in structure-of-arrays form in *emission* order: a
+/// demand access is logged when the core issues it (before its level is
+/// known; the level is patched once the private probes resolve), and the
+/// prefetch fills draining during that access follow it. A separate
+/// index list ([`LlcRecording::replay_llc`] walks it) holds the events
+/// that reach the LLC in true LLC-access order: the drains of access
+/// *i* precede the demand of access *i*, which precedes the drains of
+/// access *i + 1*.
+pub struct LlcRecording {
+    name: String,
+    pcs: Vec<u64>,
+    addresses: Vec<u64>,
+    cores: Vec<u8>,
+    flags: Vec<u8>,
+    gaps: Vec<u8>,
+    /// Indices of LLC-reaching events, in LLC-access order.
+    llc_events: Vec<u32>,
+    /// Number of leading events that belong to the warmup window.
+    warmup_events: usize,
+    /// Private-level snapshot at the warmup/measure boundary.
+    boundary: RecordedWindow,
+    /// Private-level snapshot at the end of the recording.
+    end: RecordedWindow,
+}
+
+impl std::fmt::Debug for LlcRecording {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LlcRecording")
+            .field("name", &self.name)
+            .field("events", &self.len())
+            .field("llc_events", &self.llc_events.len())
+            .field("warmup_events", &self.warmup_events)
+            .finish()
+    }
+}
+
+impl LlcRecording {
+    fn empty(name: &str) -> Self {
+        LlcRecording {
+            name: name.to_string(),
+            pcs: Vec::new(),
+            addresses: Vec::new(),
+            cores: Vec::new(),
+            flags: Vec::new(),
+            gaps: Vec::new(),
+            llc_events: Vec::new(),
+            warmup_events: 0,
+            boundary: RecordedWindow::default(),
+            end: RecordedWindow::default(),
+        }
+    }
+
+    /// Records `warmup` then `measure` retired instructions of `trace`
+    /// through the private levels of `config` (its LLC geometry is
+    /// ignored — the recording is LLC-independent).
+    ///
+    /// The two windows mirror `SingleCoreSim::run`'s advance loops
+    /// exactly, including their per-window instruction overshoot, so a
+    /// full replay reproduces the simulation bit for bit.
+    pub fn record(
+        name: &str,
+        mut trace: impl Iterator<Item = MemoryAccess>,
+        config: &HierarchyConfig,
+        warmup: u64,
+        measure: u64,
+    ) -> Self {
+        let mut private = CorePrivate::new(config);
+        let mut rec = LlcRecording::empty(name);
+        // Rough sizing: one event per few accesses once the L1 warms up.
+        let hint = ((warmup + measure) / 8) as usize;
+        rec.pcs.reserve(hint);
+        rec.addresses.reserve(hint);
+        rec.cores.reserve(hint);
+        rec.flags.reserve(hint);
+        rec.gaps.reserve(hint);
+
+        let mut retired = 0u64;
+        while retired < warmup {
+            let access = trace.next().expect("workload traces are infinite");
+            private.access_recorded(&access, &mut rec);
+            retired += access.instructions();
+        }
+        rec.warmup_events = rec.pcs.len();
+        rec.boundary = RecordedWindow::from_stats(&private.stats());
+
+        let mut retired = 0u64;
+        while retired < measure {
+            let access = trace.next().expect("workload traces are infinite");
+            private.access_recorded(&access, &mut rec);
+            retired += access.instructions();
+        }
+        rec.end = RecordedWindow::from_stats(&private.stats());
+        rec
+    }
+
+    /// Workload name the recording was made from.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of recorded events (demand accesses + LLC-bound
+    /// prefetch fills).
+    pub fn len(&self) -> usize {
+        self.pcs.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.pcs.is_empty()
+    }
+
+    /// Number of events that reach the LLC.
+    pub fn llc_len(&self) -> usize {
+        self.llc_events.len()
+    }
+
+    /// Number of leading events belonging to the warmup window.
+    pub fn warmup_events(&self) -> usize {
+        self.warmup_events
+    }
+
+    /// Private-level snapshot at the warmup/measure boundary.
+    pub fn boundary(&self) -> &RecordedWindow {
+        &self.boundary
+    }
+
+    /// Private-level snapshot at the end of the recording.
+    pub fn end(&self) -> &RecordedWindow {
+        &self.end
+    }
+
+    /// Total instructions retired over both recorded windows.
+    pub fn instructions(&self) -> u64 {
+        self.end.instructions
+    }
+
+    /// Instructions retired in the measure window alone.
+    pub fn measured_instructions(&self) -> u64 {
+        self.end.instructions - self.boundary.instructions
+    }
+
+    /// Reconstructs the access of event `index`.
+    #[inline]
+    pub fn access_at(&self, index: usize) -> MemoryAccess {
+        let flags = self.flags[index];
+        MemoryAccess {
+            pc: self.pcs[index],
+            address: self.addresses[index],
+            core: self.cores[index],
+            kind: if flags & codec::FLAG_STORE != 0 {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            },
+            non_memory_before: self.gaps[index],
+            dependent: flags & codec::FLAG_DEPENDENT != 0,
+        }
+    }
+
+    /// True when event `index` is a prefetch fill.
+    #[inline]
+    pub fn is_prefetch(&self, index: usize) -> bool {
+        self.flags[index] & FLAG_PREFETCH != 0
+    }
+
+    /// Instructions event `index` retires (the access plus its preceding
+    /// non-memory gap) — the timing model's input, without paying for a
+    /// full [`MemoryAccess`] reconstruction.
+    #[inline]
+    pub fn instructions_at(&self, index: usize) -> u32 {
+        u32::from(self.gaps[index]) + 1
+    }
+
+    /// Dependent flag of event `index`, without reconstructing the
+    /// access.
+    #[inline]
+    pub fn dependent_at(&self, index: usize) -> bool {
+        self.flags[index] & codec::FLAG_DEPENDENT != 0
+    }
+
+    /// Servicing level of event `index` (always `Llc` for prefetches).
+    #[inline]
+    pub fn level_at(&self, index: usize) -> ServiceLevel {
+        ServiceLevel::decode((self.flags[index] & LEVEL_MASK) >> LEVEL_SHIFT)
+            .expect("recordings only store valid levels")
+    }
+
+    /// Reconstructs event `index` in codec form.
+    pub fn event_at(&self, index: usize) -> StreamEvent {
+        StreamEvent {
+            access: self.access_at(index),
+            is_prefetch: self.is_prefetch(index),
+            level: self.level_at(index),
+        }
+    }
+
+    /// Block addresses of the LLC-reaching events, in LLC-access order —
+    /// the stream the MIN oracle's second pass consumes.
+    pub fn llc_blocks(&self) -> Vec<u64> {
+        self.llc_events
+            .iter()
+            .map(|&i| self.addresses[i as usize] >> mrp_trace::BLOCK_OFFSET_BITS)
+            .collect()
+    }
+
+    /// Replays only the LLC-reaching events into `cache` — the MPKI-only
+    /// fast path (no timing model, no L1/L2 work).
+    ///
+    /// Demand accesses are forwarded to the policy's `on_core_access`
+    /// hook first, substituting the filtered LLC stream for the full
+    /// core-access stream; for every shipped policy this is exact
+    /// because only the perceptron baseline implements the hook (and the
+    /// fast path is not used to evaluate it). Use `mrp-cpu`'s full
+    /// replay when hook exactness or timing matters.
+    pub fn replay_llc(&self, cache: &mut Cache) {
+        for &i in &self.llc_events {
+            let i = i as usize;
+            let access = self.access_at(i);
+            if self.flags[i] & FLAG_PREFETCH != 0 {
+                let _ = cache.access(&access, true);
+            } else {
+                cache.policy_mut().on_core_access(&access);
+                let _ = cache.access(&access, false);
+            }
+        }
+    }
+
+    // --- recording hooks driven by `CorePrivate::access_recorded` ---
+
+    /// Appends a demand access (level patched later); returns its index.
+    pub(crate) fn push_core(&mut self, access: &MemoryAccess) -> usize {
+        let index = self.pcs.len();
+        self.push_raw(access, 0);
+        index
+    }
+
+    /// Appends an LLC-bound prefetch fill.
+    pub(crate) fn push_prefetch(&mut self, access: &MemoryAccess) {
+        let index = self.pcs.len();
+        self.push_raw(
+            access,
+            FLAG_PREFETCH | (ServiceLevel::Llc.encode() << LEVEL_SHIFT),
+        );
+        self.llc_events.push(index as u32);
+    }
+
+    /// Patches the servicing level of demand event `index`; LLC-bound
+    /// events join the LLC-order index list (after any prefetch drains
+    /// logged during the same access, matching the order a real LLC
+    /// would see).
+    pub(crate) fn set_level(&mut self, index: usize, level: ServiceLevel) {
+        self.flags[index] = (self.flags[index] & !LEVEL_MASK) | (level.encode() << LEVEL_SHIFT);
+        if level == ServiceLevel::Llc {
+            self.llc_events.push(index as u32);
+        }
+    }
+
+    fn push_raw(&mut self, access: &MemoryAccess, extra_flags: u8) {
+        self.pcs.push(access.pc);
+        self.addresses.push(access.address);
+        self.cores.push(access.core);
+        let mut flags = extra_flags;
+        if access.kind == AccessKind::Store {
+            flags |= codec::FLAG_STORE;
+        }
+        if access.dependent {
+            flags |= codec::FLAG_DEPENDENT;
+        }
+        self.flags.push(flags);
+        self.gaps.push(access.non_memory_before);
+    }
+
+    // --- persistence ---
+
+    /// Serializes the recording: the v2 `MRPT` event stream followed by
+    /// the `MRPR` trailer (warmup split, window snapshots, name).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `writer`.
+    pub fn write_to<W: Write>(&self, writer: &mut W) -> io::Result<()> {
+        writer.write_all(&codec::MAGIC)?;
+        writer.write_all(&codec::VERSION_V2.to_le_bytes())?;
+        writer.write_all(&0u16.to_le_bytes())?;
+        writer.write_all(&(self.len() as u64).to_le_bytes())?;
+        for i in 0..self.len() {
+            writer.write_all(&self.pcs[i].to_le_bytes())?;
+            writer.write_all(&self.addresses[i].to_le_bytes())?;
+            writer.write_all(&[self.cores[i], self.flags[i]])?;
+            writer.write_all(&u16::from(self.gaps[i]).to_le_bytes())?;
+        }
+        writer.write_all(&TRAILER_MAGIC)?;
+        writer.write_all(&(self.warmup_events as u64).to_le_bytes())?;
+        write_window(writer, &self.boundary)?;
+        write_window(writer, &self.end)?;
+        let name = self.name.as_bytes();
+        writer.write_all(&(name.len() as u32).to_le_bytes())?;
+        writer.write_all(name)?;
+        Ok(())
+    }
+
+    /// Reads a recording written by [`LlcRecording::write_to`]. The
+    /// event section accepts v1 streams too (mapped to non-prefetch
+    /// LLC-bound events), keeping old exports readable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::InvalidData`] on malformed sections and
+    /// propagates underlying I/O errors.
+    pub fn read_from<R: Read>(reader: &mut R) -> io::Result<Self> {
+        let events = codec::read_stream(reader)?;
+        let mut trailer = [0u8; 12];
+        reader.read_exact(&mut trailer)?;
+        if trailer[0..4] != TRAILER_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad recording trailer magic",
+            ));
+        }
+        let warmup_events =
+            u64::from_le_bytes(trailer[4..12].try_into().expect("8 bytes")) as usize;
+        let boundary = read_window(reader)?;
+        let end = read_window(reader)?;
+        let mut name_len = [0u8; 4];
+        reader.read_exact(&mut name_len)?;
+        let mut name = vec![0u8; u32::from_le_bytes(name_len) as usize];
+        reader.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 recording name"))?;
+
+        if warmup_events > events.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "warmup split exceeds event count",
+            ));
+        }
+        let mut rec = LlcRecording::empty(&name);
+        rec.warmup_events = warmup_events;
+        rec.boundary = boundary;
+        rec.end = end;
+        // Rebuild the LLC-order index list: a demand's LLC access happens
+        // after the prefetch drains logged during the same core access,
+        // i.e. at the next demand event (or end of stream).
+        let mut pending: Option<u32> = None;
+        for (i, event) in events.iter().enumerate() {
+            if event.is_prefetch {
+                rec.push_raw(
+                    &event.access,
+                    FLAG_PREFETCH | (ServiceLevel::Llc.encode() << LEVEL_SHIFT),
+                );
+                rec.llc_events.push(i as u32);
+            } else {
+                if let Some(p) = pending.take() {
+                    rec.llc_events.push(p);
+                }
+                rec.push_raw(&event.access, event.level.encode() << LEVEL_SHIFT);
+                if event.level == ServiceLevel::Llc {
+                    pending = Some(i as u32);
+                }
+            }
+        }
+        if let Some(p) = pending {
+            rec.llc_events.push(p);
+        }
+        Ok(rec)
+    }
+}
+
+fn write_cache_stats<W: Write>(writer: &mut W, stats: &CacheStats) -> io::Result<()> {
+    for v in [
+        stats.demand_hits,
+        stats.demand_misses,
+        stats.bypasses,
+        stats.prefetch_hits,
+        stats.prefetch_fills,
+        stats.evictions,
+    ] {
+        writer.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_cache_stats<R: Read>(reader: &mut R) -> io::Result<CacheStats> {
+    let mut buf = [0u8; 48];
+    reader.read_exact(&mut buf)?;
+    let v = |i: usize| u64::from_le_bytes(buf[i * 8..(i + 1) * 8].try_into().expect("8 bytes"));
+    Ok(CacheStats {
+        demand_hits: v(0),
+        demand_misses: v(1),
+        bypasses: v(2),
+        prefetch_hits: v(3),
+        prefetch_fills: v(4),
+        evictions: v(5),
+    })
+}
+
+fn write_window<W: Write>(writer: &mut W, window: &RecordedWindow) -> io::Result<()> {
+    write_cache_stats(writer, &window.l1d)?;
+    write_cache_stats(writer, &window.l2)?;
+    writer.write_all(&window.instructions.to_le_bytes())?;
+    writer.write_all(&window.prefetches_issued.to_le_bytes())
+}
+
+fn read_window<R: Read>(reader: &mut R) -> io::Result<RecordedWindow> {
+    let l1d = read_cache_stats(reader)?;
+    let l2 = read_cache_stats(reader)?;
+    let mut buf = [0u8; 16];
+    reader.read_exact(&mut buf)?;
+    Ok(RecordedWindow {
+        l1d,
+        l2,
+        instructions: u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes")),
+        prefetches_issued: u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+    use crate::hierarchy::Hierarchy;
+    use crate::policies::Lru;
+    use crate::policy::{AccessInfo, ReplacementPolicy};
+    use mrp_trace::workloads;
+    use std::sync::{Arc, Mutex};
+
+    /// LLC policy wrapper logging `(block, is_prefetch)` of every access
+    /// reaching the LLC during a *full* simulation, to check recordings
+    /// against ground truth. (Prefetch accesses are recognizable by
+    /// their substituted fake PC. `Hierarchy` wants `Send` policies, so
+    /// the test log is shared; production recording has no such channel.)
+    struct LoggingLru {
+        inner: Lru,
+        log: Arc<Mutex<Vec<(u64, bool)>>>,
+    }
+
+    impl ReplacementPolicy for LoggingLru {
+        fn name(&self) -> &str {
+            "logging-lru"
+        }
+        fn on_access(&mut self, info: &AccessInfo) {
+            self.log
+                .lock()
+                .expect("test log")
+                .push((info.block, info.pc == crate::policy::PREFETCH_PC));
+            self.inner.on_access(info);
+        }
+        fn on_hit(&mut self, info: &AccessInfo, way: u32) {
+            self.inner.on_hit(info, way);
+        }
+        fn choose_victim(&mut self, info: &AccessInfo, occupants: &[u64]) -> u32 {
+            self.inner.choose_victim(info, occupants)
+        }
+        fn on_fill(&mut self, info: &AccessInfo, way: u32) {
+            self.inner.on_fill(info, way);
+        }
+    }
+
+    fn full_sim_llc_log(workload_index: usize, seed: u64, instructions: u64) -> Vec<(u64, bool)> {
+        let config = HierarchyConfig::single_thread();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let policy = LoggingLru {
+            inner: Lru::new(config.llc.sets(), config.llc.associativity()),
+            log: log.clone(),
+        };
+        let mut h = Hierarchy::new(config, Box::new(policy));
+        let mut retired = 0u64;
+        let mut trace = workloads::suite()[workload_index].trace(seed);
+        while retired < instructions {
+            let access = trace.next().expect("infinite");
+            h.access(&access);
+            retired += access.instructions();
+        }
+        let log = log.lock().expect("test log");
+        log.clone()
+    }
+
+    fn small_recording(workload_index: usize) -> LlcRecording {
+        let suite = workloads::suite();
+        let w = &suite[workload_index];
+        LlcRecording::record(
+            w.name(),
+            w.trace(3),
+            &HierarchyConfig::single_thread(),
+            0,
+            40_000,
+        )
+    }
+
+    #[test]
+    fn recorded_llc_stream_matches_full_simulation() {
+        for workload_index in [0, 4, 10] {
+            let rec = {
+                let suite = workloads::suite();
+                let w = &suite[workload_index];
+                LlcRecording::record(
+                    w.name(),
+                    w.trace(3),
+                    &HierarchyConfig::single_thread(),
+                    0,
+                    40_000,
+                )
+            };
+            let truth = full_sim_llc_log(workload_index, 3, 40_000);
+            let recorded: Vec<(u64, bool)> = rec
+                .llc_events
+                .iter()
+                .map(|&i| {
+                    let i = i as usize;
+                    (rec.access_at(i).block(), rec.is_prefetch(i))
+                })
+                .collect();
+            assert_eq!(
+                recorded, truth,
+                "workload {workload_index}: recorded LLC stream diverged from full simulation"
+            );
+        }
+    }
+
+    #[test]
+    fn recording_is_llc_geometry_independent() {
+        // Same private levels, so the recording must not depend on which
+        // LLC geometry the config names.
+        let suite = workloads::suite();
+        let w = &suite[2];
+        let single = LlcRecording::record(
+            w.name(),
+            w.trace(9),
+            &HierarchyConfig::single_thread(),
+            5_000,
+            20_000,
+        );
+        let multi = LlcRecording::record(
+            w.name(),
+            w.trace(9),
+            &HierarchyConfig::multi_core(),
+            5_000,
+            20_000,
+        );
+        assert_eq!(single.len(), multi.len());
+        assert_eq!(single.llc_events, multi.llc_events);
+        assert_eq!(single.boundary, multi.boundary);
+        assert_eq!(single.end, multi.end);
+    }
+
+    #[test]
+    fn replay_llc_reproduces_lru_misses() {
+        // Fast replay against LRU must see exactly the misses the logged
+        // full simulation saw (same stream, same policy, same geometry).
+        let rec = small_recording(0);
+        let config = CacheConfig::llc_single();
+        let mut cache = Cache::new(
+            config,
+            Box::new(Lru::new(config.sets(), config.associativity())),
+        );
+        rec.replay_llc(&mut cache);
+        let log = full_sim_llc_log(0, 3, 40_000);
+        assert_eq!(
+            cache.stats().demand_accesses()
+                + cache.stats().prefetch_hits
+                + cache.stats().prefetch_fills,
+            log.len() as u64
+        );
+    }
+
+    #[test]
+    fn warmup_split_points_at_first_measure_event() {
+        let suite = workloads::suite();
+        let w = &suite[1];
+        let rec = LlcRecording::record(
+            w.name(),
+            w.trace(7),
+            &HierarchyConfig::single_thread(),
+            10_000,
+            10_000,
+        );
+        assert!(rec.warmup_events > 0);
+        assert!(rec.warmup_events < rec.len());
+        assert!(rec.boundary.instructions >= 10_000);
+        assert_eq!(
+            rec.measured_instructions(),
+            rec.end.instructions - rec.boundary.instructions
+        );
+    }
+
+    #[test]
+    fn persistence_round_trips() {
+        let suite = workloads::suite();
+        let w = &suite[5];
+        let rec = LlcRecording::record(
+            w.name(),
+            w.trace(11),
+            &HierarchyConfig::single_thread(),
+            4_000,
+            12_000,
+        );
+        let mut buffer = Vec::new();
+        rec.write_to(&mut buffer).expect("write");
+        let back = LlcRecording::read_from(&mut buffer.as_slice()).expect("read");
+        assert_eq!(back.name(), rec.name());
+        assert_eq!(back.len(), rec.len());
+        assert_eq!(back.warmup_events, rec.warmup_events);
+        assert_eq!(back.boundary, rec.boundary);
+        assert_eq!(back.end, rec.end);
+        assert_eq!(back.llc_events, rec.llc_events);
+        for i in 0..rec.len() {
+            assert_eq!(back.event_at(i), rec.event_at(i), "event {i}");
+        }
+    }
+
+    #[test]
+    fn read_rejects_bad_trailer() {
+        let rec = small_recording(3);
+        let mut buffer = Vec::new();
+        rec.write_to(&mut buffer).expect("write");
+        let trailer_at = 16 + rec.len() * 20;
+        buffer[trailer_at] = b'X';
+        let err = LlcRecording::read_from(&mut buffer.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn llc_blocks_follow_llc_order() {
+        let rec = small_recording(0);
+        let blocks = rec.llc_blocks();
+        assert_eq!(blocks.len(), rec.llc_len());
+        let truth: Vec<u64> = full_sim_llc_log(0, 3, 40_000)
+            .iter()
+            .map(|&(b, _)| b)
+            .collect();
+        assert_eq!(blocks, truth);
+    }
+}

@@ -104,6 +104,10 @@ impl ReplacementPolicy for AdaptiveMpppb {
         self.inner.on_core_access(access);
     }
 
+    fn uses_core_accesses(&self) -> bool {
+        self.inner.uses_core_accesses()
+    }
+
     fn on_access(&mut self, info: &AccessInfo) {
         self.inner.on_access(info);
     }

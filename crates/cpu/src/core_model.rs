@@ -46,6 +46,9 @@ struct InFlight {
 #[derive(Debug)]
 pub struct CoreModel {
     config: CoreModelConfig,
+    /// `log2(width)` when the width is a power of two — the
+    /// bandwidth-floor division on the retire path becomes a shift.
+    width_shift: Option<u32>,
     cycle: u64,
     issued_instructions: u64,
     window: VecDeque<InFlight>,
@@ -64,6 +67,10 @@ impl CoreModel {
         assert!(config.window > 0, "window must be nonzero");
         CoreModel {
             config,
+            width_shift: config
+                .width
+                .is_power_of_two()
+                .then(|| config.width.trailing_zeros()),
             cycle: 0,
             issued_instructions: 0,
             window: VecDeque::new(),
@@ -98,7 +105,10 @@ impl CoreModel {
         }
 
         // Issue-bandwidth floor.
-        let bandwidth_floor = self.issued_instructions / u64::from(self.config.width);
+        let bandwidth_floor = match self.width_shift {
+            Some(shift) => self.issued_instructions >> shift,
+            None => self.issued_instructions / u64::from(self.config.width),
+        };
         self.cycle = self.cycle.max(bandwidth_floor);
 
         // Dependency serialization.

@@ -33,8 +33,10 @@
 pub mod core_model;
 pub mod metrics;
 pub mod multicore;
+pub mod replay;
 pub mod single;
 
 pub use core_model::{CoreModel, CoreModelConfig};
 pub use multicore::{MulticoreResult, MulticoreSim};
+pub use replay::replay_single;
 pub use single::{SingleCoreResult, SingleCoreSim};

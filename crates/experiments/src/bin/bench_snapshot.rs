@@ -12,11 +12,12 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use mrp_cache::HierarchyConfig;
+use mrp_cache::replay::LlcRecording;
+use mrp_cache::{Cache, HierarchyConfig, ReplacementPolicy};
 use mrp_core::context::FeatureContext;
 use mrp_core::feature_sets;
 use mrp_core::{FeaturePlan, MultiperspectivePredictor};
-use mrp_cpu::SingleCoreSim;
+use mrp_cpu::{replay_single, SingleCoreSim};
 use mrp_experiments::cli::Args;
 use mrp_experiments::PolicyKind;
 use mrp_trace::workloads;
@@ -101,6 +102,74 @@ fn bench_hierarchy(kind: PolicyKind, samples: usize, instructions: u64) -> f64 {
     median(per_sample)
 }
 
+/// Fresh instances of all 13 registered policies (CLI names + Hawkeye).
+fn all_policies(config: &HierarchyConfig) -> Vec<Box<dyn ReplacementPolicy + Send>> {
+    let names = [
+        "lru",
+        "random",
+        "plru",
+        "srrip",
+        "drrip",
+        "mdpp",
+        "ship",
+        "sdbp",
+        "perceptron",
+        "mpppb",
+        "mpppb-srrip",
+        "mpppb-adaptive",
+    ];
+    let mut out: Vec<Box<dyn ReplacementPolicy + Send>> = names
+        .iter()
+        .map(|n| {
+            PolicyKind::from_name(n)
+                .expect("known policy")
+                .build(&config.llc)
+        })
+        .collect();
+    out.push(PolicyKind::hawkeye(&config.llc));
+    out
+}
+
+/// Median wall-clock (ms) of a 13-policy single-workload sweep, both
+/// ways: full simulation per policy vs record-once + replay-13 (the
+/// recording cost is included in the replay time, as a cold driver pays
+/// it). Returns `(full_ms, replay_ms)`; results are bit-identical, so
+/// the ratio is pure speedup.
+fn bench_replay_speedup(samples: usize, instructions: u64) -> (f64, f64) {
+    let config = HierarchyConfig::single_thread();
+    let workload = &workloads::suite()[10];
+    let warmup = instructions / 5;
+    let mut full_ms = Vec::with_capacity(samples);
+    let mut replay_ms = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        let mut total = 0.0;
+        for policy in all_policies(&config) {
+            let mut sim = SingleCoreSim::new(config, policy, workload.trace(1));
+            total += sim.run(warmup, instructions).mpki;
+        }
+        std::hint::black_box(total);
+        full_ms.push(start.elapsed().as_secs_f64() * 1e3);
+
+        let start = Instant::now();
+        let recording = LlcRecording::record(
+            workload.name(),
+            workload.trace(1),
+            &config,
+            warmup,
+            instructions,
+        );
+        let mut total = 0.0;
+        for policy in all_policies(&config) {
+            let mut cache = Cache::new(config.llc, policy);
+            total += replay_single(&recording, &mut cache, &config.latencies).mpki;
+        }
+        std::hint::black_box(total);
+        replay_ms.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    (median(full_ms), median(replay_ms))
+}
+
 fn main() {
     let args = Args::parse();
     let samples = args.get_usize("samples", 7).max(1);
@@ -145,6 +214,24 @@ fn main() {
             kind.name()
         );
     }
+    let _ = writeln!(json, "  }},");
+
+    let (full_ms, replay_ms) = bench_replay_speedup(samples, instructions);
+    let ratio = full_ms / replay_ms;
+    eprintln!(
+        "  replay_speedup/full_sim_13_policies: {full_ms:.1} ms, \
+         record_and_replay_13_policies: {replay_ms:.1} ms ({ratio:.2}x)"
+    );
+    let _ = writeln!(json, "  \"replay_speedup\": {{");
+    let _ = writeln!(
+        json,
+        "    \"full_sim_13_policies\": {{ \"median_ms\": {full_ms:.3} }},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"record_and_replay_13_policies\": {{ \"median_ms\": {replay_ms:.3} }},"
+    );
+    let _ = writeln!(json, "    \"speedup\": {ratio:.3}");
     let _ = writeln!(json, "  }}");
     json.push_str("}\n");
 

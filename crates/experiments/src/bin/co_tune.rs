@@ -103,6 +103,7 @@ fn feature_code(f: &Feature) -> String {
 fn main() {
     let args = Args::parse();
     args.init_threads();
+    args.init_replay();
     let rounds = args.get_usize("rounds", 2);
     let combos = args.get_usize("combos", 100);
     let moves = args.get_u64("moves", 120) as u32;
@@ -127,7 +128,7 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ")
     );
-    let mut evaluator = FastEvaluator::new(&selected, seed, instructions);
+    let mut evaluator = mrp_experiments::recording::fast_evaluator(&selected, seed, instructions);
 
     // Seed: the Perceptron-equivalent 6 features cyclically padded to the
     // paper's 16 slots (duplicates are legitimate; the published sets

@@ -11,7 +11,7 @@
 //! Usage: `cargo run -p mrp-experiments --release --bin derive_features --
 //! [--candidates N] [--instructions N] [--moves N] [--patience N] [--seed N] [--threads N]`
 
-use mrp_search::{crossval, FastEvaluator, HillClimber, RandomFeatures};
+use mrp_search::{crossval, HillClimber, RandomFeatures};
 use mrp_trace::workloads;
 
 use mrp_experiments::Args;
@@ -54,7 +54,7 @@ fn search_half(
             .collect::<Vec<_>>()
             .join(", ")
     );
-    let evaluator = FastEvaluator::new(workloads, seed, instructions);
+    let evaluator = mrp_experiments::recording::fast_evaluator(workloads, seed, instructions);
 
     // Candidates come from one serial RNG stream, then score in parallel;
     // scanning the scores in draw order keeps the selected set (ties go to

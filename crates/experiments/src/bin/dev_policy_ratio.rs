@@ -8,7 +8,6 @@ use mrp_baselines::{Hawkeye, MinPolicy, PerceptronPolicy, Sdbp, Ship};
 use mrp_cache::policies::{Drrip, Lru, Mdpp, MdppConfig, Srrip};
 use mrp_cache::Cache;
 use mrp_core::mpppb::{Mpppb, MpppbConfig};
-use mrp_search::FastEvaluator;
 use mrp_trace::workloads;
 
 use mrp_experiments::Args;
@@ -37,7 +36,7 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ")
     );
-    let evaluator = FastEvaluator::new(&selected, seed, instructions);
+    let evaluator = mrp_experiments::recording::fast_evaluator(&selected, seed, instructions);
     let lru = evaluator.lru_mpkis().to_vec();
 
     let ratio = |mpkis: &[f64]| -> f64 {

@@ -1,7 +1,11 @@
 //! Figure 10: performance impact of removing each feature.
 //!
 //! Usage: `cargo run -p mrp-experiments --release --bin fig10_ablation --
-//! [--warmup N] [--measure N] [--mixes N] [--features N] [--seed N] [--threads N]`
+//! [--warmup N] [--measure N] [--mixes N] [--features N] [--seed N] [--threads N]
+//! [--no-replay]`
+//!
+//! The standalone-IPC baseline replays each workload's shared recording;
+//! `--no-replay` re-simulates it (mix runs are always simulated in full).
 //!
 //! `--bless` regenerates the reduced-scale golden matrix at
 //! `results/fig10_golden.txt` (checked by the `golden_tables` test)
@@ -15,6 +19,7 @@ use mrp_experiments::{golden, Args};
 fn main() {
     let args = Args::parse();
     let threads = args.init_threads();
+    args.init_replay();
     if args.get_flag("bless", false) {
         let path = golden::results_path("fig10_golden.txt");
         std::fs::write(&path, golden::ablation_golden()).expect("write golden");

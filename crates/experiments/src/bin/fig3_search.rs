@@ -9,6 +9,7 @@ use mrp_experiments::Args;
 fn main() {
     let args = Args::parse();
     let threads = args.init_threads();
+    args.init_replay();
     let params = SearchParams {
         candidates: args.get_usize("candidates", 80),
         workload_count: args.get_usize("workloads", 10),

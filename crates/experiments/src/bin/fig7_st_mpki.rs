@@ -1,7 +1,12 @@
 //! Figure 7: single-thread MPKI per benchmark (log scale in the paper).
 //!
 //! Usage: `cargo run -p mrp-experiments --release --bin fig7_st_mpki --
-//! [--warmup N] [--measure N] [--workloads N] [--min 0|1|true|false] [--seed N] [--threads N]`
+//! [--warmup N] [--measure N] [--workloads N] [--min 0|1|true|false] [--seed N] [--threads N]
+//! [--no-replay]`
+//!
+//! Each workload's LLC-bound stream is recorded once and replayed into
+//! every policy (bit-identical to full simulation); `--no-replay`
+//! re-simulates every cell instead.
 
 use mrp_experiments::output::table;
 use mrp_experiments::runner::StParams;
@@ -10,6 +15,7 @@ use mrp_experiments::{single_thread, Args};
 fn main() {
     let args = Args::parse();
     let threads = args.init_threads();
+    args.init_replay();
     let params = StParams {
         warmup: args.get_u64("warmup", 4_000_000),
         measure: args.get_u64("measure", 20_000_000),

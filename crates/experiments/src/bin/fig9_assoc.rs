@@ -1,7 +1,11 @@
 //! Figure 9: performance impact of uniform feature associativity.
 //!
 //! Usage: `cargo run -p mrp-experiments --release --bin fig9_assoc --
-//! [--warmup N] [--measure N] [--mixes N] [--step N] [--seed N] [--threads N]`
+//! [--warmup N] [--measure N] [--mixes N] [--step N] [--seed N] [--threads N]
+//! [--no-replay]`
+//!
+//! The standalone-IPC baseline replays each workload's shared recording;
+//! `--no-replay` re-simulates it (mix runs are always simulated in full).
 
 use mrp_experiments::assoc_sweep;
 use mrp_experiments::output::pct;
@@ -11,6 +15,7 @@ use mrp_experiments::Args;
 fn main() {
     let args = Args::parse();
     let threads = args.init_threads();
+    args.init_replay();
     let params = MpParams {
         warmup: args.get_u64("warmup", 1_000_000),
         measure: args.get_u64("measure", 5_000_000),

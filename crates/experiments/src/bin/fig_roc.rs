@@ -1,7 +1,12 @@
 //! Figures 1 and 8: ROC curves for SDBP, Perceptron, Multiperspective.
 //!
 //! Usage: `cargo run -p mrp-experiments --release --bin fig_roc --
-//! [--warmup N] [--measure N] [--workloads N] [--seed N] [--threads N]`
+//! [--warmup N] [--measure N] [--workloads N] [--seed N] [--threads N]
+//! [--no-replay]`
+//!
+//! Each workload records once and every predictor probe replays the
+//! shared stream; `--no-replay` re-simulates each (predictor × workload)
+//! cell instead.
 
 use mrp_experiments::roc;
 use mrp_experiments::runner::StParams;
@@ -10,6 +15,7 @@ use mrp_experiments::Args;
 fn main() {
     let args = Args::parse();
     let threads = args.init_threads();
+    args.init_replay();
     let params = StParams {
         warmup: args.get_u64("warmup", 2_000_000),
         measure: args.get_u64("measure", 10_000_000),

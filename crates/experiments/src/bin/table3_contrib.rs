@@ -14,6 +14,7 @@ use mrp_experiments::{golden, Args};
 fn main() {
     let args = Args::parse();
     let threads = args.init_threads();
+    args.init_replay();
     if args.get_flag("bless", false) {
         let path = golden::results_path("table3_golden.txt");
         std::fs::write(&path, golden::table3_golden()).expect("write golden");

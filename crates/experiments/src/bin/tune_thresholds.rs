@@ -6,7 +6,11 @@
 //! selecting the combination yielding the minimum average MPKI."
 //!
 //! Usage: `cargo run -p mrp-experiments --release --bin tune_thresholds --
-//! [--combos N] [--workloads N] [--instructions N] [--seed N] [--mode st|mp] [--threads N]`
+//! [--combos N] [--workloads N] [--instructions N] [--seed N] [--mode st|mp] [--threads N]
+//! [--no-replay]`
+//!
+//! Training streams come from the shared recording cache (recorded once
+//! per workload); `--no-replay` records privately instead.
 
 use mrp_cache::Cache;
 use mrp_core::mpppb::{Mpppb, MpppbConfig};
@@ -38,6 +42,7 @@ fn mean_mpki_ratio(evaluator: &FastEvaluator, lru: &[f64], config: &MpppbConfig)
 fn main() {
     let args = Args::parse();
     args.init_threads();
+    args.init_replay();
     let combos = args.get_usize("combos", 200);
     let workload_count = args.get_usize("workloads", 12);
     let instructions = args.get_u64("instructions", 2_000_000);
@@ -56,7 +61,7 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ")
     );
-    let evaluator = FastEvaluator::new(&selected, seed, instructions);
+    let evaluator = mrp_experiments::recording::fast_evaluator(&selected, seed, instructions);
 
     let llc = *evaluator.llc();
     let mut base = if mode == "mp" {

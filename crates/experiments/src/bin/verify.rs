@@ -3,19 +3,26 @@
 //!
 //! Usage: `cargo run -p mrp-experiments --release --bin verify --
 //! [--seed N] [--accesses N] [--jobs N] [--policies lru,srrip,...|all]
-//! [--threads N]`
+//! [--threads N] [--replay-workloads N] [--replay-warmup N]
+//! [--replay-measure N]`
 //!
 //! Exits nonzero on any divergence, printing the bounded divergence
 //! report and a shrunk reproducer. Any failure reproduces from the
 //! printed seed alone: `verify --seed N` replays identical streams
 //! regardless of thread count.
+//!
+//! Besides the fuzzed lockstep sweep, every selected policy is also
+//! checked through the record-once/replay-many path on real workloads
+//! (`--replay-workloads`, 0 to skip): full simulation and replay must
+//! agree bit for bit on IPC, MPKI, cycles, and every hierarchy counter.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use mrp_cache::CacheConfig;
 use mrp_experiments::{Args, PolicyKind};
-use mrp_verify::{run_verification, PolicySpec, VerifyConfig};
+use mrp_trace::workloads;
+use mrp_verify::{run_replay_check, run_verification, PolicySpec, VerifyConfig};
 
 /// Every policy the experiments register, in CLI naming.
 const ALL_POLICIES: [&str; 13] = [
@@ -100,9 +107,38 @@ fn main() -> ExitCode {
         summary.min_checks.0, summary.min_checks.1
     );
 
-    if summary.is_clean() {
+    // Phase: record/replay equivalence on real workloads.
+    let replay_workloads = args.get_usize("replay-workloads", 3);
+    let replay_clean = if replay_workloads == 0 {
+        true
+    } else {
+        let suite = workloads::suite();
+        let selected = &suite[..replay_workloads.min(suite.len())];
+        let replay = run_replay_check(
+            &policies,
+            selected,
+            args.get_u64("replay-warmup", 50_000),
+            args.get_u64("replay-measure", 200_000),
+            cfg.seed,
+        );
+        println!(
+            "{:>16}  {:>4}  {}",
+            "replay",
+            if replay.is_clean() { "ok" } else { "FAIL" },
+            replay
+        );
+        if !replay.is_clean() {
+            eprintln!("\nreplay equivalence failures:\n{replay}");
+        }
+        replay.is_clean()
+    };
+
+    if summary.is_clean() && replay_clean {
         println!("# clean: optimized and reference models agreed on every access");
         return ExitCode::SUCCESS;
+    }
+    if summary.is_clean() {
+        return ExitCode::FAILURE;
     }
 
     eprintln!("\n{} divergence(s) found:", summary.total_divergences());

@@ -85,6 +85,17 @@ impl Args {
         mrp_runtime::set_threads(self.get_usize("threads", 0));
         mrp_runtime::threads()
     }
+
+    /// Resolves the shared `--no-replay` switch and installs it
+    /// process-wide: when set, single-thread runners re-simulate every
+    /// (workload × policy) cell instead of replaying the shared
+    /// per-workload recording (results are bit-identical either way; see
+    /// [`crate::recording`]). Returns whether replay is enabled.
+    pub fn init_replay(&self) -> bool {
+        let enabled = !self.get_flag("no-replay", false);
+        crate::recording::set_replay_enabled(enabled);
+        enabled
+    }
 }
 
 #[cfg(test)]

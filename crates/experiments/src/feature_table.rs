@@ -38,10 +38,22 @@ pub fn run(workload_count: usize, instructions: u64, seed: u64) -> Vec<Contribut
     let llc = CacheConfig::llc_single();
     let base = MpppbConfig::single_thread(&llc).with_features(features.clone());
 
-    // Record each workload's LLC stream once (fresh seed = fresh traces);
-    // recordings are independent simulations, so they run in parallel.
-    let traces: Vec<LlcTrace> =
-        mrp_runtime::map_indexed(count, |i| LlcTrace::record(&suite[i], seed, instructions));
+    // Record each workload's LLC stream once (fresh seed = fresh traces),
+    // through the shared recording cache so any other driver at the same
+    // parameters reuses the streams; recordings are independent
+    // simulations, so they run in parallel either way.
+    let selected = &suite[..count];
+    let traces: Vec<LlcTrace> = if crate::recording::replay_enabled() {
+        crate::recording::prerecord(selected, seed, 0, instructions);
+        selected
+            .iter()
+            .map(|w| {
+                LlcTrace::from_recording(crate::recording::recording_for(w, seed, 0, instructions))
+            })
+            .collect()
+    } else {
+        mrp_runtime::par_map(selected, |w| LlcTrace::record(w, seed, instructions))
+    };
 
     let evaluate = |features: &[Feature], trace: &LlcTrace| -> f64 {
         let config = base.clone().with_features(features.to_vec());

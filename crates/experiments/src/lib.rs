@@ -30,6 +30,7 @@ pub mod golden;
 pub mod multi;
 pub mod output;
 pub mod policies;
+pub mod recording;
 pub mod roc;
 pub mod runner;
 pub mod search_curve;

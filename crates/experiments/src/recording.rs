@@ -1,0 +1,146 @@
+//! Process-global memoized recording cache for record-once/replay-many.
+//!
+//! Every single-thread experiment cell is `(workload, policy)` at some
+//! `(seed, warmup, measure)`. The stream reaching the LLC is independent
+//! of the LLC policy *and* geometry, so the first cell to ask for a
+//! workload's stream records it once (trace generation + L1/L2 +
+//! prefetcher) and every other cell — any policy, any figure driver,
+//! any LLC size — replays the shared recording. Keys deliberately omit
+//! the LLC geometry: `standalone_ipcs` replays the same recordings
+//! against the 8MB multi-core LLC that Fig. 6/7 replay against the 2MB
+//! single-thread LLC.
+//!
+//! Concurrency: fan-outs from `mrp_runtime` hit the cache from many
+//! workers; [`mrp_runtime::Memo`] guarantees exactly one worker records
+//! a given key while the rest block for the result.
+//!
+//! Debugging escape hatch: `--no-replay` on the figure drivers (or
+//! [`set_replay_enabled`]`(false)`) routes every run back through full
+//! simulation. Results are bit-identical either way — the flag exists to
+//! *demonstrate* that, and to keep full simulation reachable when
+//! bisecting the replay layer itself.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use mrp_cache::replay::LlcRecording;
+use mrp_cache::HierarchyConfig;
+use mrp_runtime::Memo;
+use mrp_search::{FastEvaluator, LlcTrace};
+use mrp_trace::Workload;
+
+/// Recording identity: (workload id, seed, warmup, measure). LLC
+/// geometry is deliberately absent — recordings are geometry-independent.
+type Key = (usize, u64, u64, u64);
+
+static RECORDINGS: OnceLock<Memo<Key, Arc<LlcRecording>>> = OnceLock::new();
+
+/// Whether drivers replay recordings (default) or re-run full
+/// simulation per cell (`--no-replay`).
+static REPLAY_DISABLED: AtomicBool = AtomicBool::new(false);
+
+/// True when experiment runners should use the replay fast path.
+pub fn replay_enabled() -> bool {
+    !REPLAY_DISABLED.load(Ordering::Relaxed)
+}
+
+/// Enables or disables the replay fast path process-wide (the figure
+/// drivers wire their `--no-replay` flag here).
+pub fn set_replay_enabled(enabled: bool) {
+    REPLAY_DISABLED.store(!enabled, Ordering::Relaxed);
+}
+
+fn memo() -> &'static Memo<Key, Arc<LlcRecording>> {
+    RECORDINGS.get_or_init(Memo::new)
+}
+
+/// The shared recording of `workload` at `(seed, warmup, measure)`,
+/// recorded on first request and memoized for every later caller.
+pub fn recording_for(
+    workload: &Workload,
+    seed: u64,
+    warmup: u64,
+    measure: u64,
+) -> Arc<LlcRecording> {
+    memo().get_or_compute((workload.id().0, seed, warmup, measure), || {
+        Arc::new(LlcRecording::record(
+            workload.name(),
+            workload.trace(seed),
+            &HierarchyConfig::single_thread(),
+            warmup,
+            measure,
+        ))
+    })
+}
+
+/// Pre-records a set of workloads in parallel through the runtime, so a
+/// following (workload × policy) fan-out replays from the first cell
+/// instead of serializing all recordings behind whichever worker asked
+/// first.
+pub fn prerecord(workloads: &[Workload], seed: u64, warmup: u64, measure: u64) {
+    mrp_runtime::par_map(workloads, |w| {
+        recording_for(w, seed, warmup, measure);
+    });
+}
+
+/// Builds a [`FastEvaluator`] whose traces come from the shared
+/// recording cache (warmup 0, matching the fast simulator's cold
+/// recording), so the search loops and the figure drivers never record
+/// the same `(workload, seed, instructions)` stream twice. Falls back
+/// to the evaluator's own recording pass under `--no-replay`.
+pub fn fast_evaluator(workloads: &[Workload], seed: u64, instructions: u64) -> FastEvaluator {
+    if !replay_enabled() {
+        return FastEvaluator::new(workloads, seed, instructions);
+    }
+    prerecord(workloads, seed, 0, instructions);
+    let traces = workloads
+        .iter()
+        .map(|w| LlcTrace::from_recording(recording_for(w, seed, 0, instructions)))
+        .collect();
+    FastEvaluator::from_traces(traces)
+}
+
+/// Number of recordings currently cached (diagnostics).
+pub fn cached_recordings() -> usize {
+    memo().len()
+}
+
+/// Drops every cached recording (e.g. between sweeps over disjoint
+/// parameter sets).
+pub fn clear_recordings() {
+    memo().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrp_trace::workloads;
+
+    #[test]
+    fn recordings_are_memoized_per_key() {
+        let suite = workloads::suite();
+        // Unusual parameters so no other test shares the key.
+        let a = recording_for(&suite[0], 0xDEAD, 1_000, 3_000);
+        let b = recording_for(&suite[0], 0xDEAD, 1_000, 3_000);
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one recording");
+        let c = recording_for(&suite[0], 0xDEAD, 1_000, 4_000);
+        assert!(!Arc::ptr_eq(&a, &c), "different measure must re-record");
+        assert!(cached_recordings() >= 2);
+    }
+
+    #[test]
+    fn replay_toggle_round_trips() {
+        // Sole owner of the global toggle among tests, to avoid races.
+        assert!(replay_enabled(), "replay defaults to on");
+        set_replay_enabled(false);
+        assert!(!replay_enabled());
+        set_replay_enabled(true);
+        assert!(replay_enabled());
+        // The drivers' `--no-replay` flag wires through `Args::init_replay`.
+        let args = crate::Args::from_args(["--no-replay".to_string()]);
+        assert!(!args.init_replay());
+        assert!(!replay_enabled());
+        assert!(crate::Args::from_args(std::iter::empty()).init_replay());
+        assert!(replay_enabled());
+    }
+}

@@ -12,11 +12,12 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use mrp_baselines::{PerceptronPolicy, Sdbp};
-use mrp_cache::{AccessInfo, CacheConfig, HierarchyConfig, ReplacementPolicy};
+use mrp_cache::{AccessInfo, Cache, CacheConfig, HierarchyConfig, ReplacementPolicy};
 use mrp_core::mpppb::{Mpppb, MpppbConfig};
-use mrp_cpu::SingleCoreSim;
-use mrp_trace::{workloads, MemoryAccess};
+use mrp_cpu::{replay_single, SingleCoreSim};
+use mrp_trace::{workloads, MemoryAccess, Workload};
 
+use crate::recording;
 use crate::runner::StParams;
 
 /// A policy that exposes the confidence of its most recent prediction.
@@ -86,6 +87,10 @@ impl<P: ConfidenceSource> ReplacementPolicy for RocProbe<P> {
 
     fn on_core_access(&mut self, access: &MemoryAccess) {
         self.inner.on_core_access(access);
+    }
+
+    fn uses_core_accesses(&self) -> bool {
+        self.inner.uses_core_accesses()
     }
 
     fn on_hit(&mut self, info: &AccessInfo, way: u32) {
@@ -198,6 +203,23 @@ impl RocCurve {
     }
 }
 
+/// Drives one measure-only probe over a workload, discarding the timing
+/// result (only the probe's resolved samples matter). Replays the shared
+/// recording when enabled — the probe observes the identical LLC
+/// operation sequence either way, so the samples are bit-identical —
+/// and falls back to full simulation under `--no-replay`.
+fn drive_probe(workload: &Workload, params: StParams, policy: Box<dyn ReplacementPolicy + Send>) {
+    let config = HierarchyConfig::single_thread();
+    if recording::replay_enabled() {
+        let rec = recording::recording_for(workload, params.seed, params.warmup, params.measure);
+        let mut cache = Cache::new(config.llc, policy);
+        let _ = replay_single(&rec, &mut cache, &config.latencies);
+    } else {
+        let mut sim = SingleCoreSim::new(config, policy, workload.trace(params.seed));
+        let _ = sim.run(params.warmup, params.measure);
+    }
+}
+
 /// Computes per-threshold (FPR, TPR) for one workload's samples.
 pub fn rates(samples: &[Sample], thresholds: &[i32]) -> Vec<(f64, f64)> {
     let dead_total = samples.iter().filter(|(_, d)| *d).count().max(1) as f64;
@@ -247,6 +269,9 @@ pub fn run_custom_features_with(
 ) -> RocCurve {
     let suite = workloads::suite();
     let count = workload_count.min(suite.len()).max(1);
+    if recording::replay_enabled() {
+        recording::prerecord(&suite[..count], params.seed, params.warmup, params.measure);
+    }
     let thresholds: Vec<i32> = (-300..=300).step_by(4).collect();
     // One measure-only job per workload; the per-workload rate curves are
     // averaged afterward in suite order, exactly as the serial loop did.
@@ -263,8 +288,7 @@ pub fn run_custom_features_with(
             Mpppb::new(mp_config, &config.llc),
             samples.clone(),
         ));
-        let mut sim = SingleCoreSim::new(config, policy, w.trace(params.seed));
-        let _ = sim.run(params.warmup, params.measure);
+        drive_probe(w, params, policy);
         let collected = samples.lock().expect("sample lock");
         rates(&collected, &thresholds)
     });
@@ -289,6 +313,9 @@ pub fn run_custom_features_with(
 pub fn run(params: StParams, workload_count: usize) -> Vec<RocCurve> {
     let suite = workloads::suite();
     let count = workload_count.min(suite.len()).max(1);
+    if recording::replay_enabled() {
+        recording::prerecord(&suite[..count], params.seed, params.warmup, params.measure);
+    }
     let predictors = [
         RocPredictor::Sdbp,
         RocPredictor::Perceptron,
@@ -305,8 +332,7 @@ pub fn run(params: StParams, workload_count: usize) -> Vec<RocCurve> {
             let config = HierarchyConfig::single_thread();
             let samples = Arc::new(Mutex::new(Vec::new()));
             let policy = predictor.build_probe(&config.llc, samples.clone());
-            let mut sim = SingleCoreSim::new(config, policy, w.trace(params.seed));
-            let _ = sim.run(params.warmup, params.measure);
+            drive_probe(w, params, policy);
             let collected = samples.lock().expect("sample lock");
             rates(&collected, &thresholds)
         });

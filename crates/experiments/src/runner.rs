@@ -3,14 +3,16 @@
 //! needed for weighted speedup.
 
 use std::collections::HashSet;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::OnceLock;
 
-use mrp_baselines::{MinPolicy, StreamRecorder};
-use mrp_cache::{HierarchyConfig, ReplacementPolicy};
-use mrp_cpu::{MulticoreResult, MulticoreSim, SingleCoreResult, SingleCoreSim};
+use mrp_baselines::MinPolicy;
+use mrp_cache::replay::LlcRecording;
+use mrp_cache::{Cache, HierarchyConfig, ReplacementPolicy};
+use mrp_cpu::{replay_single, MulticoreResult, MulticoreSim, SingleCoreResult, SingleCoreSim};
 use mrp_trace::{Mix, Workload};
 
 use crate::policies::PolicyKind;
+use crate::recording;
 
 /// Scale parameters for single-thread runs.
 ///
@@ -55,12 +57,24 @@ impl Default for MpParams {
 }
 
 /// Runs one workload on the single-thread hierarchy with a given policy.
+///
+/// By default this replays the workload's shared [`crate::recording`]
+/// stream (recorded once per `(workload, seed, warmup, measure)`) into
+/// the policy under test — bit-identical to full simulation and much
+/// cheaper once a second policy asks for the same workload. Pass
+/// `--no-replay` (see [`recording::set_replay_enabled`]) to force full
+/// simulation per cell.
 pub fn run_single(
     workload: &Workload,
     policy: Box<dyn ReplacementPolicy + Send>,
     params: StParams,
 ) -> SingleCoreResult {
     let config = HierarchyConfig::single_thread();
+    if recording::replay_enabled() {
+        let rec = recording::recording_for(workload, params.seed, params.warmup, params.measure);
+        let mut cache = Cache::new(config.llc, policy);
+        return replay_single(&rec, &mut cache, &config.latencies);
+    }
     let mut sim = SingleCoreSim::new(config, policy, workload.trace(params.seed));
     sim.run(params.warmup, params.measure)
 }
@@ -150,18 +164,27 @@ pub fn run_single_mpppb(workload: &Workload, params: StParams) -> SingleCoreResu
     run_single(workload, mpppb_headline_policy(workload), params)
 }
 
-/// Runs one workload under Belady MIN with optimal bypass: pass 1 records
-/// the (policy-independent) LLC stream, pass 2 replays under MIN.
+/// Runs one workload under Belady MIN with optimal bypass: pass 1 is the
+/// workload's shared recording (the LLC stream is policy-independent, so
+/// MIN's lookahead pass is the same recording every other policy replays),
+/// pass 2 replays under MIN. With `--no-replay`, pass 2 re-runs full
+/// simulation instead; pass 1 still needs a recording, taken off-cache.
 pub fn run_single_min(workload: &Workload, params: StParams) -> SingleCoreResult {
     let config = HierarchyConfig::single_thread();
-    let log = Arc::new(Mutex::new(Vec::new()));
-    {
-        let recorder = StreamRecorder::new(&config.llc, log.clone());
-        let mut sim = SingleCoreSim::new(config, Box::new(recorder), workload.trace(params.seed));
-        let _ = sim.run(params.warmup, params.measure);
+    if recording::replay_enabled() {
+        let rec = recording::recording_for(workload, params.seed, params.warmup, params.measure);
+        let min = MinPolicy::new(&config.llc, &rec.llc_blocks());
+        let mut cache = Cache::new(config.llc, Box::new(min));
+        return replay_single(&rec, &mut cache, &config.latencies);
     }
-    let stream = log.lock().expect("recorder lock").clone();
-    let min = MinPolicy::new(&config.llc, &stream);
+    let rec = LlcRecording::record(
+        workload.name(),
+        workload.trace(params.seed),
+        &config,
+        params.warmup,
+        params.measure,
+    );
+    let min = MinPolicy::new(&config.llc, &rec.llc_blocks());
     let mut sim = SingleCoreSim::new(config, Box::new(min), workload.trace(params.seed));
     sim.run(params.warmup, params.measure)
 }
@@ -197,6 +220,15 @@ pub fn run_mix_policy(
 pub fn standalone_ipcs(workloads: &[Workload], params: MpParams, seed: u64) -> Vec<f64> {
     mrp_runtime::par_map(workloads, |w| {
         let config = HierarchyConfig::multi_core();
+        if recording::replay_enabled() {
+            // Recordings are LLC-geometry-independent, so the same cached
+            // stream the single-thread figures replay against the 2MB LLC
+            // replays here against the standalone 8MB LLC.
+            let rec = recording::recording_for(w, seed, params.warmup, params.measure);
+            let policy = PolicyKind::Lru.build(&config.llc);
+            let mut cache = Cache::new(config.llc, policy);
+            return replay_single(&rec, &mut cache, &config.latencies).ipc;
+        }
         let policy = PolicyKind::Lru.build(&config.llc);
         let mut sim = SingleCoreSim::new(config, policy, w.trace(seed));
         sim.run(params.warmup, params.measure).ipc

@@ -7,7 +7,7 @@
 
 use mrp_baselines::MinPolicy;
 use mrp_cache::policies::Lru;
-use mrp_search::{crossval, FastEvaluator, HillClimber, RandomFeatures};
+use mrp_search::{crossval, HillClimber, RandomFeatures};
 use mrp_trace::workloads;
 
 /// Results of the search experiment.
@@ -63,7 +63,7 @@ pub fn run(params: SearchParams) -> SearchCurve {
         .into_iter()
         .take(params.workload_count.max(1))
         .collect();
-    let evaluator = FastEvaluator::new(&selected, params.seed, params.instructions);
+    let evaluator = crate::recording::fast_evaluator(&selected, params.seed, params.instructions);
 
     let lru_mpki =
         evaluator.average_mpki_with(|llc, _| Box::new(Lru::new(llc.sets(), llc.associativity())));

@@ -94,6 +94,14 @@ fn run_inner(params: StParams, workload_count: usize, include_min: bool, cv: boo
     let count = workload_count.min(suite.len()).max(1);
     let selected = &suite[..count];
 
+    // Record every workload's LLC stream up front, in parallel: the cell
+    // fan-out below has `cols` cells per workload, and without this the
+    // first cell to touch a workload would record it while its siblings
+    // block on the memo.
+    if crate::recording::replay_enabled() {
+        crate::recording::prerecord(selected, params.seed, params.warmup, params.measure);
+    }
+
     // One job per (workload × policy) cell: every cell owns its own trace
     // stream and policy instance, and cells are collected by index, so
     // the parallel schedule cannot affect row contents or order.

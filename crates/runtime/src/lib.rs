@@ -169,6 +169,67 @@ where
     map_indexed(items.len(), |i| f(&items[i]))
 }
 
+/// A concurrent compute-once cache for expensive, pure, keyed work.
+///
+/// Built for the record-once/replay-many layer: many pool workers may
+/// ask for the same workload recording simultaneously, and exactly one
+/// must compute it while the rest block on the result instead of
+/// duplicating minutes of work. The map lock is held only to resolve
+/// the per-key cell, never across `compute`, so distinct keys build
+/// concurrently.
+pub struct Memo<K, V> {
+    map: std::sync::Mutex<std::collections::HashMap<K, std::sync::Arc<OnceLock<V>>>>,
+}
+
+impl<K, V> Default for Memo<K, V> {
+    fn default() -> Self {
+        Memo::new()
+    }
+}
+
+impl<K, V> Memo<K, V> {
+    /// Creates an empty memo.
+    pub fn new() -> Self {
+        Memo {
+            map: std::sync::Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// Number of keys resolved or being resolved.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("memo map poisoned").len()
+    }
+
+    /// True when no key has been requested yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached value (e.g. between parameter sweeps whose
+    /// keys will never be requested again).
+    pub fn clear(&self) {
+        self.map.lock().expect("memo map poisoned").clear();
+    }
+}
+
+impl<K, V> Memo<K, V>
+where
+    K: std::hash::Hash + Eq,
+    V: Clone,
+{
+    /// Returns the cached value for `key`, computing it with `compute`
+    /// on first request. Concurrent requests for the same key block
+    /// until the single computation finishes; requests for other keys
+    /// proceed independently.
+    pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        let cell = {
+            let mut map = self.map.lock().expect("memo map poisoned");
+            std::sync::Arc::clone(map.entry(key).or_default())
+        };
+        cell.get_or_init(compute).clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,6 +300,25 @@ mod tests {
             let expected: Vec<usize> = (0..8).map(|i| outer * 8 + i).collect();
             assert_eq!(*inner_results, expected);
         }
+    }
+
+    #[test]
+    fn memo_computes_each_key_once_under_contention() {
+        let memo = Memo::new();
+        let computed = AtomicUsize::new(0);
+        let out = map_indexed_with(32, 4, |i| {
+            memo.get_or_compute(i % 4, || {
+                computed.fetch_add(1, Ordering::Relaxed);
+                (i % 4) * 10
+            })
+        });
+        assert_eq!(computed.load(Ordering::Relaxed), 4);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i % 4) * 10);
+        }
+        assert_eq!(memo.len(), 4);
+        memo.clear();
+        assert!(memo.is_empty());
     }
 
     #[test]

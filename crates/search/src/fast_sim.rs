@@ -1,131 +1,90 @@
 //! Fast MPKI-only evaluation of candidate feature sets.
 
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use mrp_cache::policies::Lru;
-use mrp_cache::{AccessInfo, Cache, CacheConfig, Hierarchy, HierarchyConfig, ReplacementPolicy};
+use mrp_cache::replay::LlcRecording;
+use mrp_cache::{Cache, CacheConfig, HierarchyConfig, ReplacementPolicy};
 use mrp_core::mpppb::{Mpppb, MpppbConfig};
 use mrp_core::Feature;
-use mrp_trace::{MemoryAccess, Workload};
+use mrp_trace::Workload;
 
 /// The LLC-filtered access stream of one workload, recorded once and
 /// replayed for every candidate.
 ///
-/// The stream reaching the LLC depends only on the trace and the levels
-/// above the LLC, never on the LLC policy, so one recording serves every
-/// candidate evaluation. (Prefetch fills are part of the stream; they are
-/// replayed with their prefetch flag.)
+/// A thin handle over the shared [`LlcRecording`] layer: the stream
+/// reaching the LLC depends only on the trace and the levels above the
+/// LLC, never on the LLC policy, so one recording serves every candidate
+/// evaluation. (Prefetch fills are part of the stream; they are replayed
+/// with their prefetch flag.) The `Arc` makes sharing a memoized
+/// recording with the figure drivers free.
+#[derive(Clone)]
 pub struct LlcTrace {
-    name: String,
-    accesses: Vec<(MemoryAccess, bool)>,
-    instructions: u64,
+    recording: Arc<LlcRecording>,
 }
 
 impl fmt::Debug for LlcTrace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("LlcTrace")
-            .field("name", &self.name)
-            .field("accesses", &self.accesses.len())
-            .field("instructions", &self.instructions)
+            .field("name", &self.name())
+            .field("accesses", &self.len())
+            .field("instructions", &self.instructions())
             .finish()
-    }
-}
-
-/// An LLC policy wrapper that records every access it sees, with its
-/// prefetch flag, into a shared log.
-struct LlcStreamRecorder {
-    lru: Lru,
-    log: Arc<Mutex<Vec<(MemoryAccess, bool)>>>,
-}
-
-impl ReplacementPolicy for LlcStreamRecorder {
-    fn name(&self) -> &str {
-        "llc-stream-recorder"
-    }
-
-    fn on_access(&mut self, info: &AccessInfo) {
-        let record = MemoryAccess {
-            pc: info.pc,
-            address: info.address,
-            core: info.core,
-            kind: info.kind,
-            non_memory_before: 0,
-            dependent: false,
-        };
-        self.log
-            .lock()
-            .expect("recorder lock")
-            .push((record, info.is_prefetch));
-    }
-
-    fn on_hit(&mut self, info: &AccessInfo, way: u32) {
-        self.lru.on_hit(info, way);
-    }
-
-    fn choose_victim(&mut self, info: &AccessInfo, occupants: &[u64]) -> u32 {
-        self.lru.choose_victim(info, occupants)
-    }
-
-    fn on_fill(&mut self, info: &AccessInfo, way: u32) {
-        self.lru.on_fill(info, way);
     }
 }
 
 impl LlcTrace {
     /// Records the LLC stream of `workload` over `instructions`
-    /// instructions (after the same number of warmup instructions the
-    /// evaluator will skip implicitly — recording starts cold, as the
-    /// paper's fast simulator does).
+    /// instructions (recording starts cold, as the paper's fast
+    /// simulator does).
     pub fn record(workload: &Workload, seed: u64, instructions: u64) -> Self {
-        let config = HierarchyConfig::single_thread();
-        let log = Arc::new(Mutex::new(Vec::new()));
-        let recorder = LlcStreamRecorder {
-            lru: Lru::new(config.llc.sets(), config.llc.associativity()),
-            log: log.clone(),
-        };
-        let mut hierarchy = Hierarchy::new(config, Box::new(recorder));
-        let mut retired = 0u64;
-        let mut trace = workload.trace(seed);
-        while retired < instructions {
-            let access = trace.next().expect("traces are infinite");
-            retired += access.instructions();
-            let _ = hierarchy.access(&access);
-        }
-        let accesses = Arc::try_unwrap(log)
-            .map(|m| m.into_inner().expect("recorder lock"))
-            .unwrap_or_else(|arc| arc.lock().expect("recorder lock").clone());
+        let recording = LlcRecording::record(
+            workload.name(),
+            workload.trace(seed),
+            &HierarchyConfig::single_thread(),
+            0,
+            instructions,
+        );
         LlcTrace {
-            name: workload.name().to_string(),
-            accesses,
-            instructions: retired,
+            recording: Arc::new(recording),
         }
+    }
+
+    /// Wraps an already-recorded (e.g. memoized) stream.
+    pub fn from_recording(recording: Arc<LlcRecording>) -> Self {
+        LlcTrace { recording }
     }
 
     /// Workload name.
     pub fn name(&self) -> &str {
-        &self.name
+        self.recording.name()
     }
 
     /// Recorded LLC accesses (demand + prefetch).
     pub fn len(&self) -> usize {
-        self.accesses.len()
+        self.recording.llc_len()
     }
 
     /// Whether the stream is empty.
     pub fn is_empty(&self) -> bool {
-        self.accesses.is_empty()
+        self.len() == 0
     }
 
     /// Instructions the recording represents.
     pub fn instructions(&self) -> u64 {
-        self.instructions
+        self.recording.instructions()
     }
 
     /// The block-address sequence of the stream, in replay order (used to
     /// construct Belady MIN reference policies).
     pub fn blocks(&self) -> Vec<u64> {
-        self.accesses.iter().map(|(a, _)| a.block()).collect()
+        self.recording.llc_blocks()
+    }
+
+    /// The underlying recording.
+    pub fn recording(&self) -> &Arc<LlcRecording> {
+        &self.recording
     }
 
     /// Replays the stream against `cache`, returning the demand-miss MPKI.
@@ -135,13 +94,8 @@ impl LlcTrace {
     /// provide (documented substitution: the fast simulator's PC history
     /// is LLC-filtered).
     pub fn replay(&self, cache: &mut Cache) -> f64 {
-        for (access, is_prefetch) in &self.accesses {
-            if !is_prefetch {
-                cache.policy_mut().on_core_access(access);
-            }
-            let _ = cache.access(access, *is_prefetch);
-        }
-        cache.stats().demand_misses as f64 * 1000.0 / self.instructions as f64
+        self.recording.replay_llc(cache);
+        cache.stats().demand_misses as f64 * 1000.0 / self.instructions() as f64
     }
 }
 

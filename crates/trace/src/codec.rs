@@ -6,10 +6,23 @@
 //!
 //! ```text
 //! magic "MRPT" | u16 version | u16 reserved | u64 record count
-//! then per record (fixed 19 bytes, little endian):
+//! v1, per record (fixed 19 bytes, little endian):
 //!   u64 pc | u64 address | u8 core | u8 flags | u8 non_memory_before
 //! flags: bit0 = store, bit1 = dependent
+//! v2, per record (fixed 20 bytes, little endian):
+//!   u64 pc | u64 address | u8 core | u8 flags | u16 gap
+//! flags: bit0 = store, bit1 = dependent, bit2 = prefetch,
+//!        bits3-4 = servicing level (0 = L1, 1 = L2, 2 = LLC-bound)
 //! ```
+//!
+//! v1 serializes a raw access trace and loses the prefetch flag; v2
+//! serializes a recorded *stream* ([`crate::StreamEvent`]) — each demand
+//! access tagged with the level that serviced it, interleaved with the
+//! prefetch fills issued by the hardware prefetcher — plus the per-gap
+//! CPU metadata (`gap` = non-memory instructions before the access)
+//! needed to drive the timing model. [`read_stream`] accepts both
+//! versions, mapping v1 records to non-prefetch, LLC-bound events, so
+//! old traces stay readable.
 //!
 //! # Example
 //!
@@ -30,16 +43,28 @@
 
 use std::io::{self, Read, Write};
 
-use crate::record::{AccessKind, MemoryAccess};
+use crate::record::{AccessKind, MemoryAccess, ServiceLevel, StreamEvent};
 
 /// File magic.
 pub const MAGIC: [u8; 4] = *b"MRPT";
 
-/// Current format version.
+/// Raw-trace format version (19-byte records, no prefetch flag).
 pub const VERSION: u16 = 1;
 
-const FLAG_STORE: u8 = 1 << 0;
-const FLAG_DEPENDENT: u8 = 1 << 1;
+/// Stream format version (20-byte records with prefetch flag, servicing
+/// level, and a 16-bit instruction gap).
+pub const VERSION_V2: u16 = 2;
+
+/// v2 flags bit: the access is a store.
+pub const FLAG_STORE: u8 = 1 << 0;
+/// v2 flags bit: the access's address depends on the previous access.
+pub const FLAG_DEPENDENT: u8 = 1 << 1;
+/// v2 flags bit: the record is a hardware prefetch fill.
+pub const FLAG_PREFETCH: u8 = 1 << 2;
+/// Shift of the two servicing-level bits in the v2 flags byte.
+pub const LEVEL_SHIFT: u8 = 3;
+/// Mask of the two servicing-level bits in the v2 flags byte.
+pub const LEVEL_MASK: u8 = 0b11 << LEVEL_SHIFT;
 
 /// Writes `records` in the binary trace format.
 ///
@@ -114,6 +139,137 @@ pub fn read_trace<R: Read>(reader: &mut R) -> io::Result<Vec<MemoryAccess>> {
     Ok(records)
 }
 
+/// Packs a stream event's booleans and level into a v2 flags byte.
+#[inline]
+pub fn encode_event_flags(event: &StreamEvent) -> u8 {
+    let mut flags = 0u8;
+    if event.access.kind == AccessKind::Store {
+        flags |= FLAG_STORE;
+    }
+    if event.access.dependent {
+        flags |= FLAG_DEPENDENT;
+    }
+    if event.is_prefetch {
+        flags |= FLAG_PREFETCH;
+    }
+    flags | (event.level.encode() << LEVEL_SHIFT)
+}
+
+/// Unpacks a v2 flags byte into `(kind, dependent, is_prefetch, level)`.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] on an invalid level encoding.
+#[inline]
+pub fn decode_event_flags(flags: u8) -> io::Result<(AccessKind, bool, bool, ServiceLevel)> {
+    let level = ServiceLevel::decode((flags & LEVEL_MASK) >> LEVEL_SHIFT).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("invalid servicing level in flags {flags:#04x}"),
+        )
+    })?;
+    let kind = if flags & FLAG_STORE != 0 {
+        AccessKind::Store
+    } else {
+        AccessKind::Load
+    };
+    Ok((
+        kind,
+        flags & FLAG_DEPENDENT != 0,
+        flags & FLAG_PREFETCH != 0,
+        level,
+    ))
+}
+
+/// Writes `events` in the v2 stream format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_stream<W: Write>(writer: &mut W, events: &[StreamEvent]) -> io::Result<()> {
+    writer.write_all(&MAGIC)?;
+    writer.write_all(&VERSION_V2.to_le_bytes())?;
+    writer.write_all(&0u16.to_le_bytes())?;
+    writer.write_all(&(events.len() as u64).to_le_bytes())?;
+    for e in events {
+        writer.write_all(&e.access.pc.to_le_bytes())?;
+        writer.write_all(&e.access.address.to_le_bytes())?;
+        writer.write_all(&[e.access.core, encode_event_flags(e)])?;
+        writer.write_all(&u16::from(e.access.non_memory_before).to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a stream written by [`write_stream`] — or, for compatibility, a
+/// v1 trace written by [`write_trace`], whose records become non-prefetch
+/// LLC-bound events.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] on a bad magic, an unsupported
+/// version, an instruction gap exceeding [`MemoryAccess`]'s 8-bit field,
+/// or an invalid level encoding, and propagates underlying I/O errors.
+pub fn read_stream<R: Read>(reader: &mut R) -> io::Result<Vec<StreamEvent>> {
+    let mut header = [0u8; 16];
+    reader.read_exact(&mut header)?;
+    if header[0..4] != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad trace magic",
+        ));
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != VERSION && version != VERSION_V2 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported trace version {version}"),
+        ));
+    }
+    let count = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+    let mut events = Vec::with_capacity(count.min(1 << 24) as usize);
+    let record_bytes = if version == VERSION { 19 } else { 20 };
+    let mut buf = [0u8; 20];
+    for _ in 0..count {
+        reader.read_exact(&mut buf[..record_bytes])?;
+        let pc = u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes"));
+        let address = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+        let core = buf[16];
+        let flags = buf[17];
+        let (gap, is_prefetch, level) = if version == VERSION {
+            // v1 carries no prefetch flag or level; treat every record as
+            // a demand access bound for the LLC.
+            (u16::from(buf[18]), false, ServiceLevel::Llc)
+        } else {
+            let (_, _, is_prefetch, level) = decode_event_flags(flags)?;
+            let gap = u16::from_le_bytes([buf[18], buf[19]]);
+            (gap, is_prefetch, level)
+        };
+        let non_memory_before = u8::try_from(gap).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("instruction gap {gap} exceeds the 8-bit access field"),
+            )
+        })?;
+        events.push(StreamEvent {
+            access: MemoryAccess {
+                pc,
+                address,
+                core,
+                kind: if flags & FLAG_STORE != 0 {
+                    AccessKind::Store
+                } else {
+                    AccessKind::Load
+                },
+                non_memory_before,
+                dependent: flags & FLAG_DEPENDENT != 0,
+            },
+            is_prefetch,
+            level,
+        });
+    }
+    Ok(events)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,5 +323,72 @@ mod tests {
         let mut buffer = Vec::new();
         write_trace(&mut buffer, &[]).expect("write");
         assert_eq!(read_trace(&mut buffer.as_slice()).expect("read"), vec![]);
+    }
+
+    /// A small stream exercising every flag combination v2 must preserve.
+    fn sample_stream() -> Vec<StreamEvent> {
+        workloads::suite()[0]
+            .trace(7)
+            .take(64)
+            .enumerate()
+            .map(|(i, access)| StreamEvent {
+                access,
+                is_prefetch: i % 3 == 0,
+                level: match i % 4 {
+                    0 | 1 => ServiceLevel::Llc,
+                    2 => ServiceLevel::L1,
+                    _ => ServiceLevel::L2,
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn v2_round_trips_prefetch_flag_and_level() {
+        let events = sample_stream();
+        let mut buffer = Vec::new();
+        write_stream(&mut buffer, &events).expect("write");
+        let decoded = read_stream(&mut buffer.as_slice()).expect("read");
+        assert_eq!(events, decoded);
+    }
+
+    #[test]
+    fn v2_record_size_is_fixed() {
+        let events = sample_stream();
+        let mut buffer = Vec::new();
+        write_stream(&mut buffer, &events).expect("write");
+        assert_eq!(buffer.len(), 16 + events.len() * 20);
+        assert_eq!(u16::from_le_bytes([buffer[4], buffer[5]]), VERSION_V2);
+    }
+
+    #[test]
+    fn read_stream_accepts_v1_traces() {
+        let records: Vec<_> = workloads::suite()[1].trace(2).take(200).collect();
+        let mut buffer = Vec::new();
+        write_trace(&mut buffer, &records).expect("write v1");
+        let events = read_stream(&mut buffer.as_slice()).expect("read as stream");
+        assert_eq!(events.len(), records.len());
+        for (event, record) in events.iter().zip(&records) {
+            assert_eq!(event.access, *record);
+            assert!(!event.is_prefetch, "v1 records carry no prefetch flag");
+            assert_eq!(event.level, ServiceLevel::Llc);
+        }
+    }
+
+    #[test]
+    fn read_trace_still_rejects_v2_streams() {
+        let mut buffer = Vec::new();
+        write_stream(&mut buffer, &sample_stream()).expect("write");
+        let err = read_trace(&mut buffer.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn read_stream_rejects_invalid_level() {
+        let mut buffer = Vec::new();
+        write_stream(&mut buffer, &sample_stream()).expect("write");
+        buffer[16 + 17] = LEVEL_MASK; // level bits = 3: invalid
+        let err = read_stream(&mut buffer.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 }

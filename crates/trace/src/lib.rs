@@ -37,5 +37,7 @@ pub mod record;
 pub mod workloads;
 
 pub use mix::{Mix, MixBuilder};
-pub use record::{AccessKind, MemoryAccess, BLOCK_BYTES, BLOCK_OFFSET_BITS};
+pub use record::{
+    AccessKind, MemoryAccess, ServiceLevel, StreamEvent, BLOCK_BYTES, BLOCK_OFFSET_BITS,
+};
 pub use workloads::{Workload, WorkloadId};

@@ -99,6 +99,65 @@ impl fmt::Display for MemoryAccess {
     }
 }
 
+/// The highest level of the hierarchy a recorded access interacted with.
+///
+/// Recorded streams (see `mrp-cache`'s replay layer and codec v2) tag
+/// each demand access with the level that serviced it. `Llc` means the
+/// access missed the private levels and reached the last-level cache;
+/// whether it hit there depends on the LLC policy and is decided at
+/// replay time, not at record time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServiceLevel {
+    /// Serviced by the L1 data cache.
+    L1,
+    /// Serviced by the unified L2.
+    L2,
+    /// Missed the private levels; bound for the LLC.
+    Llc,
+}
+
+impl ServiceLevel {
+    /// Two-bit encoding used by the codec and recording flag bytes.
+    #[inline]
+    pub fn encode(self) -> u8 {
+        match self {
+            ServiceLevel::L1 => 0,
+            ServiceLevel::L2 => 1,
+            ServiceLevel::Llc => 2,
+        }
+    }
+
+    /// Inverse of [`ServiceLevel::encode`]; `None` for invalid encodings.
+    #[inline]
+    pub fn decode(bits: u8) -> Option<Self> {
+        match bits {
+            0 => Some(ServiceLevel::L1),
+            1 => Some(ServiceLevel::L2),
+            2 => Some(ServiceLevel::Llc),
+            _ => None,
+        }
+    }
+}
+
+/// One event of a recorded upper-hierarchy stream: a demand access tagged
+/// with its servicing level, or a prefetch fill bound for the LLC.
+///
+/// This is the unit the v2 trace codec serializes and the replay layer in
+/// `mrp-cache` records; the sequence of these events is everything an LLC
+/// policy (and the timing model) can observe, so one recorded stream
+/// replays against any LLC policy and geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamEvent {
+    /// The access (for prefetch events: the synthesized prefetch request,
+    /// carrying the triggering access's PC — masked to the fake prefetch
+    /// PC by the cache at replay time).
+    pub access: MemoryAccess,
+    /// True for hardware prefetch fills reaching the LLC.
+    pub is_prefetch: bool,
+    /// Servicing level of a demand access; always `Llc` for prefetches.
+    pub level: ServiceLevel,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -16,6 +16,10 @@
 //!    pool with index-ordered collection, plus a greedy shrinker that
 //!    minimizes a failing stream before it is reported.
 //!
+//! A fourth, separately-invoked pillar ([`replay_check`]) proves the
+//! record-once/replay-many fast path bit-identical to full simulation
+//! on real workload traces, per `(policy, workload)` cell.
+//!
 //! Everything reproduces from a single `u64` seed: the same seed, access
 //! count, and job count replay the identical streams regardless of thread
 //! count.
@@ -25,6 +29,7 @@ pub mod fuzzer;
 pub mod invariants;
 pub mod lockstep;
 pub mod reference;
+pub mod replay_check;
 
 use std::fmt;
 use std::sync::Arc;
@@ -37,6 +42,7 @@ pub use divergence::{Divergence, DivergenceReport, MAX_REPORTED};
 pub use fuzzer::{gen_features, gen_stream, job_profile, shrink, SplitMix, StreamProfile};
 pub use lockstep::{run_lockstep, run_predictor_lockstep, DualCache, PredictorPair, StreamItem};
 pub use reference::{ReferenceCache, ReferencePredictor};
+pub use replay_check::{run_replay_check, ReplayCheckSummary, ReplayMismatch};
 
 /// A policy factory shared across verification jobs. Called once per
 /// lockstep side per stream, so both sides get identically-constructed

@@ -1,0 +1,219 @@
+//! Record/replay equivalence: full simulation vs the
+//! record-once/replay-many path, compared bit for bit.
+//!
+//! The replay layer (`mrp_cache::replay` + `mrp_cpu::replay_single`)
+//! claims that replaying a workload's recorded LLC-bound stream into a
+//! policy reproduces full simulation exactly — same IPC bits, same MPKI
+//! bits, same cycle count, same hierarchy counters. This module checks
+//! that claim the same way the lockstep harness checks the shadow
+//! models: run both paths on every `(policy, workload)` cell and report
+//! every field that differs. One recording per workload is shared by
+//! all policies, exercising the production sharing pattern.
+
+use std::fmt;
+
+use mrp_cache::replay::LlcRecording;
+use mrp_cache::{Cache, HierarchyConfig};
+use mrp_cpu::{replay_single, SingleCoreResult, SingleCoreSim};
+use mrp_runtime::map_indexed;
+use mrp_trace::Workload;
+
+use crate::PolicySpec;
+
+/// One field that differed between full simulation and replay.
+#[derive(Debug, Clone)]
+pub struct ReplayMismatch {
+    /// Policy name.
+    pub policy: String,
+    /// Workload name.
+    pub workload: String,
+    /// Which result field diverged.
+    pub field: &'static str,
+    /// Full-simulation value, rendered.
+    pub full: String,
+    /// Replayed value, rendered.
+    pub replayed: String,
+}
+
+impl fmt::Display for ReplayMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}/{}] {}: full {} vs replayed {}",
+            self.policy, self.workload, self.field, self.full, self.replayed
+        )
+    }
+}
+
+/// Outcome of a replay-equivalence sweep.
+#[derive(Debug, Clone)]
+pub struct ReplayCheckSummary {
+    /// `(policy, workload)` cells compared.
+    pub cells: usize,
+    /// Every field-level difference found (empty = bit-identical).
+    pub mismatches: Vec<ReplayMismatch>,
+}
+
+impl ReplayCheckSummary {
+    /// Whether every cell replayed bit-identically.
+    pub fn is_clean(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+impl fmt::Display for ReplayCheckSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "{} replay cells bit-identical", self.cells);
+        }
+        writeln!(
+            f,
+            "{} of {} replay cells diverged:",
+            self.mismatches.len(),
+            self.cells
+        )?;
+        for m in &self.mismatches {
+            writeln!(f, "  {m}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Compares every result field, bit-exactly for the floating-point ones.
+fn compare(
+    policy: &str,
+    workload: &str,
+    full: &SingleCoreResult,
+    replayed: &SingleCoreResult,
+) -> Vec<ReplayMismatch> {
+    let mut out = Vec::new();
+    let mut push = |field: &'static str, a: String, b: String, equal: bool| {
+        if !equal {
+            out.push(ReplayMismatch {
+                policy: policy.to_string(),
+                workload: workload.to_string(),
+                field,
+                full: a,
+                replayed: b,
+            });
+        }
+    };
+    push(
+        "ipc",
+        format!("{:?}", full.ipc),
+        format!("{:?}", replayed.ipc),
+        full.ipc.to_bits() == replayed.ipc.to_bits(),
+    );
+    push(
+        "mpki",
+        format!("{:?}", full.mpki),
+        format!("{:?}", replayed.mpki),
+        full.mpki.to_bits() == replayed.mpki.to_bits(),
+    );
+    push(
+        "instructions",
+        full.instructions.to_string(),
+        replayed.instructions.to_string(),
+        full.instructions == replayed.instructions,
+    );
+    push(
+        "cycles",
+        full.cycles.to_string(),
+        replayed.cycles.to_string(),
+        full.cycles == replayed.cycles,
+    );
+    push(
+        "stats",
+        format!("{:?}", full.stats),
+        format!("{:?}", replayed.stats),
+        full.stats == replayed.stats,
+    );
+    out
+}
+
+/// Runs every `(policy, workload)` cell both ways — full simulation and
+/// record+replay — and collects every field that differs. Recordings are
+/// taken once per workload and shared across policies, exactly as the
+/// experiment drivers share them.
+pub fn run_replay_check(
+    policies: &[PolicySpec],
+    workloads: &[Workload],
+    warmup: u64,
+    measure: u64,
+    seed: u64,
+) -> ReplayCheckSummary {
+    let config = HierarchyConfig::single_thread();
+    let recordings: Vec<LlcRecording> = mrp_runtime::par_map(workloads, |w| {
+        LlcRecording::record(w.name(), w.trace(seed), &config, warmup, measure)
+    });
+    let cells = policies.len() * workloads.len();
+    let mismatches: Vec<ReplayMismatch> = map_indexed(cells, |cell| {
+        let (pi, wi) = (cell / workloads.len(), cell % workloads.len());
+        let spec = &policies[pi];
+        let w = &workloads[wi];
+        let mut sim = SingleCoreSim::new(config, (spec.build)(&config.llc), w.trace(seed));
+        let full = sim.run(warmup, measure);
+        let mut cache = Cache::new(config.llc, (spec.build)(&config.llc));
+        let replayed = replay_single(&recordings[wi], &mut cache, &config.latencies);
+        compare(&spec.name, w.name(), &full, &replayed)
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    ReplayCheckSummary { cells, mismatches }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrp_cache::policies::{Lru, Srrip};
+    use mrp_cache::{CacheConfig, ReplacementPolicy};
+    use mrp_trace::workloads;
+    use std::sync::Arc;
+
+    fn spec(name: &'static str) -> PolicySpec {
+        PolicySpec::new(
+            name,
+            Arc::new(
+                move |llc: &CacheConfig| -> Box<dyn ReplacementPolicy + Send> {
+                    match name {
+                        "lru" => Box::new(Lru::new(llc.sets(), llc.associativity())),
+                        _ => Box::new(Srrip::new(llc.sets(), llc.associativity())),
+                    }
+                },
+            ),
+        )
+    }
+
+    #[test]
+    fn replay_matches_full_simulation_on_small_cells() {
+        let suite = workloads::suite();
+        let summary = run_replay_check(
+            &[spec("lru"), spec("srrip")],
+            &suite[..2],
+            10_000,
+            40_000,
+            5,
+        );
+        assert_eq!(summary.cells, 4);
+        assert!(summary.is_clean(), "{summary}");
+    }
+
+    #[test]
+    fn mismatch_rendering_names_the_cell_and_field() {
+        let a = SingleCoreResult {
+            ipc: 1.0,
+            mpki: 2.0,
+            instructions: 100,
+            cycles: 200,
+            stats: Default::default(),
+        };
+        let mut b = a;
+        b.cycles = 201;
+        let mismatches = compare("lru", "stream.a", &a, &b);
+        assert_eq!(mismatches.len(), 1);
+        let rendered = mismatches[0].to_string();
+        assert!(rendered.contains("lru/stream.a"), "{rendered}");
+        assert!(rendered.contains("cycles"), "{rendered}");
+    }
+}

@@ -9,7 +9,23 @@ use std::sync::Arc;
 
 use mrp_cache::CacheConfig;
 use mrp_experiments::PolicyKind;
-use mrp_verify::{run_verification, PolicySpec, VerifyConfig};
+use mrp_verify::{run_replay_check, run_verification, PolicySpec, VerifyConfig};
+
+const ALL_POLICIES: [&str; 13] = [
+    "lru",
+    "random",
+    "plru",
+    "srrip",
+    "drrip",
+    "mdpp",
+    "ship",
+    "sdbp",
+    "perceptron",
+    "mpppb",
+    "mpppb-srrip",
+    "mpppb-adaptive",
+    "hawkeye",
+];
 
 fn spec(name: &str) -> PolicySpec {
     if name == "hawkeye" {
@@ -26,24 +42,7 @@ fn all_policies_verify_clean_at_smoke_scale() {
         accesses: 16_000,
         jobs: 4,
     };
-    let policies: Vec<PolicySpec> = [
-        "lru",
-        "random",
-        "plru",
-        "srrip",
-        "drrip",
-        "mdpp",
-        "ship",
-        "sdbp",
-        "perceptron",
-        "mpppb",
-        "mpppb-srrip",
-        "mpppb-adaptive",
-        "hawkeye",
-    ]
-    .iter()
-    .map(|n| spec(n))
-    .collect();
+    let policies: Vec<PolicySpec> = ALL_POLICIES.iter().map(|n| spec(n)).collect();
 
     let summary = run_verification(&cfg, &policies);
     let failures: Vec<String> = summary
@@ -69,6 +68,18 @@ fn all_policies_verify_clean_at_smoke_scale() {
     assert_eq!(summary.predictor_reports.len(), 4);
     assert!(summary.min_checks.0 > 0, "MIN bound never applied");
     assert!(summary.shrunk.is_none());
+}
+
+#[test]
+fn replay_path_is_bit_identical_for_every_policy() {
+    // Record-once/replay-many lockstep: every registered policy, on a
+    // slice of real workloads, must produce bit-identical IPC, MPKI,
+    // cycles, and hierarchy counters through the replay fast path.
+    let policies: Vec<PolicySpec> = ALL_POLICIES.iter().map(|n| spec(n)).collect();
+    let suite = mrp_trace::workloads::suite();
+    let summary = run_replay_check(&policies, &suite[..3], 10_000, 40_000, 0xC0FFEE);
+    assert_eq!(summary.cells, 13 * 3);
+    assert!(summary.is_clean(), "{summary}");
 }
 
 #[test]
