@@ -53,6 +53,25 @@ impl CacheStats {
         self.prefetch_fills += other.prefetch_fills;
         self.evictions += other.evictions;
     }
+
+    /// Publishes this block into the [`mrp_obs`] registry under
+    /// `<prefix>.<field>` counters. No-op while telemetry is disabled.
+    pub fn publish(&self, prefix: &str) {
+        if !mrp_obs::enabled() {
+            return;
+        }
+        let fields: [(&str, u64); 6] = [
+            ("demand_hits", self.demand_hits),
+            ("demand_misses", self.demand_misses),
+            ("bypasses", self.bypasses),
+            ("prefetch_hits", self.prefetch_hits),
+            ("prefetch_fills", self.prefetch_fills),
+            ("evictions", self.evictions),
+        ];
+        for (field, value) in fields {
+            mrp_obs::counter(&format!("{prefix}.{field}")).add(value);
+        }
+    }
 }
 
 impl fmt::Display for CacheStats {
@@ -97,6 +116,20 @@ impl HierarchyStats {
         self.llc.merge(&other.llc);
         self.instructions += other.instructions;
         self.prefetches_issued += other.prefetches_issued;
+    }
+
+    /// Publishes every level's counters into the [`mrp_obs`] registry
+    /// under `<prefix>.{l1d,l2,llc}.*`, plus `<prefix>.instructions` and
+    /// `<prefix>.prefetches_issued`. No-op while telemetry is disabled.
+    pub fn publish(&self, prefix: &str) {
+        if !mrp_obs::enabled() {
+            return;
+        }
+        self.l1d.publish(&format!("{prefix}.l1d"));
+        self.l2.publish(&format!("{prefix}.l2"));
+        self.llc.publish(&format!("{prefix}.llc"));
+        mrp_obs::counter(&format!("{prefix}.instructions")).add(self.instructions);
+        mrp_obs::counter(&format!("{prefix}.prefetches_issued")).add(self.prefetches_issued);
     }
 }
 
@@ -166,5 +199,25 @@ mod tests {
     fn displays_are_nonempty() {
         assert!(!format!("{}", CacheStats::default()).is_empty());
         assert!(!format!("{}", HierarchyStats::default()).is_empty());
+    }
+
+    #[test]
+    fn publish_exports_counters_only_when_enabled() {
+        // Sole flag-toggling test in this binary (the obs flag is
+        // process-global).
+        let mut h = HierarchyStats::default();
+        h.llc.demand_misses = 42;
+        h.instructions = 9000;
+
+        h.publish("test.sim.off");
+        mrp_obs::set_enabled(true);
+        h.publish("test.sim.on");
+        mrp_obs::set_enabled(false);
+
+        let snap = mrp_obs::registry_snapshot();
+        let get = |name: &str| snap.iter().find(|(n, _, _)| n == name).map(|(_, v, _)| *v);
+        assert_eq!(get("test.sim.off.llc.demand_misses"), None);
+        assert_eq!(get("test.sim.on.llc.demand_misses"), Some(42));
+        assert_eq!(get("test.sim.on.instructions"), Some(9000));
     }
 }

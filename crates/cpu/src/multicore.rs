@@ -48,6 +48,18 @@ impl MulticoreResult {
             .map(|(&ipc, &single)| ipc / single)
             .sum()
     }
+
+    /// Publishes `<prefix>.llc_misses` and `<prefix>.instructions`
+    /// (summed over cores) into the [`mrp_obs`] registry. Counters
+    /// accumulate across runs. No-op while telemetry is disabled.
+    pub fn publish(&self, prefix: &str) {
+        if !mrp_obs::enabled() {
+            return;
+        }
+        mrp_obs::counter(&format!("{prefix}.llc_misses")).add(self.llc_misses);
+        mrp_obs::counter(&format!("{prefix}.instructions"))
+            .add(self.instructions.iter().sum::<u64>());
+    }
 }
 
 struct CoreState {

@@ -22,6 +22,20 @@ pub struct SingleCoreResult {
     pub stats: HierarchyStats,
 }
 
+impl SingleCoreResult {
+    /// Publishes the run's hierarchy counters plus `<prefix>.cycles`
+    /// into the [`mrp_obs`] registry. Counters accumulate across runs,
+    /// so after a driver's fan-out they hold suite-wide totals. No-op
+    /// while telemetry is disabled.
+    pub fn publish(&self, prefix: &str) {
+        if !mrp_obs::enabled() {
+            return;
+        }
+        self.stats.publish(prefix);
+        mrp_obs::counter(&format!("{prefix}.cycles")).add(self.cycles);
+    }
+}
+
 /// Drives one trace through a [`Hierarchy`] and a [`CoreModel`].
 pub struct SingleCoreSim<T> {
     hierarchy: Hierarchy,

@@ -7,7 +7,9 @@
 //! JSON document instead of a criterion report.
 //!
 //! Usage: `bench_snapshot [--samples N] [--iters N] [--instructions N]
-//! [--out PATH]` — medians are taken across `--samples` repetitions.
+//! [--out PATH] [--metrics] [--manifest-dir DIR]` — medians are taken
+//! across `--samples` repetitions. `--metrics` additionally writes the
+//! same numbers as scalars in a JSONL run manifest.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -19,7 +21,8 @@ use mrp_core::feature_sets;
 use mrp_core::{FeaturePlan, MultiperspectivePredictor};
 use mrp_cpu::{replay_single, SingleCoreSim};
 use mrp_experiments::cli::Args;
-use mrp_experiments::PolicyKind;
+use mrp_experiments::{finish_manifest, PolicyKind};
+use mrp_obs::Json;
 use mrp_trace::workloads;
 
 fn median(mut xs: Vec<f64>) -> f64 {
@@ -176,6 +179,12 @@ fn main() {
     let iters = args.get_u64("iters", 2_000_000).max(1);
     let instructions = args.get_u64("instructions", 200_000).max(1);
     let out_path = args.get_str("out", "results/bench_snapshot.json");
+    let mut manifest = args.init_metrics("bench_snapshot", 0);
+    if let Some(m) = manifest.as_mut() {
+        m.meta("samples", Json::U64(samples as u64));
+        m.meta("hot_path_iters", Json::U64(iters));
+        m.meta("hierarchy_instructions", Json::U64(instructions));
+    }
 
     eprintln!("bench_snapshot: {samples} samples, {iters} hot-path iters/sample");
 
@@ -213,6 +222,12 @@ fn main() {
             "    \"{}\": {{ \"instructions_per_sec\": {ips:.1} }}{comma}",
             kind.name()
         );
+        if let Some(m) = manifest.as_mut() {
+            m.scalar(
+                &format!("hierarchy_throughput.{}.instructions_per_sec", kind.name()),
+                ips,
+            );
+        }
     }
     let _ = writeln!(json, "  }},");
 
@@ -241,4 +256,22 @@ fn main() {
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("{json}");
     eprintln!("snapshot written to {out_path}");
+
+    if let Some(m) = manifest.as_mut() {
+        m.scalar(
+            "predictor_hot_path.index_16_features.median_ns_per_op",
+            index_ns,
+        );
+        m.scalar(
+            "predictor_hot_path.confidence_and_train.median_ns_per_op",
+            train_ns,
+        );
+        m.scalar("replay_speedup.full_sim_13_policies.median_ms", full_ms);
+        m.scalar(
+            "replay_speedup.record_and_replay_13_policies.median_ms",
+            replay_ms,
+        );
+        m.scalar("replay_speedup.speedup", ratio);
+    }
+    finish_manifest(manifest);
 }

@@ -5,7 +5,8 @@
 //!
 //! Usage: `cargo run -p mrp-experiments --release --bin co_tune --
 //! [--rounds N] [--combos N] [--moves N] [--workloads N]
-//! [--instructions N] [--seed N] [--half a|b] [--threads N]`
+//! [--instructions N] [--seed N] [--half a|b] [--threads N]
+//! [--metrics] [--manifest-dir DIR]`
 
 use mrp_cache::Cache;
 use mrp_core::mpppb::{Mpppb, MpppbConfig};
@@ -15,7 +16,8 @@ use mrp_trace::workloads;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use mrp_experiments::Args;
+use mrp_experiments::{finish_manifest, Args};
+use mrp_obs::Json;
 
 const EPS: f64 = 0.05;
 
@@ -111,6 +113,7 @@ fn main() {
     let instructions = args.get_u64("instructions", 1_500_000);
     let seed = args.get_u64("seed", 17);
     let half = args.get_str("half", "a");
+    let mut manifest = args.init_metrics("co_tune", seed);
 
     let suite = workloads::suite();
     // The split seed is fixed so halves A and B are true complements
@@ -155,6 +158,9 @@ fn main() {
         let (tuned, score) = search_thresholds(&evaluator, &config, combos, &mut rng);
         config = tuned;
         eprintln!("[co_tune:{half}] round {round}: thresholds -> {score:.4}");
+        if let Some(m) = manifest.as_mut() {
+            m.scalar(&format!("round.{round}.threshold_ratio"), score);
+        }
 
         // Features under the current thresholds.
         evaluator.set_base_config(config.clone());
@@ -165,6 +171,13 @@ fn main() {
             "[co_tune:{half}] round {round}: features -> {:.4} ({} accepted)",
             report.objective, report.accepted
         );
+        if let Some(m) = manifest.as_mut() {
+            m.scalar(&format!("round.{round}.feature_ratio"), report.objective);
+            m.scalar(
+                &format!("round.{round}.moves_accepted"),
+                report.accepted as f64,
+            );
+        }
     }
 
     let final_score = ratio(&evaluator, &config);
@@ -179,4 +192,14 @@ fn main() {
     println!("positions: {:?}", config.positions);
     println!("promote_threshold: {}", config.promote_threshold);
     println!("training_threshold: {}", config.training_threshold);
+
+    if let Some(m) = manifest.as_mut() {
+        m.meta("half", Json::Str(half.clone()));
+        m.meta("rounds", Json::U64(rounds as u64));
+        m.meta("combos", Json::U64(combos as u64));
+        m.scalar("final_ratio", final_score);
+        m.scalar("training_threshold", config.training_threshold as f64);
+        m.scalar("bypass_threshold", config.bypass_threshold as f64);
+    }
+    finish_manifest(manifest);
 }

@@ -9,12 +9,14 @@
 //! constructors ready to paste into `mrp_core::feature_sets`.
 //!
 //! Usage: `cargo run -p mrp-experiments --release --bin derive_features --
-//! [--candidates N] [--instructions N] [--moves N] [--patience N] [--seed N] [--threads N]`
+//! [--candidates N] [--instructions N] [--moves N] [--patience N] [--seed N] [--threads N]
+//! [--metrics] [--manifest-dir DIR]`
 
 use mrp_search::{crossval, HillClimber, RandomFeatures};
 use mrp_trace::workloads;
 
-use mrp_experiments::Args;
+use mrp_experiments::{finish_manifest, Args};
+use mrp_obs::Json;
 
 fn kind_call(f: &mrp_core::Feature) -> String {
     use mrp_core::FeatureKind;
@@ -44,7 +46,7 @@ fn search_half(
     patience: u32,
     moves: u32,
     seed: u64,
-) -> Vec<mrp_core::Feature> {
+) -> (Vec<mrp_core::Feature>, f64) {
     eprintln!(
         "[{name}] recording {} workloads: {}",
         workloads.len(),
@@ -88,7 +90,7 @@ fn search_half(
         "[{name}] hill climb: ratio {:.4} -> {:.4} ({} moves, {} accepted)",
         report.initial_objective, report.objective, report.attempts, report.accepted
     );
-    report.features
+    (report.features, report.objective)
 }
 
 fn main() {
@@ -99,11 +101,12 @@ fn main() {
     let moves = args.get_u64("moves", 250) as u32;
     let patience = args.get_u64("patience", 40) as u32;
     let seed = args.get_u64("seed", 2006);
+    let mut manifest = args.init_metrics("derive_features", seed);
 
     let suite = workloads::suite();
     let (half_a, half_b) = crossval::split(&suite, seed);
 
-    let set_a = search_half(
+    let (set_a, ratio_a) = search_half(
         "A",
         &half_a,
         candidates,
@@ -112,7 +115,7 @@ fn main() {
         moves,
         seed,
     );
-    let set_b = search_half(
+    let (set_b, ratio_b) = search_half(
         "B",
         &half_b,
         candidates,
@@ -134,4 +137,12 @@ fn main() {
         println!("        {},", kind_call(f));
     }
     println!("    ]\n}}");
+
+    if let Some(m) = manifest.as_mut() {
+        m.meta("candidates", Json::U64(candidates as u64));
+        m.meta("instructions", Json::U64(instructions));
+        m.scalar("half_a.tuned_ratio", ratio_a);
+        m.scalar("half_b.tuned_ratio", ratio_b);
+    }
+    finish_manifest(manifest);
 }

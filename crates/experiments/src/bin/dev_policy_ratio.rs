@@ -2,7 +2,8 @@
 //! on identical recorded LLC streams (fast, no timing model).
 //!
 //! Usage: `cargo run -p mrp-experiments --release --bin dev_policy_ratio --
-//! [--workloads N] [--instructions N] [--seed N] [--threads N]`
+//! [--workloads N] [--instructions N] [--seed N] [--threads N]
+//! [--metrics] [--manifest-dir DIR]`
 
 use mrp_baselines::{Hawkeye, MinPolicy, PerceptronPolicy, Sdbp, Ship};
 use mrp_cache::policies::{Drrip, Lru, Mdpp, MdppConfig, Srrip};
@@ -10,7 +11,8 @@ use mrp_cache::Cache;
 use mrp_core::mpppb::{Mpppb, MpppbConfig};
 use mrp_trace::workloads;
 
-use mrp_experiments::Args;
+use mrp_experiments::{finish_manifest, Args};
+use mrp_obs::Json;
 
 fn main() {
     let args = Args::parse();
@@ -18,6 +20,7 @@ fn main() {
     let workload_count = args.get_usize("workloads", 14);
     let instructions = args.get_u64("instructions", 2_000_000);
     let seed = args.get_u64("seed", 17);
+    let mut manifest = args.init_metrics("dev_policy_ratio", seed);
 
     let suite = workloads::suite();
     let half = args.get_str("half", "a");
@@ -48,8 +51,9 @@ fn main() {
             / mpkis.len() as f64
     };
 
-    let run = |name: &str,
-               build: &mut dyn FnMut(
+    let mut ratios: Vec<(String, f64)> = Vec::new();
+    let mut run = |name: &str,
+                   build: &mut dyn FnMut(
         &mrp_cache::CacheConfig,
         &mrp_search::LlcTrace,
     ) -> Box<dyn mrp_cache::ReplacementPolicy + Send>| {
@@ -62,7 +66,9 @@ fn main() {
                 t.replay(&mut cache)
             })
             .collect();
-        println!("{name:<16} ratio {:.4}", ratio(&mpkis));
+        let r = ratio(&mpkis);
+        println!("{name:<16} ratio {r:.4}");
+        ratios.push((name.to_string(), r));
     };
 
     run("LRU", &mut |llc, _| {
@@ -102,4 +108,13 @@ fn main() {
     run("MIN", &mut |llc, t| {
         Box::new(MinPolicy::new(llc, &t.blocks()))
     });
+
+    if let Some(m) = manifest.as_mut() {
+        m.meta("half", Json::Str(half.clone()));
+        m.meta("instructions", Json::U64(instructions));
+        for (name, r) in &ratios {
+            m.cell("mean", name, &[("mpki_ratio_vs_lru", *r)]);
+        }
+    }
+    finish_manifest(manifest);
 }

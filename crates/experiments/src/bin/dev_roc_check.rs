@@ -3,12 +3,13 @@
 //! is sound, the Perceptron-equivalent set should track the Perceptron
 //! policy's curve; richer sets should beat it.
 //!
-//! Usage: `cargo run -p mrp-experiments --release --bin dev_roc_check -- [--threads N]`
+//! Usage: `cargo run -p mrp-experiments --release --bin dev_roc_check --
+//! [--threads N] [--metrics] [--manifest-dir DIR]`
 
 use mrp_core::feature_sets;
 use mrp_experiments::roc;
 use mrp_experiments::runner::StParams;
-use mrp_experiments::Args;
+use mrp_experiments::{finish_manifest, Args};
 
 fn main() {
     let args = Args::parse();
@@ -19,6 +20,7 @@ fn main() {
         seed: args.get_u64("seed", 1),
     };
     let workloads = args.get_usize("workloads", 12);
+    let mut manifest = args.init_metrics("dev_roc_check", params.seed);
 
     let baseline = roc::run(params, workloads);
     let like = roc::run_custom_features(
@@ -60,5 +62,17 @@ fn main() {
             curve.tpr_at_fpr(0.28),
             curve.tpr_at_fpr(0.31)
         );
+        if let Some(m) = manifest.as_mut() {
+            m.cell(
+                "all",
+                &curve.predictor,
+                &[
+                    ("tpr_at_fpr_0.25", curve.tpr_at_fpr(0.25)),
+                    ("tpr_at_fpr_0.28", curve.tpr_at_fpr(0.28)),
+                    ("tpr_at_fpr_0.31", curve.tpr_at_fpr(0.31)),
+                ],
+            );
+        }
     }
+    finish_manifest(manifest);
 }

@@ -2,14 +2,15 @@
 //! operating points on the policy-sensitive workloads, against the
 //! Perceptron reference.
 //!
-//! Usage: `cargo run -p mrp-experiments --release --bin dev_timing_check -- [--threads N]`
+//! Usage: `cargo run -p mrp-experiments --release --bin dev_timing_check --
+//! [--threads N] [--metrics] [--manifest-dir DIR]`
 
 use mrp_cache::HierarchyConfig;
 use mrp_core::mpppb::MpppbConfig;
 use mrp_core::AdaptiveMpppb;
 use mrp_cpu::SingleCoreSim;
 use mrp_experiments::runner::{run_single_kind, StParams};
-use mrp_experiments::{Args, PolicyKind};
+use mrp_experiments::{finish_manifest, Args, PolicyKind};
 use mrp_trace::workloads;
 
 fn main() {
@@ -20,6 +21,7 @@ fn main() {
         measure: args.get_u64("measure", 2_500_000),
         seed: 1,
     };
+    let mut manifest = args.init_metrics("dev_timing_check", params.seed);
     let names = [
         "scanhot.protect",
         "loop.edge",
@@ -85,6 +87,12 @@ fn main() {
             "{:<18} {:>8.3} {:>7.2}x {:>7.2}x {:>7.2}x {:>7.2}x",
             name, lru.ipc, speedups[0], speedups[1], speedups[2], speedups[3]
         );
+        if let Some(m) = manifest.as_mut() {
+            m.cell(name, "Perceptron", &[("speedup", speedups[0])]);
+            m.cell(name, "MPPPB(raw-A)", &[("speedup", speedups[1])]);
+            m.cell(name, "MPPPB(A+guard)", &[("speedup", speedups[2])]);
+            m.cell(name, "MPPPB(cv+guard)", &[("speedup", speedups[3])]);
+        }
     }
     let n = names.len() as f64;
     println!(
@@ -96,4 +104,11 @@ fn main() {
         (geo[2] / n).exp(),
         (geo[3] / n).exp()
     );
+    if let Some(m) = manifest.as_mut() {
+        m.scalar("geomean.Perceptron", (geo[0] / n).exp());
+        m.scalar("geomean.MPPPB(raw-A)", (geo[1] / n).exp());
+        m.scalar("geomean.MPPPB(A+guard)", (geo[2] / n).exp());
+        m.scalar("geomean.MPPPB(cv+guard)", (geo[3] / n).exp());
+    }
+    finish_manifest(manifest);
 }

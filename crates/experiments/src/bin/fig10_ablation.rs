@@ -2,7 +2,7 @@
 //!
 //! Usage: `cargo run -p mrp-experiments --release --bin fig10_ablation --
 //! [--warmup N] [--measure N] [--mixes N] [--features N] [--seed N] [--threads N]
-//! [--no-replay]`
+//! [--no-replay] [--format text|tsv|jsonl] [--metrics] [--manifest-dir DIR]`
 //!
 //! The standalone-IPC baseline replays each workload's shared recording;
 //! `--no-replay` re-simulates it (mix runs are always simulated in full).
@@ -13,8 +13,8 @@
 
 use mrp_experiments::ablation;
 use mrp_experiments::output::pct;
-use mrp_experiments::runner::MpParams;
-use mrp_experiments::{golden, Args};
+use mrp_experiments::{finish_manifest, golden, Args, RunScale};
+use mrp_obs::Json;
 
 fn main() {
     let args = Args::parse();
@@ -26,36 +26,58 @@ fn main() {
         eprintln!("fig10 golden regenerated at {}", path.display());
         return;
     }
-    let params = MpParams {
-        warmup: args.get_u64("warmup", 1_000_000),
-        measure: args.get_u64("measure", 5_000_000),
-    };
+    let scale = args.run_scale(RunScale::multi_core().warmup(1_000_000).measure(5_000_000));
+    let mut manifest = args.init_metrics("fig10_ablation", scale.seed);
     let mixes = args.get_usize("mixes", 12);
     let features = args.get_usize("features", 16);
-    let seed = args.get_u64("seed", 42);
 
     eprintln!("fig10: leave-one-out over {features} features x {mixes} mixes on {threads} threads");
-    let result = ablation::run(params, mixes, features, seed);
+    let result = ablation::run(scale.mp(), mixes, features, scale.seed);
 
-    println!("# Fig 10: geomean weighted speedup with each Table 1(a) feature omitted");
-    println!("{:>22}  {:>10}", "feature omitted", "speedup");
-    println!(
-        "{:>22}  {:>10}   <- full set",
-        "(original)",
-        pct(result.original)
-    );
-    for (feature, speedup) in &result.omitted {
+    let report_phase = mrp_obs::phase("report");
+    let mut sink = args.report_sink();
+    sink.comment("Fig 10: geomean weighted speedup with each Table 1(a) feature omitted");
+    let rows: Vec<Vec<String>> = std::iter::once(vec![
+        "(original)".to_string(),
+        pct(result.original),
+        "full set".to_string(),
+    ])
+    .chain(result.omitted.iter().map(|(feature, speedup)| {
         let marker = if *speedup > result.original {
-            "  <- removal helps"
+            "removal helps"
         } else {
             ""
         };
-        println!("{feature:>22}  {:>10}{marker}", pct(*speedup));
-    }
-    let (best_feature, best_speedup) = result.most_valuable();
-    println!(
-        "\nmost valuable feature: {} (speedup drops to {} without it; paper: offset(15,1,6,1), 8.0% -> 7.6%)",
-        best_feature,
-        pct(*best_speedup)
+        vec![feature.clone(), pct(*speedup), marker.to_string()]
+    }))
+    .collect();
+    sink.table(
+        "fig10_ablation",
+        &["feature omitted", "speedup", "note"],
+        &rows,
     );
+
+    let (best_feature, best_speedup) = result.most_valuable();
+    sink.comment(&format!(
+        "most valuable feature: {best_feature} (speedup drops to {} without it; paper: offset(15,1,6,1), 8.0% -> 7.6%)",
+        pct(*best_speedup)
+    ));
+    sink.scalar("speedup.original", result.original, &pct(result.original));
+
+    if let Some(m) = manifest.as_mut() {
+        m.meta("threads", Json::U64(threads as u64));
+        m.meta("mixes", Json::U64(mixes as u64));
+        m.meta("features", Json::U64(features as u64));
+        m.meta("most_valuable", Json::Str(best_feature.clone()));
+        for (feature, speedup) in &result.omitted {
+            m.cell(
+                "geomean",
+                &format!("omit:{feature}"),
+                &[("speedup", *speedup)],
+            );
+        }
+        m.scalar("speedup.original", result.original);
+    }
+    drop(report_phase);
+    finish_manifest(manifest);
 }

@@ -1,10 +1,13 @@
 //! Figure 3: random feature-set search distribution + hill climbing.
 //!
 //! Usage: `cargo run -p mrp-experiments --release --bin fig3_search --
-//! [--candidates N] [--workloads N] [--instructions N] [--moves N] [--seed N] [--threads N]`
+//! [--candidates N] [--workloads N] [--instructions N] [--moves N] [--seed N] [--threads N]
+//! [--format text|tsv|jsonl] [--metrics] [--manifest-dir DIR]`
 
+use mrp_experiments::output::series_points;
 use mrp_experiments::search_curve::{self, SearchParams};
-use mrp_experiments::Args;
+use mrp_experiments::{finish_manifest, Args};
+use mrp_obs::Json;
 
 fn main() {
     let args = Args::parse();
@@ -18,6 +21,7 @@ fn main() {
         max_moves: args.get_u64("moves", 150) as u32,
         seed: args.get_u64("seed", 17),
     };
+    let mut manifest = args.init_metrics("fig3_search", params.seed);
 
     eprintln!(
         "fig3: evaluating {} random 16-feature sets on {} workloads ({threads} threads)",
@@ -25,27 +29,57 @@ fn main() {
     );
     let curve = search_curve::run(params);
 
-    println!("# Fig 3: feature sets sorted by MPKI (descending), with reference lines");
-    println!("LRU            {:.3}", curve.lru_mpki);
-    println!("MIN            {:.3}", curve.min_mpki);
-    println!(
-        "hill-climbed   {:.3}  ({} moves tried, {} accepted)",
-        curve.hillclimbed_mpki, curve.hillclimb_moves.0, curve.hillclimb_moves.1
+    let report_phase = mrp_obs::phase("report");
+    let mut sink = args.report_sink();
+    sink.comment("Fig 3: feature sets sorted by MPKI (descending), with reference lines");
+    sink.scalar(
+        "lru_mpki",
+        curve.lru_mpki,
+        &format!("{:.3}", curve.lru_mpki),
     );
-    println!("# rank  mpki");
-    let step = (curve.random_mpkis.len() / 40).max(1);
-    for (i, mpki) in curve.random_mpkis.iter().enumerate() {
-        if i % step == 0 || i == curve.random_mpkis.len() - 1 {
-            println!("{i:5}  {mpki:.3}");
-        }
-    }
+    sink.scalar(
+        "min_mpki",
+        curve.min_mpki,
+        &format!("{:.3}", curve.min_mpki),
+    );
+    sink.scalar(
+        "hillclimbed_mpki",
+        curve.hillclimbed_mpki,
+        &format!(
+            "{:.3}  ({} moves tried, {} accepted)",
+            curve.hillclimbed_mpki, curve.hillclimb_moves.0, curve.hillclimb_moves.1
+        ),
+    );
+    // Already sorted descending by the search; sample straight through.
+    sink.series(
+        "random_sets",
+        &series_points(curve.random_mpkis.clone(), false, 40),
+    );
 
-    let best_random = curve.random_mpkis.last().expect("candidates nonempty");
-    println!("\n# paper shape: random sets range from worse-than-LRU to roughly halfway LRU->MIN;");
-    println!("# hill climbing adds a little on top of the best random set.");
-    println!("best random    {best_random:.3}");
-    println!(
-        "worst random   {:.3}",
-        curve.random_mpkis.first().expect("nonempty")
-    );
+    let best_random = *curve.random_mpkis.last().expect("candidates nonempty");
+    let worst_random = *curve.random_mpkis.first().expect("nonempty");
+    sink.comment("paper shape: random sets range from worse-than-LRU to roughly halfway LRU->MIN;");
+    sink.comment("hill climbing adds a little on top of the best random set.");
+    sink.scalar("best_random", best_random, &format!("{best_random:.3}"));
+    sink.scalar("worst_random", worst_random, &format!("{worst_random:.3}"));
+
+    if let Some(m) = manifest.as_mut() {
+        m.meta("threads", Json::U64(threads as u64));
+        m.meta("candidates", Json::U64(curve.random_mpkis.len() as u64));
+        m.meta(
+            "hillclimb_moves_tried",
+            Json::U64(curve.hillclimb_moves.0 as u64),
+        );
+        m.meta(
+            "hillclimb_moves_accepted",
+            Json::U64(curve.hillclimb_moves.1 as u64),
+        );
+        m.scalar("lru_mpki", curve.lru_mpki);
+        m.scalar("min_mpki", curve.min_mpki);
+        m.scalar("hillclimbed_mpki", curve.hillclimbed_mpki);
+        m.scalar("best_random", best_random);
+        m.scalar("worst_random", worst_random);
+    }
+    drop(report_phase);
+    finish_manifest(manifest);
 }

@@ -1,38 +1,61 @@
 //! Figure 4: normalized weighted speedup S-curves for 4-core mixes.
 //!
 //! Usage: `cargo run -p mrp-experiments --release --bin fig4_mp_speedup --
-//! [--warmup N] [--measure N] [--mixes N] [--seed N] [--threads N]`
+//! [--warmup N] [--measure N] [--mixes N] [--seed N] [--threads N]
+//! [--format text|tsv|jsonl] [--metrics] [--manifest-dir DIR]`
 
 use mrp_experiments::multi;
-use mrp_experiments::output::{pct, s_curve};
-use mrp_experiments::runner::MpParams;
-use mrp_experiments::Args;
+use mrp_experiments::output::{pct, series_points};
+use mrp_experiments::{finish_manifest, Args, RunScale};
+use mrp_obs::Json;
 
 fn main() {
     let args = Args::parse();
     let threads = args.init_threads();
-    let params = MpParams {
-        warmup: args.get_u64("warmup", 2_000_000),
-        measure: args.get_u64("measure", 8_000_000),
-    };
+    let scale = args.run_scale(RunScale::multi_core());
+    let mut manifest = args.init_metrics("fig4_mp_speedup", scale.seed);
     let mixes = args.get_usize("mixes", 32);
-    let seed = args.get_u64("seed", 42);
 
     eprintln!("fig4: running {mixes} 4-core mixes (test set, after 16 training mixes) on {threads} threads");
-    let matrix = multi::run(params, mixes, 16, seed);
+    let matrix = multi::run(scale.mp(), mixes, 16, scale.seed);
 
+    let report_phase = mrp_obs::phase("report");
+    let mut sink = args.report_sink();
     for name in &matrix.policy_names {
-        print!("{}", s_curve(name, matrix.speedups(name), true, 30));
+        sink.series(name, &series_points(matrix.speedups(name), true, 30));
     }
 
-    println!("\ngeometric mean weighted speedup over LRU (paper: Hawkeye +5.2%, Perceptron +5.8%, MPPPB +8.3%):");
+    sink.comment("geometric mean weighted speedup over LRU (paper: Hawkeye +5.2%, Perceptron +5.8%, MPPPB +8.3%):");
     for name in &matrix.policy_names {
-        println!(
-            "  {:<12} {}   (below LRU on {}/{} mixes)",
-            name,
-            pct(matrix.geomean_speedup(name)),
-            matrix.below_lru(name),
-            matrix.rows.len()
+        let g = matrix.geomean_speedup(name);
+        sink.scalar(
+            &format!("geomean_speedup.{name}"),
+            g,
+            &format!(
+                "{}   (below LRU on {}/{} mixes)",
+                pct(g),
+                matrix.below_lru(name),
+                matrix.rows.len()
+            ),
         );
     }
+
+    if let Some(m) = manifest.as_mut() {
+        m.meta("threads", Json::U64(threads as u64));
+        m.meta("mixes", Json::U64(matrix.rows.len() as u64));
+        for r in &matrix.rows {
+            for (name, speedup) in &r.speedups {
+                m.cell(&r.label, name, &[("weighted_speedup", *speedup)]);
+            }
+        }
+        for name in &matrix.policy_names {
+            m.scalar(
+                &format!("geomean_speedup.{name}"),
+                matrix.geomean_speedup(name),
+            );
+            m.scalar(&format!("below_lru.{name}"), matrix.below_lru(name) as f64);
+        }
+    }
+    drop(report_phase);
+    finish_manifest(manifest);
 }

@@ -1,36 +1,54 @@
 //! Figure 5: MPKI S-curves for 4-core mixes (log-scale y in the paper).
 //!
 //! Usage: `cargo run -p mrp-experiments --release --bin fig5_mp_mpki --
-//! [--warmup N] [--measure N] [--mixes N] [--seed N] [--threads N]`
+//! [--warmup N] [--measure N] [--mixes N] [--seed N] [--threads N]
+//! [--format text|tsv|jsonl] [--metrics] [--manifest-dir DIR]`
 
 use mrp_experiments::multi;
-use mrp_experiments::output::s_curve;
-use mrp_experiments::runner::MpParams;
-use mrp_experiments::Args;
+use mrp_experiments::output::series_points;
+use mrp_experiments::{finish_manifest, Args, RunScale};
+use mrp_obs::Json;
 
 fn main() {
     let args = Args::parse();
     let threads = args.init_threads();
-    let params = MpParams {
-        warmup: args.get_u64("warmup", 2_000_000),
-        measure: args.get_u64("measure", 8_000_000),
-    };
+    let scale = args.run_scale(RunScale::multi_core());
+    let mut manifest = args.init_metrics("fig5_mp_mpki", scale.seed);
     let mixes = args.get_usize("mixes", 32);
-    let seed = args.get_u64("seed", 42);
 
     eprintln!("fig5: running {mixes} 4-core mixes on {threads} threads");
-    let matrix = multi::run(params, mixes, 16, seed);
+    let matrix = multi::run(scale.mp(), mixes, 16, scale.seed);
 
-    print!("{}", s_curve("LRU", matrix.mpkis("LRU"), false, 30));
+    let report_phase = mrp_obs::phase("report");
+    let mut sink = args.report_sink();
+    sink.series("LRU", &series_points(matrix.mpkis("LRU"), false, 30));
     for name in &matrix.policy_names {
-        print!("{}", s_curve(name, matrix.mpkis(name), false, 30));
+        sink.series(name, &series_points(matrix.mpkis(name), false, 30));
     }
 
-    println!(
-        "\narithmetic mean MPKI (paper: LRU 14.1, Perceptron 12.49, Hawkeye 11.72, MPPPB 10.97):"
+    sink.comment(
+        "arithmetic mean MPKI (paper: LRU 14.1, Perceptron 12.49, Hawkeye 11.72, MPPPB 10.97):",
     );
-    println!("  {:<12} {:.2}", "LRU", matrix.mean_mpki("LRU"));
+    let lru_mean = matrix.mean_mpki("LRU");
+    sink.scalar("mean_mpki.LRU", lru_mean, &format!("{lru_mean:.2}"));
     for name in &matrix.policy_names {
-        println!("  {:<12} {:.2}", name, matrix.mean_mpki(name));
+        let mean = matrix.mean_mpki(name);
+        sink.scalar(&format!("mean_mpki.{name}"), mean, &format!("{mean:.2}"));
     }
+
+    if let Some(m) = manifest.as_mut() {
+        m.meta("threads", Json::U64(threads as u64));
+        m.meta("mixes", Json::U64(matrix.rows.len() as u64));
+        for r in &matrix.rows {
+            for (name, mpki) in &r.mpkis {
+                m.cell(&r.label, name, &[("mpki", *mpki)]);
+            }
+        }
+        m.scalar("mean_mpki.LRU", lru_mean);
+        for name in &matrix.policy_names {
+            m.scalar(&format!("mean_mpki.{name}"), matrix.mean_mpki(name));
+        }
+    }
+    drop(report_phase);
+    finish_manifest(manifest);
 }

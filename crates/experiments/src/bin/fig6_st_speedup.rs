@@ -2,36 +2,38 @@
 //!
 //! Usage: `cargo run -p mrp-experiments --release --bin fig6_st_speedup --
 //! [--warmup N] [--measure N] [--workloads N] [--min 0|1|true|false] [--seed N] [--threads N]
-//! [--no-replay]`
+//! [--no-replay] [--format text|tsv|jsonl] [--metrics] [--manifest-dir DIR]`
 //!
 //! Each workload's LLC-bound stream is recorded once and replayed into
 //! every policy (bit-identical to full simulation); `--no-replay`
-//! re-simulates every cell instead.
+//! re-simulates every cell instead. `--metrics` additionally writes a
+//! schema-versioned JSONL run manifest (per-cell IPC/MPKI, phase
+//! timings, runtime counters) under `--manifest-dir`.
 
-use mrp_experiments::output::{pct, table};
-use mrp_experiments::runner::StParams;
-use mrp_experiments::{single_thread, Args};
+use mrp_experiments::output::pct;
+use mrp_experiments::{finish_manifest, single_thread, Args, RunScale};
+use mrp_obs::Json;
 
 fn main() {
     let args = Args::parse();
     let threads = args.init_threads();
-    args.init_replay();
-    let params = StParams {
-        warmup: args.get_u64("warmup", 4_000_000),
-        measure: args.get_u64("measure", 20_000_000),
-        seed: args.get_u64("seed", 1),
-    };
+    let replay = args.init_replay();
+    let scale = args.run_scale(RunScale::single_thread());
+    let mut manifest = args.init_metrics("fig6_st_speedup", scale.seed);
     let workloads = args.get_usize("workloads", 33);
     let include_min = args.get_flag("min", true);
     let cv = args.get_flag("cv", false);
 
-    eprintln!("fig6: running {workloads} workloads, warmup {} / measure {} instructions (cv={cv}, {threads} threads)", params.warmup, params.measure);
+    eprintln!("fig6: running {workloads} workloads, warmup {} / measure {} instructions (cv={cv}, {threads} threads)", scale.warmup, scale.measure);
     let matrix = if cv {
-        single_thread::run_cv(params, workloads, include_min)
+        single_thread::run_cv(scale.st(), workloads, include_min)
     } else {
-        single_thread::run(params, workloads, include_min)
+        single_thread::run(scale.st(), workloads, include_min)
     };
 
+    // Scoped so the report phase lands in the manifest's phase snapshot.
+    let report_phase = mrp_obs::phase("report");
+    let mut sink = args.report_sink();
     let mut header = vec!["benchmark", "LRU ipc"];
     for n in &matrix.policy_names {
         header.push(n);
@@ -49,10 +51,36 @@ fn main() {
         .collect();
     // Sort by MPPPB speedup, as the figure does.
     rows.sort_by(|a, b| a[4].partial_cmp(&b[4]).expect("finite"));
-    println!("{}", table(&header, &rows));
+    sink.table("fig6_st_speedup", &header, &rows);
 
-    println!("geometric mean speedup over LRU (paper: Hawkeye +5.1%, Perceptron +6.3%, MPPPB +9.0%, MIN +13.6%):");
+    sink.comment("geometric mean speedup over LRU (paper: Hawkeye +5.1%, Perceptron +6.3%, MPPPB +9.0%, MIN +13.6%):");
     for n in &matrix.policy_names {
-        println!("  {:<12} {}", n, pct(matrix.geomean_speedup(n)));
+        let g = matrix.geomean_speedup(n);
+        sink.scalar(&format!("geomean_speedup.{n}"), g, &pct(g));
     }
+
+    if let Some(m) = manifest.as_mut() {
+        m.meta("threads", Json::U64(threads as u64));
+        m.meta("replay", Json::Bool(replay));
+        m.meta("cv", Json::Bool(cv));
+        for r in &matrix.rows {
+            m.cell(
+                &r.workload,
+                "LRU",
+                &[("ipc", r.lru_ipc), ("mpki", r.lru_mpki)],
+            );
+            for (name, ipc, mpki) in &r.policies {
+                m.cell(
+                    &r.workload,
+                    name,
+                    &[("ipc", *ipc), ("mpki", *mpki), ("speedup", ipc / r.lru_ipc)],
+                );
+            }
+        }
+        for n in &matrix.policy_names {
+            m.scalar(&format!("geomean_speedup.{n}"), matrix.geomean_speedup(n));
+        }
+    }
+    drop(report_phase);
+    finish_manifest(manifest);
 }

@@ -2,36 +2,35 @@
 //!
 //! Usage: `cargo run -p mrp-experiments --release --bin fig7_st_mpki --
 //! [--warmup N] [--measure N] [--workloads N] [--min 0|1|true|false] [--seed N] [--threads N]
-//! [--no-replay]`
+//! [--no-replay] [--format text|tsv|jsonl] [--metrics] [--manifest-dir DIR]`
 //!
 //! Each workload's LLC-bound stream is recorded once and replayed into
 //! every policy (bit-identical to full simulation); `--no-replay`
-//! re-simulates every cell instead.
+//! re-simulates every cell instead. `--metrics` writes a JSONL run
+//! manifest under `--manifest-dir`.
 
-use mrp_experiments::output::table;
-use mrp_experiments::runner::StParams;
-use mrp_experiments::{single_thread, Args};
+use mrp_experiments::{finish_manifest, single_thread, Args, RunScale};
+use mrp_obs::Json;
 
 fn main() {
     let args = Args::parse();
     let threads = args.init_threads();
-    args.init_replay();
-    let params = StParams {
-        warmup: args.get_u64("warmup", 4_000_000),
-        measure: args.get_u64("measure", 20_000_000),
-        seed: args.get_u64("seed", 1),
-    };
+    let replay = args.init_replay();
+    let scale = args.run_scale(RunScale::single_thread());
+    let mut manifest = args.init_metrics("fig7_st_mpki", scale.seed);
     let workloads = args.get_usize("workloads", 33);
     let include_min = args.get_flag("min", true);
     let cv = args.get_flag("cv", false);
 
     eprintln!("fig7: running {workloads} workloads (cv={cv}, {threads} threads)");
     let matrix = if cv {
-        single_thread::run_cv(params, workloads, include_min)
+        single_thread::run_cv(scale.st(), workloads, include_min)
     } else {
-        single_thread::run(params, workloads, include_min)
+        single_thread::run(scale.st(), workloads, include_min)
     };
 
+    let report_phase = mrp_obs::phase("report");
+    let mut sink = args.report_sink();
     let mut header = vec!["benchmark", "LRU"];
     for n in &matrix.policy_names {
         header.push(n);
@@ -47,11 +46,35 @@ fn main() {
             row
         })
         .collect();
-    println!("{}", table(&header, &rows));
+    sink.table("fig7_st_mpki", &header, &rows);
 
-    println!("mean MPKI (paper: Hawkeye 3.8, Perceptron 3.7, MPPPB 3.5):");
-    println!("  {:<12} {:.2}", "LRU", matrix.mean_mpki("LRU"));
+    sink.comment("mean MPKI (paper: Hawkeye 3.8, Perceptron 3.7, MPPPB 3.5):");
+    let lru_mean = matrix.mean_mpki("LRU");
+    sink.scalar("mean_mpki.LRU", lru_mean, &format!("{lru_mean:.2}"));
     for n in &matrix.policy_names {
-        println!("  {:<12} {:.2}", n, matrix.mean_mpki(n));
+        let mean = matrix.mean_mpki(n);
+        sink.scalar(&format!("mean_mpki.{n}"), mean, &format!("{mean:.2}"));
     }
+
+    if let Some(m) = manifest.as_mut() {
+        m.meta("threads", Json::U64(threads as u64));
+        m.meta("replay", Json::Bool(replay));
+        m.meta("cv", Json::Bool(cv));
+        for r in &matrix.rows {
+            m.cell(
+                &r.workload,
+                "LRU",
+                &[("ipc", r.lru_ipc), ("mpki", r.lru_mpki)],
+            );
+            for (name, ipc, mpki) in &r.policies {
+                m.cell(&r.workload, name, &[("ipc", *ipc), ("mpki", *mpki)]);
+            }
+        }
+        m.scalar("mean_mpki.LRU", lru_mean);
+        for n in &matrix.policy_names {
+            m.scalar(&format!("mean_mpki.{n}"), matrix.mean_mpki(n));
+        }
+    }
+    drop(report_phase);
+    finish_manifest(manifest);
 }

@@ -2,53 +2,81 @@
 //!
 //! Usage: `cargo run -p mrp-experiments --release --bin fig_roc --
 //! [--warmup N] [--measure N] [--workloads N] [--seed N] [--threads N]
-//! [--no-replay]`
+//! [--no-replay] [--format text|tsv|jsonl] [--metrics] [--manifest-dir DIR]`
 //!
 //! Each workload records once and every predictor probe replays the
 //! shared stream; `--no-replay` re-simulates each (predictor × workload)
 //! cell instead.
 
 use mrp_experiments::roc;
-use mrp_experiments::runner::StParams;
-use mrp_experiments::Args;
+use mrp_experiments::{finish_manifest, Args, RunScale};
+use mrp_obs::Json;
 
 fn main() {
     let args = Args::parse();
     let threads = args.init_threads();
     args.init_replay();
-    let params = StParams {
-        warmup: args.get_u64("warmup", 2_000_000),
-        measure: args.get_u64("measure", 10_000_000),
-        seed: args.get_u64("seed", 1),
-    };
+    let scale = args.run_scale(
+        RunScale::single_thread()
+            .warmup(2_000_000)
+            .measure(10_000_000),
+    );
+    let mut manifest = args.init_metrics("fig_roc", scale.seed);
     let workloads = args.get_usize("workloads", 33);
 
     eprintln!("fig_roc: measuring predictor accuracy on {workloads} workloads ({threads} threads)");
-    let curves = roc::run(params, workloads);
+    let curves = roc::run(scale.st(), workloads);
 
+    let report_phase = mrp_obs::phase("report");
+    let mut sink = args.report_sink();
     for curve in &curves {
-        println!("# ROC: {} (threshold  FPR  TPR)", curve.predictor);
-        for &(t, fpr, tpr) in &curve.points {
+        let rows: Vec<Vec<String>> = curve
+            .points
+            .iter()
             // Trim the flat tails for readability.
-            if fpr > 0.001 && fpr < 0.999 {
-                println!("{t:5}  {fpr:.4}  {tpr:.4}");
-            }
-        }
-        println!();
-    }
-
-    println!("# Fig 8(b) inset: TPR in the bypass-relevant FPR region (paper: multiperspective dominates at 0.25-0.31)");
-    println!(
-        "{:<18} {:>10} {:>10} {:>10}",
-        "predictor", "TPR@0.25", "TPR@0.28", "TPR@0.31"
-    );
-    for curve in &curves {
-        println!(
-            "{:<18} {:>10.3} {:>10.3} {:>10.3}",
-            curve.predictor,
-            curve.tpr_at_fpr(0.25),
-            curve.tpr_at_fpr(0.28),
-            curve.tpr_at_fpr(0.31)
+            .filter(|&&(_, fpr, _)| fpr > 0.001 && fpr < 0.999)
+            .map(|&(t, fpr, tpr)| vec![t.to_string(), format!("{fpr:.4}"), format!("{tpr:.4}")])
+            .collect();
+        sink.table(
+            &format!("roc.{}", curve.predictor),
+            &["threshold", "FPR", "TPR"],
+            &rows,
         );
     }
+
+    sink.comment("Fig 8(b) inset: TPR in the bypass-relevant FPR region (paper: multiperspective dominates at 0.25-0.31)");
+    let inset: Vec<Vec<String>> = curves
+        .iter()
+        .map(|curve| {
+            vec![
+                curve.predictor.clone(),
+                format!("{:.3}", curve.tpr_at_fpr(0.25)),
+                format!("{:.3}", curve.tpr_at_fpr(0.28)),
+                format!("{:.3}", curve.tpr_at_fpr(0.31)),
+            ]
+        })
+        .collect();
+    sink.table(
+        "roc_inset",
+        &["predictor", "TPR@0.25", "TPR@0.28", "TPR@0.31"],
+        &inset,
+    );
+
+    if let Some(m) = manifest.as_mut() {
+        m.meta("threads", Json::U64(threads as u64));
+        m.meta("workloads", Json::U64(workloads as u64));
+        for curve in &curves {
+            m.cell(
+                "all",
+                &curve.predictor,
+                &[
+                    ("tpr_at_fpr_0.25", curve.tpr_at_fpr(0.25)),
+                    ("tpr_at_fpr_0.28", curve.tpr_at_fpr(0.28)),
+                    ("tpr_at_fpr_0.31", curve.tpr_at_fpr(0.31)),
+                ],
+            );
+        }
+    }
+    drop(report_phase);
+    finish_manifest(manifest);
 }

@@ -1,0 +1,38 @@
+//! Validates every JSONL run manifest in a directory against the
+//! `mrp-run-manifest-v1` schema. CI runs this after the smoke drivers so
+//! a malformed manifest fails the build instead of silently rotting in
+//! the uploaded artifact.
+//!
+//! Usage: `manifest_check [--dir runs]`
+//!
+//! Exits nonzero if the directory is missing, holds no `*.jsonl` files,
+//! or any manifest fails validation; prints one summary line per file.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use mrp_experiments::Args;
+
+fn main() -> ExitCode {
+    let args = Args::parse();
+    let dir = args.get_str("dir", "runs");
+    let summaries = match mrp_obs::validate_dir(Path::new(&dir)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("manifest_check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if summaries.is_empty() {
+        eprintln!("manifest_check: no *.jsonl manifests in {dir}");
+        return ExitCode::FAILURE;
+    }
+    for (file, s) in &summaries {
+        println!(
+            "{file}: ok ({} from {}: {} cells, {} scalars, {} phases, {} counters)",
+            s.schema, s.bin, s.cells, s.scalars, s.phases, s.counters
+        );
+    }
+    println!("# {} manifest(s) valid", summaries.len());
+    ExitCode::SUCCESS
+}

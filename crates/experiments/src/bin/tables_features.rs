@@ -1,40 +1,83 @@
 //! Tables 1 and 2: the published feature sets, with storage accounting.
 //!
-//! Usage: `cargo run -p mrp-experiments --release --bin tables_features`
+//! Usage: `cargo run -p mrp-experiments --release --bin tables_features --
+//! [--format text|tsv|jsonl] [--metrics] [--manifest-dir DIR]`
 
 use mrp_core::feature_sets;
 use mrp_core::tables::WeightTables;
 use mrp_core::Feature;
+use mrp_experiments::{finish_manifest, Args, ReportSink};
+use mrp_obs::{Json, RunManifest};
 
-fn describe(title: &str, features: &[Feature]) {
-    println!("# {title}");
+fn describe(
+    sink: &mut dyn ReportSink,
+    manifest: Option<&mut RunManifest>,
+    key: &str,
+    title: &str,
+    features: &[Feature],
+) {
+    sink.comment(title);
     let tables = WeightTables::new(features);
     let index_bits: u32 = features
         .iter()
         .map(|f| (f.table_size() as u32).trailing_zeros())
         .sum();
-    for f in features {
-        println!("  {f}");
-    }
-    println!(
-        "  -> {} features, {} index bits per sampler entry, {:.2} KB of weight tables\n",
-        features.len(),
-        index_bits,
-        tables.storage_bits(6) as f64 / 8192.0
+    let rows: Vec<Vec<String>> = features.iter().map(|f| vec![f.to_string()]).collect();
+    sink.table(key, &["feature"], &rows);
+    let storage_kb = tables.storage_bits(6) as f64 / 8192.0;
+    sink.scalar(
+        &format!("{key}.index_bits"),
+        index_bits as f64,
+        &format!(
+            "{} features, {index_bits} index bits per sampler entry, {storage_kb:.2} KB of weight tables",
+            features.len()
+        ),
     );
+    if let Some(m) = manifest {
+        m.cell(
+            key,
+            "feature_set",
+            &[
+                ("features", features.len() as f64),
+                ("index_bits", index_bits as f64),
+                ("storage_kb", storage_kb),
+            ],
+        );
+    }
 }
 
 fn main() {
+    let args = Args::parse();
+    let mut manifest = args.init_metrics("tables_features", 0);
+    let report_phase = mrp_obs::phase("report");
+    let mut sink = args.report_sink();
     describe(
+        sink.as_mut(),
+        manifest.as_mut(),
+        "table_1a",
         "Table 1(a): single-thread feature set A (cross-validated)",
         &feature_sets::table_1a(),
     );
     describe(
+        sink.as_mut(),
+        manifest.as_mut(),
+        "table_1b",
         "Table 1(b): single-thread feature set B (paper's area estimate: 118 index bits)",
         &feature_sets::table_1b(),
     );
     describe(
+        sink.as_mut(),
+        manifest.as_mut(),
+        "table_2",
         "Table 2: multi-programmed feature set (trained on 100 mixes)",
         &feature_sets::table_2(),
     );
+    if let Some(m) = manifest.as_mut() {
+        m.meta(
+            "note",
+            Json::Str("static feature-set accounting; no simulation".into()),
+        );
+    }
+    drop(report_phase);
+    finish_manifest(manifest);
 }

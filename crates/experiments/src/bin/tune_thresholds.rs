@@ -7,7 +7,7 @@
 //!
 //! Usage: `cargo run -p mrp-experiments --release --bin tune_thresholds --
 //! [--combos N] [--workloads N] [--instructions N] [--seed N] [--mode st|mp] [--threads N]
-//! [--no-replay]`
+//! [--no-replay] [--metrics] [--manifest-dir DIR]`
 //!
 //! Training streams come from the shared recording cache (recorded once
 //! per workload); `--no-replay` records privately instead.
@@ -19,7 +19,8 @@ use mrp_trace::workloads;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use mrp_experiments::Args;
+use mrp_experiments::{finish_manifest, Args};
+use mrp_obs::Json;
 
 /// Damping added to MPKI ratios so near-zero-MPKI workloads don't blow up.
 const EPS: f64 = 0.05;
@@ -49,6 +50,7 @@ fn main() {
     let seed = args.get_u64("seed", 17);
     let mode = args.get_str("mode", "st");
     let feature_choice = args.get_str("features", "default");
+    let mut manifest = args.init_metrics("tune_thresholds", seed);
 
     let suite = workloads::suite();
     let (train, _) = crossval::split(&suite, seed);
@@ -140,4 +142,16 @@ fn main() {
     println!("positions: {:?}", best.positions);
     println!("promote_threshold: {}", best.promote_threshold);
     println!("training_threshold: {}", best.training_threshold);
+
+    if let Some(m) = manifest.as_mut() {
+        m.meta("mode", Json::Str(mode.clone()));
+        m.meta("features", Json::Str(feature_choice.clone()));
+        m.meta("combos", Json::U64(combos as u64));
+        m.scalar("baseline_ratio", baseline_ratio);
+        m.scalar("tuned_ratio", best_mpki);
+        m.scalar("bypass_threshold", best.bypass_threshold as f64);
+        m.scalar("promote_threshold", best.promote_threshold as f64);
+        m.scalar("training_threshold", best.training_threshold as f64);
+    }
+    finish_manifest(manifest);
 }

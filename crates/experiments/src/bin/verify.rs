@@ -4,7 +4,7 @@
 //! Usage: `cargo run -p mrp-experiments --release --bin verify --
 //! [--seed N] [--accesses N] [--jobs N] [--policies lru,srrip,...|all]
 //! [--threads N] [--replay-workloads N] [--replay-warmup N]
-//! [--replay-measure N]`
+//! [--replay-measure N] [--metrics] [--manifest-dir DIR]`
 //!
 //! Exits nonzero on any divergence, printing the bounded divergence
 //! report and a shrunk reproducer. Any failure reproduces from the
@@ -20,7 +20,8 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use mrp_cache::CacheConfig;
-use mrp_experiments::{Args, PolicyKind};
+use mrp_experiments::{finish_manifest, Args, PolicyKind};
+use mrp_obs::Json;
 use mrp_trace::workloads;
 use mrp_verify::{run_replay_check, run_verification, PolicySpec, VerifyConfig};
 
@@ -58,6 +59,7 @@ fn main() -> ExitCode {
         accesses: args.get_usize("accesses", 1_000_000),
         jobs: args.get_usize("jobs", 8),
     };
+    let mut manifest = args.init_metrics("verify", cfg.seed);
     let selection = args.get_str("policies", "all");
     let names: Vec<&str> = if selection == "all" {
         ALL_POLICIES.to_vec()
@@ -91,6 +93,16 @@ fn main() -> ExitCode {
         println!(
             "{name:>16}  {status:>4}  {divergences:>4} divergences  {misses:>9} demand misses"
         );
+        if let Some(m) = manifest.as_mut() {
+            m.cell(
+                "fuzz",
+                name,
+                &[
+                    ("divergences", divergences as f64),
+                    ("demand_misses", misses as f64),
+                ],
+            );
+        }
     }
     let predictor_divergences: usize = summary.predictor_reports.iter().map(|r| r.total).sum();
     println!(
@@ -133,11 +145,25 @@ fn main() -> ExitCode {
         replay.is_clean()
     };
 
+    if let Some(m) = manifest.as_mut() {
+        m.meta("jobs", Json::U64(summary.jobs as u64));
+        m.meta(
+            "accesses_per_job",
+            Json::U64(summary.accesses_per_job as u64),
+        );
+        m.meta("min_checks", Json::U64(summary.min_checks.0 as u64));
+        m.scalar("predictor_divergences", predictor_divergences as f64);
+        m.scalar("total_divergences", summary.total_divergences() as f64);
+        m.scalar("replay_clean", if replay_clean { 1.0 } else { 0.0 });
+    }
+
     if summary.is_clean() && replay_clean {
         println!("# clean: optimized and reference models agreed on every access");
+        finish_manifest(manifest);
         return ExitCode::SUCCESS;
     }
     if summary.is_clean() {
+        finish_manifest(manifest);
         return ExitCode::FAILURE;
     }
 
@@ -159,5 +185,6 @@ fn main() -> ExitCode {
     if let Some(shrunk) = &summary.shrunk {
         eprintln!("\n{shrunk}");
     }
+    finish_manifest(manifest);
     ExitCode::FAILURE
 }

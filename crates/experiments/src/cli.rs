@@ -2,6 +2,11 @@
 
 use std::collections::HashMap;
 
+use mrp_obs::RunManifest;
+
+use crate::output::{ReportFormat, ReportSink};
+use crate::runner::RunScale;
+
 /// Parsed `--key value` arguments.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
@@ -96,6 +101,59 @@ impl Args {
         crate::recording::set_replay_enabled(enabled);
         enabled
     }
+
+    /// Resolves the shared scale flags (`--warmup`, `--measure`,
+    /// `--seed`, `--cores`) against a driver-supplied default, usually
+    /// [`RunScale::single_thread`] or [`RunScale::multi_core`].
+    pub fn run_scale(&self, defaults: RunScale) -> RunScale {
+        defaults
+            .warmup(self.get_u64("warmup", defaults.warmup))
+            .measure(self.get_u64("measure", defaults.measure))
+            .seed(self.get_u64("seed", defaults.seed))
+            .cores(self.get_u64("cores", defaults.cores as u64) as u32)
+    }
+
+    /// The report format selected by the shared `--format` flag
+    /// (`text`, the default, `tsv`, or `jsonl`).
+    pub fn report_format(&self) -> ReportFormat {
+        ReportFormat::parse(&self.get_str("format", "text"))
+    }
+
+    /// A stdout [`ReportSink`] in the `--format`-selected encoding.
+    pub fn report_sink(&self) -> Box<dyn ReportSink> {
+        self.report_format().stdout_sink()
+    }
+
+    /// Resolves the shared telemetry flags: `--metrics` switches the
+    /// `mrp_obs` registry on (counters, gauges, phase timers) and
+    /// returns a [`RunManifest`] that [`finish_manifest`] writes to
+    /// `--manifest-dir` (default `runs/`) when the driver exits.
+    /// Without `--metrics`, telemetry stays off — the zero-cost default
+    /// — and no manifest is produced.
+    pub fn init_metrics(&self, bin: &str, seed: u64) -> Option<RunManifest> {
+        if !self.get_flag("metrics", false) {
+            mrp_obs::set_enabled(false);
+            return None;
+        }
+        mrp_obs::set_enabled(true);
+        Some(RunManifest::new(
+            bin,
+            seed,
+            self.get_str("manifest-dir", "runs"),
+        ))
+    }
+}
+
+/// Writes a driver's run manifest (if `--metrics` produced one) and
+/// reports the path on stderr, keeping stdout for the report itself.
+pub fn finish_manifest(manifest: Option<RunManifest>) {
+    let Some(manifest) = manifest else {
+        return;
+    };
+    match manifest.finish() {
+        Ok(path) => eprintln!("run manifest: {}", path.display()),
+        Err(err) => eprintln!("warning: could not write run manifest: {err}"),
+    }
 }
 
 #[cfg(test)]
@@ -181,5 +239,47 @@ mod tests {
     fn rejects_non_integer() {
         let a = args(&["--n", "abc"]);
         let _ = a.get_u64("n", 0);
+    }
+
+    #[test]
+    fn run_scale_overrides_only_given_flags() {
+        let a = args(&["--measure", "5000", "--seed", "9"]);
+        let scale = a.run_scale(RunScale::single_thread());
+        assert_eq!(scale.warmup, RunScale::single_thread().warmup);
+        assert_eq!(scale.measure, 5000);
+        assert_eq!(scale.seed, 9);
+        assert_eq!(scale.cores, 1);
+        let mp = args(&["--cores", "2"]).run_scale(RunScale::multi_core());
+        assert_eq!(mp.cores, 2);
+        assert_eq!(mp.seed, 42);
+    }
+
+    #[test]
+    fn report_format_flag_selects_sink() {
+        assert_eq!(args(&[]).report_format(), ReportFormat::Text);
+        assert_eq!(
+            args(&["--format", "tsv"]).report_format(),
+            ReportFormat::Tsv
+        );
+        assert_eq!(
+            args(&["--format", "jsonl"]).report_format(),
+            ReportFormat::Jsonl
+        );
+    }
+
+    #[test]
+    fn metrics_flag_gates_manifest_creation() {
+        // Sole owner of the global obs flag in this test binary.
+        let none = args(&[]).init_metrics("test_cli", 1);
+        assert!(none.is_none());
+        assert!(!mrp_obs::enabled());
+        let some =
+            args(&["--metrics", "--manifest-dir", "/tmp/mrp-cli-test"]).init_metrics("test_cli", 1);
+        assert!(mrp_obs::enabled());
+        let manifest = some.expect("--metrics yields a manifest");
+        assert!(manifest.file_name().starts_with("test_cli-"));
+        mrp_obs::set_enabled(false);
+        // Dropping without finish() writes nothing.
+        finish_manifest(None);
     }
 }

@@ -36,9 +36,10 @@ pub mod runner;
 pub mod search_curve;
 pub mod single_thread;
 
-pub use cli::Args;
+pub use cli::{finish_manifest, Args};
+pub use output::{ReportFormat, ReportSink};
 pub use policies::PolicyKind;
-pub use runner::StParams;
+pub use runner::{MpParams, RunScale, StParams};
 
 /// The fixed cross-validation split seed shared by the feature-tuning
 /// binaries (`co_tune`, `derive_features`) and the reporting experiments:

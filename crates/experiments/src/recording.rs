@@ -20,8 +20,9 @@
 //! *demonstrate* that, and to keep full simulation reachable when
 //! bisecting the replay layer itself.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use mrp_cache::replay::LlcRecording;
 use mrp_cache::HierarchyConfig;
@@ -34,6 +35,38 @@ use mrp_trace::Workload;
 type Key = (usize, u64, u64, u64);
 
 static RECORDINGS: OnceLock<Memo<Key, Arc<LlcRecording>>> = OnceLock::new();
+
+/// Default bound on cached recordings. Generous relative to any single
+/// driver (suite size × the handful of scale presets it touches), so
+/// eviction only engages in long sweeps that would otherwise grow the
+/// cache without bound.
+pub const DEFAULT_RECORDING_CAP: usize = 64;
+
+/// Current recording-cache bound; 0 means unbounded.
+static RECORDING_CAP: AtomicUsize = AtomicUsize::new(DEFAULT_RECORDING_CAP);
+
+/// Least-recently-used order over cached keys (front = coldest).
+static LRU_ORDER: OnceLock<Mutex<VecDeque<Key>>> = OnceLock::new();
+
+/// Memo telemetry handles, resolved once.
+struct MemoTelemetry {
+    hits: mrp_obs::Counter,
+    misses: mrp_obs::Counter,
+    evictions: mrp_obs::Counter,
+}
+
+fn memo_telemetry() -> &'static MemoTelemetry {
+    static TELEMETRY: OnceLock<MemoTelemetry> = OnceLock::new();
+    TELEMETRY.get_or_init(|| MemoTelemetry {
+        hits: mrp_obs::counter("recording.memo.hits"),
+        misses: mrp_obs::counter("recording.memo.misses"),
+        evictions: mrp_obs::counter("recording.memo.evictions"),
+    })
+}
+
+fn lru_order() -> &'static Mutex<VecDeque<Key>> {
+    LRU_ORDER.get_or_init(|| Mutex::new(VecDeque::new()))
+}
 
 /// Whether drivers replay recordings (default) or re-run full
 /// simulation per cell (`--no-replay`).
@@ -54,15 +87,54 @@ fn memo() -> &'static Memo<Key, Arc<LlcRecording>> {
     RECORDINGS.get_or_init(Memo::new)
 }
 
+/// The recording-cache bound (number of recordings); 0 = unbounded.
+pub fn recording_cap() -> usize {
+    RECORDING_CAP.load(Ordering::Relaxed)
+}
+
+/// Sets the recording-cache bound. `0` disables eviction. Shrinking the
+/// cap evicts the coldest entries on the next [`recording_for`] call,
+/// not immediately.
+pub fn set_recording_cap(cap: usize) {
+    RECORDING_CAP.store(cap, Ordering::Relaxed);
+}
+
+/// Marks `key` most-recently-used and evicts the coldest keys beyond
+/// the cap. Returns the number of evictions performed.
+fn touch_and_evict(key: Key) -> u64 {
+    let cap = recording_cap();
+    let mut order = lru_order().lock().expect("recording LRU poisoned");
+    if let Some(pos) = order.iter().position(|k| *k == key) {
+        order.remove(pos);
+    }
+    order.push_back(key);
+    let mut evicted = 0;
+    if cap > 0 {
+        while order.len() > cap {
+            let coldest = order.pop_front().expect("len > cap > 0");
+            if memo().remove(&coldest) {
+                evicted += 1;
+            }
+        }
+    }
+    evicted
+}
+
 /// The shared recording of `workload` at `(seed, warmup, measure)`,
 /// recorded on first request and memoized for every later caller.
+///
+/// The cache is LRU-bounded by [`recording_cap`]; hits, misses, and
+/// evictions are surfaced through `mrp_obs` as
+/// `recording.memo.{hits,misses,evictions}` when telemetry is enabled.
 pub fn recording_for(
     workload: &Workload,
     seed: u64,
     warmup: u64,
     measure: u64,
 ) -> Arc<LlcRecording> {
-    memo().get_or_compute((workload.id().0, seed, warmup, measure), || {
+    let key = (workload.id().0, seed, warmup, measure);
+    let (recording, hit) = memo().get_or_compute_tracked(key, || {
+        let _phase = mrp_obs::phase("record");
         Arc::new(LlcRecording::record(
             workload.name(),
             workload.trace(seed),
@@ -70,7 +142,15 @@ pub fn recording_for(
             warmup,
             measure,
         ))
-    })
+    });
+    let tel = memo_telemetry();
+    if hit {
+        tel.hits.incr();
+    } else {
+        tel.misses.incr();
+    }
+    tel.evictions.add(touch_and_evict(key));
+    recording
 }
 
 /// Pre-records a set of workloads in parallel through the runtime, so a
@@ -109,6 +189,7 @@ pub fn cached_recordings() -> usize {
 /// parameter sets).
 pub fn clear_recordings() {
     memo().clear();
+    lru_order().lock().expect("recording LRU poisoned").clear();
 }
 
 #[cfg(test)]

@@ -14,10 +14,125 @@ use mrp_trace::{Mix, Workload};
 use crate::policies::PolicyKind;
 use crate::recording;
 
-/// Scale parameters for single-thread runs.
+/// Unified run-scale parameters for every experiment driver.
 ///
-/// The paper warms 500M and measures 1B instructions per simpoint; the
-/// defaults here are laptop-scale with the same warm/measure ratio.
+/// One type covers both the single-thread and multi-programmed runners:
+/// `cores == 1` means a single-thread run (the paper warms 500M and
+/// measures 1B instructions per simpoint; the presets here are
+/// laptop-scale with the same warm/measure ratio), `cores > 1` a shared-
+/// LLC co-simulation where `warmup`/`measure` are per core. The legacy
+/// [`StParams`]/[`MpParams`] views convert losslessly in both directions
+/// (`From` impls), so call sites migrate mechanically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunScale {
+    /// Warmup instructions (per core), not measured.
+    pub warmup: u64,
+    /// Measured instructions (per core).
+    pub measure: u64,
+    /// Trace seed (single-thread traces) or mix seed (multi-core).
+    pub seed: u64,
+    /// Simulated core count: 1 = single-thread, 4 = the paper's mixes.
+    pub cores: u32,
+}
+
+impl RunScale {
+    /// The single-thread preset (Figures 6/7/9/10, Table 3).
+    pub fn single_thread() -> Self {
+        RunScale {
+            warmup: 4_000_000,
+            measure: 20_000_000,
+            seed: 1,
+            cores: 1,
+        }
+    }
+
+    /// The 4-core multi-programmed preset (Figures 4/5).
+    pub fn multi_core() -> Self {
+        RunScale {
+            warmup: 2_000_000,
+            measure: 8_000_000,
+            seed: 42,
+            cores: 4,
+        }
+    }
+
+    /// Replaces the warmup instruction count.
+    pub fn warmup(mut self, warmup: u64) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Replaces the measured instruction count.
+    pub fn measure(mut self, measure: u64) -> Self {
+        self.measure = measure;
+        self
+    }
+
+    /// Replaces the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the core count.
+    pub fn cores(mut self, cores: u32) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// This scale's single-thread view.
+    pub fn st(&self) -> StParams {
+        StParams {
+            warmup: self.warmup,
+            measure: self.measure,
+            seed: self.seed,
+        }
+    }
+
+    /// This scale's multi-programmed view.
+    pub fn mp(&self) -> MpParams {
+        MpParams {
+            warmup: self.warmup,
+            measure: self.measure,
+        }
+    }
+}
+
+impl Default for RunScale {
+    fn default() -> Self {
+        RunScale::single_thread()
+    }
+}
+
+impl From<RunScale> for StParams {
+    fn from(scale: RunScale) -> Self {
+        scale.st()
+    }
+}
+
+impl From<RunScale> for MpParams {
+    fn from(scale: RunScale) -> Self {
+        scale.mp()
+    }
+}
+
+impl From<StParams> for RunScale {
+    fn from(p: StParams) -> Self {
+        RunScale::single_thread()
+            .warmup(p.warmup)
+            .measure(p.measure)
+            .seed(p.seed)
+    }
+}
+
+impl From<MpParams> for RunScale {
+    fn from(p: MpParams) -> Self {
+        RunScale::multi_core().warmup(p.warmup).measure(p.measure)
+    }
+}
+
+/// Scale parameters for single-thread runs (the single-thread view of
+/// [`RunScale`]).
 #[derive(Debug, Clone, Copy)]
 pub struct StParams {
     /// Warmup instructions (not measured).
@@ -30,15 +145,12 @@ pub struct StParams {
 
 impl Default for StParams {
     fn default() -> Self {
-        StParams {
-            warmup: 4_000_000,
-            measure: 20_000_000,
-            seed: 1,
-        }
+        RunScale::single_thread().st()
     }
 }
 
-/// Scale parameters for 4-core runs.
+/// Scale parameters for 4-core runs (the multi-programmed view of
+/// [`RunScale`]).
 #[derive(Debug, Clone, Copy)]
 pub struct MpParams {
     /// Warmup instructions per core.
@@ -49,10 +161,7 @@ pub struct MpParams {
 
 impl Default for MpParams {
     fn default() -> Self {
-        MpParams {
-            warmup: 2_000_000,
-            measure: 8_000_000,
-        }
+        RunScale::multi_core().mp()
     }
 }
 
@@ -72,9 +181,11 @@ pub fn run_single(
     let config = HierarchyConfig::single_thread();
     if recording::replay_enabled() {
         let rec = recording::recording_for(workload, params.seed, params.warmup, params.measure);
+        let _phase = mrp_obs::phase("replay");
         let mut cache = Cache::new(config.llc, policy);
         return replay_single(&rec, &mut cache, &config.latencies);
     }
+    let _phase = mrp_obs::phase("simulate");
     let mut sim = SingleCoreSim::new(config, policy, workload.trace(params.seed));
     sim.run(params.warmup, params.measure)
 }
@@ -173,10 +284,12 @@ pub fn run_single_min(workload: &Workload, params: StParams) -> SingleCoreResult
     let config = HierarchyConfig::single_thread();
     if recording::replay_enabled() {
         let rec = recording::recording_for(workload, params.seed, params.warmup, params.measure);
+        let _phase = mrp_obs::phase("replay");
         let min = MinPolicy::new(&config.llc, &rec.llc_blocks());
         let mut cache = Cache::new(config.llc, Box::new(min));
         return replay_single(&rec, &mut cache, &config.latencies);
     }
+    let _phase = mrp_obs::phase("simulate");
     let rec = LlcRecording::record(
         workload.name(),
         workload.trace(params.seed),
@@ -192,15 +305,13 @@ pub fn run_single_min(workload: &Workload, params: StParams) -> SingleCoreResult
 /// Runs a mix under a named policy on the shared 8MB LLC.
 pub fn run_mix_kind(mix: &Mix, kind: PolicyKind, params: MpParams) -> MulticoreResult {
     let config = HierarchyConfig::multi_core();
-    let mut sim = MulticoreSim::new(config, kind.build(&config.llc), mix);
-    sim.run(params.warmup, params.measure)
+    run_mix_policy(mix, kind.build(&config.llc), params)
 }
 
 /// Runs a mix under Hawkeye.
 pub fn run_mix_hawkeye(mix: &Mix, params: MpParams) -> MulticoreResult {
     let config = HierarchyConfig::multi_core();
-    let mut sim = MulticoreSim::new(config, PolicyKind::hawkeye(&config.llc), mix);
-    sim.run(params.warmup, params.measure)
+    run_mix_policy(mix, PolicyKind::hawkeye(&config.llc), params)
 }
 
 /// Runs a mix under an arbitrary prebuilt policy (ablation experiments).
@@ -209,6 +320,7 @@ pub fn run_mix_policy(
     policy: Box<dyn ReplacementPolicy + Send>,
     params: MpParams,
 ) -> MulticoreResult {
+    let _phase = mrp_obs::phase("simulate");
     let config = HierarchyConfig::multi_core();
     let mut sim = MulticoreSim::new(config, policy, mix);
     sim.run(params.warmup, params.measure)
@@ -225,10 +337,12 @@ pub fn standalone_ipcs(workloads: &[Workload], params: MpParams, seed: u64) -> V
             // stream the single-thread figures replay against the 2MB LLC
             // replays here against the standalone 8MB LLC.
             let rec = recording::recording_for(w, seed, params.warmup, params.measure);
+            let _phase = mrp_obs::phase("replay");
             let policy = PolicyKind::Lru.build(&config.llc);
             let mut cache = Cache::new(config.llc, policy);
             return replay_single(&rec, &mut cache, &config.latencies).ipc;
         }
+        let _phase = mrp_obs::phase("simulate");
         let policy = PolicyKind::Lru.build(&config.llc);
         let mut sim = SingleCoreSim::new(config, policy, w.trace(seed));
         sim.run(params.warmup, params.measure).ipc
@@ -251,6 +365,34 @@ mod tests {
             measure: 200_000,
             seed: 1,
         }
+    }
+
+    #[test]
+    fn run_scale_round_trips_through_legacy_params() {
+        let scale = RunScale::single_thread().warmup(123).measure(456).seed(7);
+        let st: StParams = scale.into();
+        assert_eq!((st.warmup, st.measure, st.seed), (123, 456, 7));
+        let back: RunScale = st.into();
+        assert_eq!(back, scale);
+
+        let mp_scale = RunScale::multi_core().warmup(11).measure(22);
+        let mp: MpParams = mp_scale.into();
+        assert_eq!((mp.warmup, mp.measure), (11, 22));
+        let back: RunScale = mp.into();
+        assert_eq!(back, mp_scale);
+        assert_eq!(back.cores, 4);
+
+        // Presets mirror the legacy defaults exactly.
+        let st_default = StParams::default();
+        assert_eq!(RunScale::from(st_default), RunScale::single_thread());
+        let mp_default = MpParams::default();
+        assert_eq!(
+            (mp_default.warmup, mp_default.measure),
+            (
+                RunScale::multi_core().warmup,
+                RunScale::multi_core().measure
+            )
+        );
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Scoped phase timers.
+//!
+//! A [`phase`] guard measures the wall-clock time between its creation
+//! and drop and folds it into a process-global per-phase accumulator.
+//! The experiment stack uses a small fixed vocabulary — `record`,
+//! `replay`, `simulate`, `report` — but names are free-form.
+//!
+//! Guards may be live concurrently on many pool workers; their
+//! durations sum, so a phase's total reads as aggregate busy time
+//! (it can exceed the run's wall-clock on a parallel run — that is the
+//! utilization signal, not a bug).
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Accumulated time of one phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Total accumulated nanoseconds across all guards.
+    pub total_ns: u128,
+    /// Number of guards that completed.
+    pub count: u64,
+}
+
+fn phases() -> &'static Mutex<BTreeMap<String, PhaseStat>> {
+    static PHASES: OnceLock<Mutex<BTreeMap<String, PhaseStat>>> = OnceLock::new();
+    PHASES.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Live scope of one timed phase; records on drop.
+#[must_use = "a phase guard measures until it is dropped"]
+#[derive(Debug)]
+pub struct PhaseGuard {
+    // None while telemetry is disabled: the guard is then fully inert
+    // (no clock reads, no map lock).
+    armed: Option<(&'static str, Instant)>,
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        if let Some((name, start)) = self.armed.take() {
+            let elapsed = start.elapsed().as_nanos();
+            let mut map = phases().lock().expect("obs phases poisoned");
+            let stat = map.entry(name.to_string()).or_insert(PhaseStat {
+                total_ns: 0,
+                count: 0,
+            });
+            stat.total_ns += elapsed;
+            stat.count += 1;
+        }
+    }
+}
+
+/// Starts timing `name`; the returned guard records on drop. Inert
+/// (two loads, no clock read) while telemetry is disabled.
+#[inline]
+pub fn phase(name: &'static str) -> PhaseGuard {
+    PhaseGuard {
+        armed: crate::enabled().then(|| (name, Instant::now())),
+    }
+}
+
+/// Deterministic (name-sorted) snapshot of every phase recorded so far.
+pub fn phases_snapshot() -> Vec<(String, PhaseStat)> {
+    let map = phases().lock().expect("obs phases poisoned");
+    map.iter().map(|(k, v)| (k.clone(), *v)).collect()
+}
+
+/// Clears all accumulated phases.
+pub(crate) fn reset_phases() {
+    phases().lock().expect("obs phases poisoned").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_guard_is_inert_and_enabled_guard_accumulates() {
+        let _guard = crate::test_flag_lock();
+        crate::set_enabled(false);
+        drop(phase("test.phase.a"));
+        assert!(
+            !phases_snapshot().iter().any(|(n, _)| n == "test.phase.a"),
+            "disabled phase must not record"
+        );
+
+        crate::set_enabled(true);
+        {
+            let _g = phase("test.phase.a");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        drop(phase("test.phase.a"));
+        crate::set_enabled(false);
+
+        let snap = phases_snapshot();
+        let (_, stat) = snap
+            .iter()
+            .find(|(n, _)| n == "test.phase.a")
+            .expect("phase recorded");
+        assert_eq!(stat.count, 2);
+        assert!(stat.total_ns >= 1_000_000, "slept 1ms, got {stat:?}");
+    }
+}

@@ -31,11 +31,45 @@
 //! Calls to [`map_indexed`] from *inside* a pool worker run serially on
 //! that worker. Outer-level fan-out already owns every core; nested
 //! fan-out would multiply thread counts without adding parallelism.
+//!
+//! # Telemetry
+//!
+//! When [`mrp_obs`] is enabled (the drivers' `--metrics` flag), every
+//! fan-out reports into the registry: `runtime.fanouts` / `runtime.jobs`
+//! counters, per-job busy time in `runtime.job_ns`, fan-out wall-clock
+//! in `runtime.fanout_ns` (utilization = `job_ns / (fanout_ns ×
+//! workers)`), and the `runtime.queue_depth` gauge whose peak is the
+//! largest job batch any fan-out enqueued. All of it is no-op atomics
+//! when telemetry is off, so the scheduling and results are untouched
+//! either way.
 
 use std::cell::Cell;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Cached telemetry handles (registry lookups once per process).
+struct Telemetry {
+    fanouts: mrp_obs::Counter,
+    jobs: mrp_obs::Counter,
+    job_ns: mrp_obs::Counter,
+    fanout_ns: mrp_obs::Counter,
+    queue_depth: mrp_obs::Gauge,
+    workers: mrp_obs::Gauge,
+}
+
+fn telemetry() -> &'static Telemetry {
+    static TELEMETRY: OnceLock<Telemetry> = OnceLock::new();
+    TELEMETRY.get_or_init(|| Telemetry {
+        fanouts: mrp_obs::counter("runtime.fanouts"),
+        jobs: mrp_obs::counter("runtime.jobs"),
+        job_ns: mrp_obs::counter("runtime.job_ns"),
+        fanout_ns: mrp_obs::counter("runtime.fanout_ns"),
+        queue_depth: mrp_obs::gauge("runtime.queue_depth"),
+        workers: mrp_obs::gauge("runtime.workers"),
+    })
+}
 
 /// Global worker-count override: 0 = unset (fall back to env/hardware).
 static THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -114,49 +148,77 @@ where
         return Vec::new();
     }
     let workers = threads.clamp(1, jobs);
-    if workers == 1 || IN_POOL.with(Cell::get) {
-        return (0..jobs).map(f).collect();
+    let serial = workers == 1 || IN_POOL.with(Cell::get);
+    let tel = mrp_obs::enabled().then(telemetry);
+    if let Some(tel) = tel {
+        tel.fanouts.incr();
+        tel.jobs.add(jobs as u64);
+        tel.queue_depth.set(jobs as i64);
+        tel.workers.set(if serial { 1 } else { workers as i64 });
     }
-
-    // Work queue: an atomic cursor over 0..jobs. Each worker pulls the
-    // next unclaimed index, computes it, and records (index, result)
-    // locally; results are merged by index after the scope joins, so
-    // completion order cannot affect the output.
-    let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<T>> = Vec::with_capacity(jobs);
-    slots.resize_with(jobs, || None);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    IN_POOL.with(|flag| flag.set(true));
-                    let mut completed = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= jobs {
-                            break;
-                        }
-                        completed.push((i, f(i)));
-                    }
-                    completed
-                })
-            })
-            .collect();
-        for handle in handles {
-            match handle.join() {
-                Ok(completed) => {
-                    for (i, value) in completed {
-                        slots[i] = Some(value);
-                    }
-                }
-                Err(panic) => std::panic::resume_unwind(panic),
+    let started = tel.map(|_| Instant::now());
+    // Per-job busy time; `tel` is None when telemetry is off, so the
+    // instrumented path costs nothing in normal runs.
+    let run = |i: usize| -> T {
+        match tel {
+            Some(tel) => {
+                let t0 = Instant::now();
+                let out = f(i);
+                tel.job_ns.add(t0.elapsed().as_nanos() as u64);
+                out
             }
+            None => f(i),
         }
-    });
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("work queue visits every index exactly once"))
-        .collect()
+    };
+
+    let out = if serial {
+        (0..jobs).map(run).collect()
+    } else {
+        // Work queue: an atomic cursor over 0..jobs. Each worker pulls
+        // the next unclaimed index, computes it, and records
+        // (index, result) locally; results are merged by index after the
+        // scope joins, so completion order cannot affect the output.
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(jobs);
+        slots.resize_with(jobs, || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        IN_POOL.with(|flag| flag.set(true));
+                        let mut completed = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= jobs {
+                                break;
+                            }
+                            completed.push((i, run(i)));
+                        }
+                        completed
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(completed) => {
+                        for (i, value) in completed {
+                            slots[i] = Some(value);
+                        }
+                    }
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("work queue visits every index exactly once"))
+            .collect()
+    };
+    if let (Some(tel), Some(t0)) = (tel, started) {
+        tel.fanout_ns.add(t0.elapsed().as_nanos() as u64);
+        tel.queue_depth.set(0);
+    }
+    out
 }
 
 /// Maps `f` over `items` in parallel, preserving input order.
@@ -222,11 +284,36 @@ where
     /// until the single computation finishes; requests for other keys
     /// proceed independently.
     pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        self.get_or_compute_tracked(key, compute).0
+    }
+
+    /// [`Memo::get_or_compute`] plus whether the value was already
+    /// resolved (`true` = cache hit). A request that joins a computation
+    /// already in flight counts as a hit: it did not pay the compute.
+    pub fn get_or_compute_tracked(&self, key: K, compute: impl FnOnce() -> V) -> (V, bool) {
         let cell = {
             let mut map = self.map.lock().expect("memo map poisoned");
             std::sync::Arc::clone(map.entry(key).or_default())
         };
-        cell.get_or_init(compute).clone()
+        let mut computed = false;
+        let value = cell
+            .get_or_init(|| {
+                computed = true;
+                compute()
+            })
+            .clone();
+        (value, !computed)
+    }
+
+    /// Drops `key`'s cached value (or in-flight cell), returning whether
+    /// it was present. Callers already blocked on an in-flight compute
+    /// still receive their value; only future lookups miss.
+    pub fn remove(&self, key: &K) -> bool {
+        self.map
+            .lock()
+            .expect("memo map poisoned")
+            .remove(key)
+            .is_some()
     }
 }
 
@@ -319,6 +406,43 @@ mod tests {
         assert_eq!(memo.len(), 4);
         memo.clear();
         assert!(memo.is_empty());
+    }
+
+    #[test]
+    fn memo_tracked_reports_hits_and_remove_forgets() {
+        let memo = Memo::new();
+        let (v, hit) = memo.get_or_compute_tracked(7, || 70);
+        assert_eq!((v, hit), (70, false), "first request must compute");
+        let (v, hit) = memo.get_or_compute_tracked(7, || unreachable!("must be cached"));
+        assert_eq!((v, hit), (70, true), "second request must hit");
+        assert!(memo.remove(&7), "remove must report the key was present");
+        assert!(!memo.remove(&7), "second remove must report absence");
+        let (v, hit) = memo.get_or_compute_tracked(7, || 71);
+        assert_eq!((v, hit), (71, false), "removed key must recompute");
+    }
+
+    #[test]
+    fn telemetry_records_fanouts_only_when_enabled() {
+        // The only test in this binary that toggles the global obs flag;
+        // concurrent tests may add to the counters while it is on, so
+        // assertions are lower bounds.
+        mrp_obs::set_enabled(true);
+        let jobs_before = mrp_obs::counter("runtime.jobs").get();
+        let fanouts_before = mrp_obs::counter("runtime.fanouts").get();
+        let out = map_indexed_with(17, 4, |i| i);
+        mrp_obs::set_enabled(false);
+        assert_eq!(out, (0..17).collect::<Vec<_>>());
+        assert!(mrp_obs::counter("runtime.jobs").get() >= jobs_before + 17);
+        assert!(mrp_obs::counter("runtime.fanouts").get() > fanouts_before);
+        assert!(mrp_obs::gauge("runtime.queue_depth").peak() >= 17);
+
+        let disabled_before = mrp_obs::counter("runtime.jobs").get();
+        map_indexed_with(8, 2, |i| i);
+        assert_eq!(
+            mrp_obs::counter("runtime.jobs").get(),
+            disabled_before,
+            "disabled fan-out must not record"
+        );
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Observability contract tests: the JSONL run manifest round-trips
+//! through its own validator, and the telemetry layer never perturbs
+//! simulation results — the committed goldens must be bit-identical with
+//! `--metrics` on and off, and disabled counters must stay at zero.
+
+use std::path::PathBuf;
+
+use mrp_experiments::runner::{run_single_kind, StParams};
+use mrp_experiments::PolicyKind;
+use mrp_obs::{Json, RunManifest};
+use mrp_trace::workloads;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mrp-obs-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn manifest_round_trips_through_validation() {
+    let dir = scratch_dir("roundtrip");
+    let mut manifest = RunManifest::new("obs_test", 7, &dir);
+    manifest.meta("threads", Json::U64(3));
+    manifest.meta("note", Json::Str("round-trip".into()));
+    manifest.cell("zipf.hot", "LRU", &[("ipc", 1.25), ("mpki", 9.5)]);
+    manifest.cell("zipf.hot", "MPPPB", &[("ipc", 1.5), ("mpki", 7.25)]);
+    manifest.scalar("geomean_speedup.MPPPB", 1.2);
+    let path = manifest.finish().expect("write manifest");
+
+    assert_eq!(path.extension().and_then(|e| e.to_str()), Some("jsonl"));
+    let name = path.file_name().unwrap().to_string_lossy().into_owned();
+    assert!(
+        name.starts_with("obs_test-") && name.contains("-7."),
+        "file name {name} must embed bin and seed"
+    );
+
+    let text = std::fs::read_to_string(&path).expect("read back");
+    let summary = mrp_obs::validate(&text).expect("schema-valid manifest");
+    assert_eq!(summary.schema, mrp_obs::SCHEMA);
+    assert_eq!(summary.bin, "obs_test");
+    assert_eq!(summary.cells, 2);
+    assert_eq!(summary.scalars, 1);
+
+    // The meta line leads and carries the caller's extra fields.
+    let meta = Json::parse(text.lines().next().unwrap()).expect("parse meta");
+    assert_eq!(meta.get("seed").and_then(Json::as_u64), Some(7));
+    assert_eq!(meta.get("threads").and_then(Json::as_u64), Some(3));
+    assert_eq!(meta.get("note").and_then(Json::as_str), Some("round-trip"));
+
+    // validate_dir sees the same file; a corrupt sibling fails the scan.
+    assert_eq!(mrp_obs::validate_dir(&dir).expect("dir valid").len(), 1);
+    std::fs::write(dir.join("bogus.jsonl"), "not json\n").unwrap();
+    assert!(mrp_obs::validate_dir(&dir).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Sole owner of the process-global telemetry flag in this test binary:
+/// checks the disabled no-op contract and metrics-on/off bit-identity in
+/// one sequence so no parallel test observes a half-toggled flag.
+#[test]
+fn metrics_toggle_is_invisible_to_results() {
+    assert!(!mrp_obs::enabled(), "telemetry defaults to off");
+
+    // Disabled counters and gauges never record.
+    let counter = mrp_obs::counter("test.obs.gate.count");
+    let gauge = mrp_obs::gauge("test.obs.gate.depth");
+    counter.add(5);
+    gauge.set(9);
+    assert_eq!(counter.get(), 0, "disabled counter must stay zero");
+    assert_eq!(gauge.get(), 0, "disabled gauge must stay zero");
+
+    // The golden cells, metrics off.
+    let params = StParams {
+        warmup: 20_000,
+        measure: 80_000,
+        seed: 1,
+    };
+    let suite = workloads::suite();
+    let cells: Vec<_> = ["zipf.hot", "stream.rw"]
+        .iter()
+        .map(|n| suite.iter().find(|w| w.name() == *n).expect("workload"))
+        .collect();
+    let baseline: Vec<(u64, u64)> = cells
+        .iter()
+        .map(|w| {
+            let r = run_single_kind(w, PolicyKind::MpppbSingle, params);
+            (r.ipc.to_bits(), r.mpki.to_bits())
+        })
+        .collect();
+
+    // Same cells with telemetry recording.
+    mrp_obs::set_enabled(true);
+    counter.incr();
+    assert_eq!(counter.get(), 1, "enabled counter must record");
+    let with_metrics: Vec<(u64, u64)> = cells
+        .iter()
+        .map(|w| {
+            let r = run_single_kind(w, PolicyKind::MpppbSingle, params);
+            (r.ipc.to_bits(), r.mpki.to_bits())
+        })
+        .collect();
+    mrp_obs::set_enabled(false);
+
+    assert_eq!(
+        baseline, with_metrics,
+        "telemetry must not perturb IPC/MPKI bits"
+    );
+}
