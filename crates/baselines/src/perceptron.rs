@@ -8,6 +8,7 @@
 
 use mrp_cache::policies::Lru;
 use mrp_cache::{AccessInfo, CacheConfig, ReplacementPolicy};
+use mrp_core::simd::{self, GATHER_PAD};
 use mrp_trace::MemoryAccess;
 
 /// Number of feature tables.
@@ -84,7 +85,9 @@ impl PerceptronPolicy {
         );
         let sample_stride = (llc.sets() / sampler_sets).max(1);
         PerceptronPolicy {
-            tables: vec![0i8; FEATURES * TABLE_ENTRIES],
+            // Padded like `mrp_core::tables::WeightTables` so the shared
+            // AVX2 gather-sum kernel stays in bounds on every offset.
+            tables: vec![0i8; FEATURES * TABLE_ENTRIES + GATHER_PAD],
             sampler: vec![[SamplerEntry::default(); SAMPLER_ASSOC]; sampler_sets as usize],
             sample_stride,
             sample_pow2: sample_stride
@@ -129,10 +132,9 @@ impl PerceptronPolicy {
     }
 
     fn confidence(&self, indices: &[u16; FEATURES]) -> i32 {
-        indices
-            .iter()
-            .map(|&i| i32::from(self.tables[usize::from(i)]))
-            .sum()
+        // Same batched gather-sum kernel as the multiperspective
+        // predictor's confidence — the two i8 arenas share one hot path.
+        simd::gather_sum_i8(&self.tables, indices, simd::level())
     }
 
     fn train(&mut self, indices: &[u16; FEATURES], stored_confidence: i32, dead: bool) {

@@ -1,0 +1,129 @@
+//! Hot-path kernel benches: the per-feature compiled path against the
+//! lane-SoA kernels at every available SIMD level, the batched front-end
+//! at widths 1/4/8, and the gather-sum confidence kernel pair.
+//!
+//! Companion to `bench_snapshot`'s `batched_hot_path` section (which
+//! records the same comparisons as committed JSON); this bench gives the
+//! interactive per-width view. All kernels compute identical offsets —
+//! `mrp-verify`'s kernel-identity pass proves it — so every line here is
+//! pure throughput, not a behavioral variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mrp_core::context::FeatureContext;
+use mrp_core::plan::MAX_BATCH;
+use mrp_core::simd;
+use mrp_core::tables::WeightTables;
+use mrp_core::{feature_sets, FeaturePlan};
+
+/// A rolling window of deterministic contexts sharing one history.
+fn contexts(history: &[u64], n: usize) -> Vec<FeatureContext<'_>> {
+    (0..n as u64)
+        .map(|i| {
+            let pc = 0x40_0000 + i * 4;
+            FeatureContext {
+                pc,
+                address: pc.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                pc_history: history,
+                is_mru: i % 2 == 0,
+                is_insert: i % 3 == 0,
+                last_miss: i % 5 == 0,
+            }
+        })
+        .collect()
+}
+
+fn bench_index_kernels(c: &mut Criterion) {
+    let features = feature_sets::table_1a();
+    let plan = FeaturePlan::new(&features);
+    let history: Vec<u64> = (0..18).map(|i| 0x40_0000 + i * 1357).collect();
+    let ctxs = contexts(&history, MAX_BATCH);
+
+    let mut group = c.benchmark_group("index_kernels");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("compiled", |b| {
+        let mut out = Vec::with_capacity(16);
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % ctxs.len();
+            plan.compute_offsets_compiled(&ctxs[i], &mut out);
+            criterion::black_box(out.len())
+        })
+    });
+    for &level in simd::available_levels() {
+        group.bench_with_input(
+            BenchmarkId::new("lane", level.name()),
+            &level,
+            |b, &level| {
+                let mut out = Vec::with_capacity(16);
+                let mut i = 0;
+                b.iter(|| {
+                    i = (i + 1) % ctxs.len();
+                    plan.compute_offsets_with(level, &ctxs[i], &mut out);
+                    criterion::black_box(out.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_batch_widths(c: &mut Criterion) {
+    let features = feature_sets::table_1a();
+    let plan = FeaturePlan::new(&features);
+    let history: Vec<u64> = (0..18).map(|i| 0x40_0000 + i * 1357).collect();
+    let ctxs = contexts(&history, MAX_BATCH);
+
+    // Throughput is per access, so widths compare directly: a wider batch
+    // wins when its per-element time drops below the width-1 line.
+    let mut group = c.benchmark_group("batched_offsets");
+    for width in [1usize, MAX_BATCH / 2, MAX_BATCH] {
+        group.throughput(Throughput::Elements(width as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &width| {
+            let mut out = Vec::with_capacity(width * 16);
+            b.iter(|| {
+                plan.compute_offsets_batch(&ctxs[..width], &mut out);
+                criterion::black_box(out.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gather_sum(c: &mut Criterion) {
+    let features = feature_sets::table_1a();
+    let plan = FeaturePlan::new(&features);
+    let mut tables = WeightTables::new(&features);
+    // Spread the weights so the sum is not trivially zero.
+    for offset in 0..tables.arena_len() {
+        for _ in 0..(offset % 5) {
+            if offset % 2 == 0 {
+                tables.increment_at(offset as u16);
+            } else {
+                tables.decrement_at(offset as u16);
+            }
+        }
+    }
+    let history: Vec<u64> = (0..18).map(|i| 0x40_0000 + i * 1357).collect();
+    let ctxs = contexts(&history, MAX_BATCH);
+    let mut offsets = Vec::with_capacity(16);
+    plan.compute_offsets(&ctxs[0], &mut offsets);
+
+    let mut group = c.benchmark_group("gather_sum");
+    group.throughput(Throughput::Elements(1));
+    for &level in simd::available_levels() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(level.name()),
+            &level,
+            |b, &level| b.iter(|| criterion::black_box(tables.confidence_with(level, &offsets))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_index_kernels,
+    bench_batch_widths,
+    bench_gather_sum
+);
+criterion_main!(benches);

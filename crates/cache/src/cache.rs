@@ -128,6 +128,36 @@ impl Cache {
         (self.valid[set as usize] & (1u64 << way) != 0).then(|| self.tags[self.slot(set, way)])
     }
 
+    /// Software-prefetches the tag state an access to `block` will touch:
+    /// the set's validity word and its packed tag row. Batched front-ends
+    /// (the replay loops, the hierarchy's L1-miss path) call this a few
+    /// events ahead of the serial update loop so the tag-array cache
+    /// misses overlap with other work. Purely a memory-system hint — no
+    /// architectural effect, and a no-op off x86_64.
+    #[inline]
+    pub fn prefetch_block(&self, block: u64) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let set = self.config.set_of(block);
+            let base = self.slot(set, 0);
+            let assoc = self.config.associativity() as usize;
+            // SAFETY: `set < sets` and the tag row lies inside `tags`;
+            // prefetch never faults regardless.
+            unsafe {
+                _mm_prefetch::<_MM_HINT_T0>(self.valid.as_ptr().add(set as usize) as *const i8);
+                // One prefetch per cache line of the row (8 u64 tags).
+                for line in (0..assoc).step_by(8) {
+                    _mm_prefetch::<_MM_HINT_T0>(self.tags.as_ptr().add(base + line) as *const i8);
+                }
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = block;
+        }
+    }
+
     /// Looks a block up without touching policy or stats state.
     pub fn probe(&self, block: u64) -> bool {
         let set = self.config.set_of(block);

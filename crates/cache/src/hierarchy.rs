@@ -262,6 +262,10 @@ impl CorePrivate {
             }
         }
 
+        // The L1 miss may reach the LLC; start pulling its tag row in
+        // while the L2 probe runs.
+        llc.prefetch_block(access.block());
+
         if self.l2.access(access, false).is_hit() {
             return HierarchyAccess {
                 serviced_by: ServicedBy::L2,

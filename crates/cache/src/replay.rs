@@ -284,8 +284,19 @@ impl LlcRecording {
     /// because only the perceptron baseline implements the hook (and the
     /// fast path is not used to evaluate it). Use `mrp-cpu`'s full
     /// replay when hook exactness or timing matters.
+    /// Replay loops run this many LLC events ahead of the serial update
+    /// loop, software-prefetching each upcoming access's tag row
+    /// ([`Cache::prefetch_block`]). Sized to cover the tag-array fetch
+    /// latency without thrashing L1: at 4–8 events the row arrives
+    /// before the update loop needs it (see DESIGN.md "Hot-path
+    /// layout").
+    pub const REPLAY_LOOKAHEAD: usize = 8;
+
     pub fn replay_llc(&self, cache: &mut Cache) {
-        for &i in &self.llc_events {
+        for (n, &i) in self.llc_events.iter().enumerate() {
+            if let Some(&ahead) = self.llc_events.get(n + Self::REPLAY_LOOKAHEAD) {
+                cache.prefetch_block(self.block_at(ahead as usize));
+            }
             let i = i as usize;
             let access = self.access_at(i);
             if self.flags[i] & FLAG_PREFETCH != 0 {
@@ -295,6 +306,22 @@ impl LlcRecording {
                 let _ = cache.access(&access, false);
             }
         }
+    }
+
+    /// The cache block event `index` addresses, without reconstructing
+    /// the full [`MemoryAccess`] (the prefetch front-end's lookahead
+    /// reads only this).
+    #[inline]
+    pub fn block_at(&self, index: usize) -> u64 {
+        self.addresses[index] >> mrp_trace::BLOCK_OFFSET_BITS
+    }
+
+    /// Whether event `index` reaches the LLC (a demand access serviced
+    /// there, or a prefetch fill) — one flag-byte read, for lookahead
+    /// scans over emission order.
+    #[inline]
+    pub fn reaches_llc(&self, index: usize) -> bool {
+        (self.flags[index] & LEVEL_MASK) >> LEVEL_SHIFT == ServiceLevel::Llc.encode()
     }
 
     // --- recording hooks driven by `CorePrivate::access_recorded` ---

@@ -11,7 +11,10 @@
 //! * [`tables`] — the hashed-perceptron weight tables (6-bit saturating
 //!   weights, §3.4), stored as one flat arena.
 //! * [`plan`] — construction-time lowering of feature sets into
-//!   straight-line index programs emitting arena offsets (the hot path).
+//!   straight-line index programs emitting arena offsets, transposed into
+//!   SoA lane arrays for the branch-free batch kernels (the hot path).
+//! * [`simd`] — runtime kernel dispatch (scalar vs. AVX2, `MRP_NO_SIMD`
+//!   override) and the shared i8 gather-sum kernel.
 //! * [`sampler`] — the 18-way LRU sampler with per-feature associativity
 //!   training (§3.3, §3.8).
 //! * [`predictor`] — [`MultiperspectivePredictor`], tying the above into a
@@ -45,6 +48,7 @@ pub mod mpppb;
 pub mod plan;
 pub mod predictor;
 pub mod sampler;
+pub mod simd;
 pub mod tables;
 
 pub use adaptive::AdaptiveMpppb;
@@ -52,3 +56,4 @@ pub use feature::{Feature, FeatureKind};
 pub use mpppb::{DefaultPolicyKind, Mpppb, MpppbConfig};
 pub use plan::FeaturePlan;
 pub use predictor::MultiperspectivePredictor;
+pub use simd::SimdLevel;

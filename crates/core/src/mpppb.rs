@@ -148,7 +148,6 @@ pub struct Mpppb {
     histories: Vec<PcHistory>,
     set_state: SetState,
     default_state: DefaultState,
-    indices_buf: Vec<u16>,
     /// Confidence + indices computed in `should_bypass`, consumed by
     /// `on_fill` for the same access.
     pending_fill: Option<i32>,
@@ -214,7 +213,6 @@ impl Mpppb {
             histories: Vec::new(),
             set_state: SetState::new(llc.sets()),
             default_state,
-            indices_buf: Vec::with_capacity(16),
             pending_fill: None,
             last_confidence: 0,
             neutral: false,
@@ -286,12 +284,7 @@ impl Mpppb {
             is_insert,
             last_miss: self.set_state.last_miss(info.set),
         };
-        let mut indices = std::mem::take(&mut self.indices_buf);
-        self.predictor.compute_indices(&ctx, &mut indices);
-        let confidence = self.predictor.confidence(&indices);
-        self.predictor
-            .train(info.set, info.block, &indices, confidence);
-        self.indices_buf = indices;
+        let confidence = self.predictor.access(&ctx, info.set, info.block);
         self.set_state.record(info.set, info.block, is_insert);
         self.last_confidence = confidence;
         confidence

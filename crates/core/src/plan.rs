@@ -18,13 +18,35 @@
 //!   emits precombined arena offsets and `confidence` becomes a single
 //!   gather-sum over one slice.
 //!
+//! On top of the per-feature compiled form, the plan transposes itself
+//! into **SoA lane arrays** ([`LanePlan`]): parallel padded vectors of
+//! source selectors, shifts, masks, XOR masks, index masks, and arena
+//! bases, one entry per feature. Together with the per-access transposed
+//! value vector ([`LaneContext`]), index computation for all 16 features
+//! becomes one branch-free pass — every lane evaluates
+//!
+//! ```text
+//! raw = (vals[src] >> shift) & mask
+//! v   = fold8(raw)                      // identity when raw < 256
+//! v  ^= pc_fold8 & xor_mask
+//! out = base + (v & index_mask)
+//! ```
+//!
+//! which is bit-identical to the per-feature interpretation for every
+//! feature [`Feature::new`] accepts: `Loop` folds are unreachable (all
+//! table sizes are ≤ [`MAX_TABLE_SIZE`]), and for `Identity` lanes the
+//! raw value is already below 256 so `fold8` is the identity. The pass is
+//! written so LLVM autovectorizes it on stable Rust, with an explicit
+//! AVX2 form dispatched at runtime (see [`crate::simd`]).
+//!
 //! The lowering is semantics-preserving: for every context, the emitted
 //! offset is exactly `base(feature) + Feature::index(ctx)`. Unit tests
-//! here and the property test in `tests/properties.rs` hold it to that
-//! bit-for-bit.
+//! here, the property tests in `tests/properties.rs`, and `mrp-verify`'s
+//! kernel-identity pass hold it to that bit-for-bit.
 
-use crate::context::FeatureContext;
+use crate::context::{FeatureContext, HISTORY_DEPTH};
 use crate::feature::{fold, Feature, FeatureKind, MAX_INDEX_BITS, MAX_TABLE_SIZE};
+use crate::simd::{self, SimdLevel};
 
 /// Where a compiled feature reads its raw bits from. Shift/mask are
 /// precomputed from the feature's bit range with `Feature::index`'s
@@ -197,11 +219,225 @@ pub fn shared_pc_fold(pc: u64) -> u64 {
     fold8(pc)
 }
 
+/// Slots in the transposed per-access value vector ([`LaneContext`]). A
+/// power of two so lane source selectors stay provably in bounds with a
+/// mask instead of a branch.
+pub const LANE_VALS: usize = 32;
+
+/// `vals` slot holding the current PC (also the fallback for history
+/// depths beyond [`HISTORY_DEPTH`]).
+const V_PC: usize = HISTORY_DEPTH;
+/// `vals` slot holding the access address.
+const V_ADDR: usize = HISTORY_DEPTH + 1;
+/// `vals` slot holding the `burst` flag.
+const V_MRU: usize = HISTORY_DEPTH + 2;
+/// `vals` slot holding the `insert` flag.
+const V_INSERT: usize = HISTORY_DEPTH + 3;
+/// `vals` slot holding the `lastmiss` flag.
+const V_LASTMISS: usize = HISTORY_DEPTH + 4;
+/// `vals` slot wired to the constant 0 (bias and pad lanes).
+const V_ZERO: usize = HISTORY_DEPTH + 5;
+
+/// Lane count granularity: plans pad to a multiple of this with inert
+/// lanes so both kernels run whole vector-width groups only.
+const LANE_WIDTH: usize = 8;
+
+/// Largest batch [`FeaturePlan::compute_offsets_batch`] accepts: the
+/// access front-end groups 4–8 consecutive accesses, and a small bound
+/// keeps the per-batch context array on the stack.
+pub const MAX_BATCH: usize = 8;
+
+/// One access, transposed for lane-parallel index computation: every
+/// value any feature can source, laid out so a lane reads `vals[src]`.
+///
+/// Building this once per access replaces the per-feature `match` on
+/// [`Source`] (and the bounds-checked `history_pc` lookup) with a single
+/// gatherable array; the 8-bit PC fold is computed here too, so batched
+/// front-ends fold all PCs of a group together before any index math.
+#[derive(Debug, Clone, Copy)]
+pub struct LaneContext {
+    vals: [u64; LANE_VALS],
+    pc_fold8: u64,
+}
+
+impl LaneContext {
+    /// Transposes `ctx`. History slots beyond the recorded depth hold the
+    /// current PC, matching [`FeatureContext::history_pc`]'s fallback.
+    #[inline]
+    pub fn new(ctx: &FeatureContext<'_>) -> Self {
+        let mut vals = [0u64; LANE_VALS];
+        let depth = ctx.pc_history.len().min(HISTORY_DEPTH);
+        vals[..depth].copy_from_slice(&ctx.pc_history[..depth]);
+        for slot in &mut vals[depth..HISTORY_DEPTH] {
+            *slot = ctx.pc;
+        }
+        vals[V_PC] = ctx.pc;
+        vals[V_ADDR] = ctx.address;
+        vals[V_MRU] = u64::from(ctx.is_mru);
+        vals[V_INSERT] = u64::from(ctx.is_insert);
+        vals[V_LASTMISS] = u64::from(ctx.last_miss);
+        LaneContext {
+            vals,
+            pc_fold8: fold8(ctx.pc),
+        }
+    }
+}
+
+/// The feature plan transposed into SoA lane arrays: element `i` of every
+/// array parameterizes feature `i`'s index computation, padded to a
+/// [`LANE_WIDTH`] multiple with inert lanes (mask 0, index mask 0, base
+/// 0 — they emit offset 0, truncated away after the kernel).
+#[derive(Debug, Clone)]
+struct LanePlan {
+    /// [`LaneContext`] slot each lane reads (always `< LANE_VALS`).
+    src: Box<[u32]>,
+    /// Right shift applied to the sourced value (≤ 63).
+    shift: Box<[u64]>,
+    /// Field mask applied after the shift.
+    mask: Box<[u64]>,
+    /// `0xff` for `xor_pc` lanes, 0 otherwise.
+    xor_mask: Box<[u64]>,
+    /// `table_size - 1`.
+    index_mask: Box<[u64]>,
+    /// Arena base of the lane's table.
+    base: Box<[u64]>,
+    /// Lane count (a [`LANE_WIDTH`] multiple, ≥ the feature count).
+    padded: usize,
+    /// Whether every lane fits the universal branch-free formula. Always
+    /// true for [`Feature::new`] features; cleared defensively for `Loop`
+    /// folds or out-of-range history depths, falling the plan back to the
+    /// per-feature compiled path.
+    ok: bool,
+}
+
+impl LanePlan {
+    fn build(compiled: &[CompiledFeature]) -> Self {
+        let padded = compiled.len().next_multiple_of(LANE_WIDTH).max(LANE_WIDTH);
+        let mut plan = LanePlan {
+            src: vec![V_ZERO as u32; padded].into_boxed_slice(),
+            shift: vec![0; padded].into_boxed_slice(),
+            mask: vec![0; padded].into_boxed_slice(),
+            xor_mask: vec![0; padded].into_boxed_slice(),
+            index_mask: vec![0; padded].into_boxed_slice(),
+            base: vec![0; padded].into_boxed_slice(),
+            padded,
+            ok: true,
+        };
+        for (i, c) in compiled.iter().enumerate() {
+            let (slot, shift, mask) = match c.source {
+                Source::PcHist { which, shift, mask } => {
+                    // `vals` keeps HISTORY_DEPTH history slots; deeper
+                    // depths would alias the PC fallback even when a
+                    // caller supplies a longer history slice, so they
+                    // fall back (unreachable for valid features).
+                    if usize::from(which) >= HISTORY_DEPTH {
+                        plan.ok = false;
+                    }
+                    (usize::from(which).min(V_PC) as u32, shift, mask)
+                }
+                Source::Address { shift, mask } | Source::Offset { shift, mask } => {
+                    (V_ADDR as u32, shift, mask)
+                }
+                Source::Zero => (V_ZERO as u32, 0, 0),
+                Source::Mru => (V_MRU as u32, 0, 1),
+                Source::Insert => (V_INSERT as u32, 0, 1),
+                Source::LastMiss => (V_LASTMISS as u32, 0, 1),
+            };
+            // `fold8` is exact for Identity lanes only because their raw
+            // value is below 256; Loop folds (and any fold wider than
+            // MAX_INDEX_BITS) have no lane form.
+            if matches!(c.fold_kind, FoldKind::Loop) || c.fold_bits > MAX_INDEX_BITS {
+                plan.ok = false;
+            }
+            plan.src[i] = slot;
+            plan.shift[i] = u64::from(shift);
+            plan.mask[i] = mask;
+            plan.xor_mask[i] = if c.xor_pc { 0xff } else { 0 };
+            plan.index_mask[i] = c.index_mask;
+            plan.base[i] = u64::from(c.base);
+        }
+        plan
+    }
+}
+
+/// The branch-free lane pass in scalar form. Written over fixed-bound
+/// slices with masked `vals` indexing so LLVM autovectorizes it (and so
+/// no bounds check survives into the loop).
+fn lanes_scalar(plan: &LanePlan, lane_ctx: &LaneContext, out: &mut [u16]) {
+    let n = plan.padded;
+    let (src, shift) = (&plan.src[..n], &plan.shift[..n]);
+    let (mask, xor_mask) = (&plan.mask[..n], &plan.xor_mask[..n]);
+    let (index_mask, base) = (&plan.index_mask[..n], &plan.base[..n]);
+    let out = &mut out[..n];
+    let pc_fold8 = lane_ctx.pc_fold8;
+    for i in 0..n {
+        let raw = (lane_ctx.vals[src[i] as usize & (LANE_VALS - 1)] >> shift[i]) & mask[i];
+        let mut v = raw ^ (raw >> 32);
+        v ^= v >> 16;
+        v ^= v >> 8;
+        v &= 0xff;
+        v ^= pc_fold8 & xor_mask[i];
+        out[i] = (base[i] + (v & index_mask[i])) as u16;
+    }
+}
+
+/// The same lane pass as 4-wide AVX2: one `vals` gather, variable shift,
+/// and the fold as three shift-XOR rounds per group of four lanes.
+///
+/// # Safety
+///
+/// Requires AVX2. `out` must hold at least `plan.padded` entries.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn lanes_avx2(plan: &LanePlan, lane_ctx: &LaneContext, out: &mut [u16]) {
+    use core::arch::x86_64::*;
+
+    debug_assert!(out.len() >= plan.padded);
+    let vals = lane_ctx.vals.as_ptr() as *const i64;
+    let pc_fold = _mm256_set1_epi64x(lane_ctx.pc_fold8 as i64);
+    let byte_mask = _mm256_set1_epi64x(0xff);
+    let mut i = 0;
+    while i < plan.padded {
+        let src32 = _mm_loadu_si128(plan.src.as_ptr().add(i) as *const __m128i);
+        let src64 = _mm256_cvtepu32_epi64(src32);
+        let raw = _mm256_i64gather_epi64(vals, src64, 8);
+        let shift = _mm256_loadu_si256(plan.shift.as_ptr().add(i) as *const __m256i);
+        let mut v = _mm256_srlv_epi64(raw, shift);
+        v = _mm256_and_si256(
+            v,
+            _mm256_loadu_si256(plan.mask.as_ptr().add(i) as *const __m256i),
+        );
+        v = _mm256_xor_si256(v, _mm256_srli_epi64(v, 32));
+        v = _mm256_xor_si256(v, _mm256_srli_epi64(v, 16));
+        v = _mm256_xor_si256(v, _mm256_srli_epi64(v, 8));
+        v = _mm256_and_si256(v, byte_mask);
+        let xor_mask = _mm256_loadu_si256(plan.xor_mask.as_ptr().add(i) as *const __m256i);
+        v = _mm256_xor_si256(v, _mm256_and_si256(pc_fold, xor_mask));
+        v = _mm256_and_si256(
+            v,
+            _mm256_loadu_si256(plan.index_mask.as_ptr().add(i) as *const __m256i),
+        );
+        v = _mm256_add_epi64(
+            v,
+            _mm256_loadu_si256(plan.base.as_ptr().add(i) as *const __m256i),
+        );
+        let mut lanes = [0i64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, v);
+        out[i] = lanes[0] as u16;
+        out[i + 1] = lanes[1] as u16;
+        out[i + 2] = lanes[2] as u16;
+        out[i + 3] = lanes[3] as u16;
+        i += 4;
+    }
+}
+
 /// A feature set lowered for the hot path, plus the arena geometry the
 /// matching [`crate::tables::WeightTables`] uses.
 #[derive(Debug, Clone)]
 pub struct FeaturePlan {
     compiled: Vec<CompiledFeature>,
+    /// The compiled features transposed into SoA lane arrays.
+    lanes: LanePlan,
     /// Whether any feature XORs with the PC (skip the shared fold if not).
     any_xor: bool,
     arena_len: usize,
@@ -230,7 +466,9 @@ impl FeaturePlan {
             base <= usize::from(u16::MAX) + 1,
             "weight arena exceeds u16 offsets"
         );
+        let compiled: Vec<CompiledFeature> = compiled;
         FeaturePlan {
+            lanes: LanePlan::build(&compiled),
             compiled,
             any_xor: features.iter().any(|f| f.xor_pc),
             arena_len: base,
@@ -253,9 +491,36 @@ impl FeaturePlan {
     }
 
     /// Computes every feature's arena offset for an access into `out`
-    /// (cleared first). Allocation-free on the hot path.
+    /// (cleared first). Allocation-free on the hot path once `out` has
+    /// warmed to the plan's padded lane count; dispatches to the lane
+    /// kernel family [`crate::simd::level`] selected at startup.
     #[inline]
     pub fn compute_offsets(&self, ctx: &FeatureContext<'_>, out: &mut Vec<u16>) {
+        self.compute_offsets_with(simd::level(), ctx, out);
+    }
+
+    /// [`Self::compute_offsets`] with an explicit kernel level, for the
+    /// kernel-equivalence sweeps in `mrp-verify` and the benches. Falls
+    /// back to the per-feature compiled path for plans outside the lane
+    /// formula's domain (never produced by [`Feature::new`] features).
+    pub fn compute_offsets_with(
+        &self,
+        level: SimdLevel,
+        ctx: &FeatureContext<'_>,
+        out: &mut Vec<u16>,
+    ) {
+        if !self.lanes.ok {
+            self.compute_offsets_compiled(ctx, out);
+            return;
+        }
+        let lane_ctx = LaneContext::new(ctx);
+        self.offsets_from_lane_ctx(level, &lane_ctx, out);
+    }
+
+    /// The per-feature interpretation of the compiled plan: the reference
+    /// the lane kernels are verified against, and the fallback for plans
+    /// the lanes cannot express.
+    pub fn compute_offsets_compiled(&self, ctx: &FeatureContext<'_>, out: &mut Vec<u16>) {
         let pc_fold8 = if self.any_xor {
             shared_pc_fold(ctx.pc)
         } else {
@@ -263,6 +528,79 @@ impl FeaturePlan {
         };
         out.clear();
         out.extend(self.compiled.iter().map(|c| c.index_offset(ctx, pc_fold8)));
+    }
+
+    /// Runs the selected lane kernel over one transposed context. `out`
+    /// is sized to the padded lane count for the kernel, then truncated
+    /// to the feature count.
+    fn offsets_from_lane_ctx(&self, level: SimdLevel, lane_ctx: &LaneContext, out: &mut Vec<u16>) {
+        out.clear();
+        out.resize(self.lanes.padded, 0);
+        self.run_lane_kernel(level, lane_ctx, out);
+        out.truncate(self.compiled.len());
+    }
+
+    fn run_lane_kernel(&self, level: SimdLevel, lane_ctx: &LaneContext, out: &mut [u16]) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if level == SimdLevel::Avx2 && std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: AVX2 presence just checked; `out` holds the
+                // padded lane count.
+                unsafe { lanes_avx2(&self.lanes, lane_ctx, out) };
+                return;
+            }
+        }
+        let _ = level;
+        lanes_scalar(&self.lanes, lane_ctx, out);
+    }
+
+    /// The small-batch front-end: computes the offsets of up to
+    /// [`MAX_BATCH`] consecutive accesses in one pass. All contexts are
+    /// transposed and their PCs folded together first, then the lane
+    /// kernel runs back to back over the group; access `i`'s offsets land
+    /// at `out[i * len .. (i + 1) * len]`.
+    ///
+    /// Bit-identical to calling [`Self::compute_offsets`] per context:
+    /// batching reorders no observable computation, it only hoists the
+    /// context transposition out of the per-access loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctxs` holds more than [`MAX_BATCH`] contexts.
+    pub fn compute_offsets_batch(&self, ctxs: &[FeatureContext<'_>], out: &mut Vec<u16>) {
+        assert!(ctxs.len() <= MAX_BATCH, "batch exceeds MAX_BATCH");
+        out.clear();
+        let len = self.compiled.len();
+        if !self.lanes.ok {
+            let mut one = Vec::with_capacity(len);
+            for ctx in ctxs {
+                self.compute_offsets_compiled(ctx, &mut one);
+                out.extend_from_slice(&one);
+            }
+            return;
+        }
+        // Front-end phase: transpose every context (and fold every PC)
+        // before any index computation.
+        let mut lane_ctxs = [LaneContext {
+            vals: [0; LANE_VALS],
+            pc_fold8: 0,
+        }; MAX_BATCH];
+        for (slot, ctx) in lane_ctxs.iter_mut().zip(ctxs) {
+            *slot = LaneContext::new(ctx);
+        }
+        // Kernel phase: lane passes back to back into one buffer.
+        let padded = self.lanes.padded;
+        let level = simd::level();
+        out.resize(ctxs.len() * padded, 0);
+        for (i, lane_ctx) in lane_ctxs[..ctxs.len()].iter().enumerate() {
+            self.run_lane_kernel(level, lane_ctx, &mut out[i * padded..(i + 1) * padded]);
+        }
+        if padded != len {
+            for i in 1..ctxs.len() {
+                out.copy_within(i * padded..i * padded + len, i * len);
+            }
+        }
+        out.truncate(ctxs.len() * len);
     }
 }
 
@@ -382,6 +720,130 @@ mod tests {
     fn shared_fold_matches_per_feature_fold() {
         for pc in [0u64, 0x400_000, u64::MAX, 0xdead_beef_cafe_f00d] {
             assert_eq!(shared_pc_fold(pc), fold(pc, MAX_INDEX_BITS));
+        }
+    }
+
+    /// Every available kernel level must agree with the per-feature
+    /// compiled interpretation (itself verified against `Feature::index`
+    /// above) on every context.
+    fn assert_lane_kernels_match(features: &[Feature]) {
+        let plan = FeaturePlan::new(features);
+        assert!(plan.lanes.ok, "Feature::new features must be lane-able");
+        let history: Vec<u64> = (0..18).map(|i| 0x40_0000 + i * 0x1351).collect();
+        let (mut compiled, mut lane) = (Vec::new(), Vec::new());
+        for ctx in contexts(&history) {
+            plan.compute_offsets_compiled(&ctx, &mut compiled);
+            for &level in simd::available_levels() {
+                plan.compute_offsets_with(level, &ctx, &mut lane);
+                assert_eq!(
+                    lane, compiled,
+                    "{level:?} diverged at pc={:#x} address={:#x}",
+                    ctx.pc, ctx.address
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_kernels_match_compiled_on_published_sets() {
+        assert_lane_kernels_match(&feature_sets::table_1a());
+        assert_lane_kernels_match(&feature_sets::table_1b());
+        assert_lane_kernels_match(&feature_sets::table_2());
+    }
+
+    #[test]
+    fn lane_kernels_match_compiled_on_every_kind() {
+        for xor_pc in [false, true] {
+            let features: Vec<Feature> = [
+                FeatureKind::Pc {
+                    begin: 1,
+                    end: 53,
+                    which: 17,
+                },
+                FeatureKind::Address { begin: 0, end: 63 },
+                FeatureKind::Bias,
+                FeatureKind::Burst,
+                FeatureKind::Insert,
+                FeatureKind::LastMiss,
+                FeatureKind::Offset { begin: 0, end: 5 },
+            ]
+            .into_iter()
+            .map(|kind| Feature::new(7, kind, xor_pc))
+            .collect();
+            assert_lane_kernels_match(&features);
+        }
+    }
+
+    #[test]
+    fn lane_pad_is_inert_and_truncated() {
+        // A 1-feature plan pads to LANE_WIDTH lanes; the output must hold
+        // exactly one offset regardless of kernel.
+        let features = vec![Feature::new(3, FeatureKind::Burst, true)];
+        let plan = FeaturePlan::new(&features);
+        assert_eq!(plan.lanes.padded, LANE_WIDTH);
+        let mut out = Vec::new();
+        for &level in simd::available_levels() {
+            plan.compute_offsets_with(
+                level,
+                &FeatureContext {
+                    pc: 0x400040,
+                    address: 0x1234,
+                    pc_history: &[],
+                    is_mru: true,
+                    is_insert: false,
+                    last_miss: false,
+                },
+                &mut out,
+            );
+            assert_eq!(out.len(), 1, "{level:?}");
+        }
+    }
+
+    #[test]
+    fn batched_offsets_equal_sequential() {
+        let features = feature_sets::table_1a();
+        let plan = FeaturePlan::new(&features);
+        let history: Vec<u64> = (0..18).map(|i| 0x40_0000 + i * 0x1351).collect();
+        let ctxs = contexts(&history);
+        let mut one = Vec::new();
+        let mut batched = Vec::new();
+        for group in ctxs.chunks(MAX_BATCH) {
+            plan.compute_offsets_batch(group, &mut batched);
+            assert_eq!(batched.len(), group.len() * plan.len());
+            for (i, ctx) in group.iter().enumerate() {
+                plan.compute_offsets(ctx, &mut one);
+                assert_eq!(
+                    &batched[i * plan.len()..(i + 1) * plan.len()],
+                    one.as_slice(),
+                    "batch slot {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn long_history_slices_stay_bit_identical() {
+        // Callers may hand a history longer than HISTORY_DEPTH; lanes and
+        // reference must agree (features can only reach depth < 18).
+        let features = feature_sets::table_2();
+        let plan = FeaturePlan::new(&features);
+        let history: Vec<u64> = (0..40).map(|i| 0x8_0000 + i * 0x77).collect();
+        let ctx = FeatureContext {
+            pc: 0x400100,
+            address: 0xdead40,
+            pc_history: &history,
+            is_mru: false,
+            is_insert: true,
+            last_miss: true,
+        };
+        let mut offsets = Vec::new();
+        for &level in simd::available_levels() {
+            plan.compute_offsets_with(level, &ctx, &mut offsets);
+            let mut base = 0u16;
+            for (f, &offset) in features.iter().zip(&offsets) {
+                assert_eq!(offset, base + f.index(&ctx), "{f} at {level:?}");
+                base += f.table_size() as u16;
+            }
         }
     }
 }

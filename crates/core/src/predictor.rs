@@ -42,6 +42,7 @@ pub struct MultiperspectivePredictor {
     sample_pow2: Option<(u32, u32)>,
     stats: PredictorStats,
     events_buf: Vec<TrainingEvent>,
+    indices_buf: Vec<u16>,
 }
 
 impl fmt::Debug for MultiperspectivePredictor {
@@ -93,6 +94,7 @@ impl MultiperspectivePredictor {
             sample_pow2,
             stats: PredictorStats::default(),
             events_buf: Vec::with_capacity(64),
+            indices_buf: Vec::with_capacity(16),
         }
     }
 
@@ -145,12 +147,30 @@ impl MultiperspectivePredictor {
     /// block is dead (positive) or live (negative).
     pub fn confidence(&mut self, indices: &[u16]) -> i32 {
         self.stats.predictions += 1;
+        self.confidence_quiet(indices)
+    }
+
+    /// Read-only confidence (no stats bump), for introspection. Both
+    /// this and [`Self::confidence`] are the same batched gather-sum
+    /// kernel ([`WeightTables::confidence`]); the stats bump is the only
+    /// difference.
+    pub fn confidence_quiet(&self, indices: &[u16]) -> i32 {
         self.tables.confidence(indices)
     }
 
-    /// Read-only confidence (no stats bump), for introspection.
-    pub fn confidence_quiet(&self, indices: &[u16]) -> i32 {
-        self.tables.confidence(indices)
+    /// Fused predict + train for one access: computes the arena offsets,
+    /// gathers the confidence sum, and trains the sampler from the *same*
+    /// offset vector — one index pass and one gather where the unfused
+    /// `compute_indices` / `confidence` / `train` sequence would make a
+    /// caller thread the buffers through itself. Returns the confidence.
+    pub fn access(&mut self, ctx: &FeatureContext<'_>, llc_set: u32, block: u64) -> i32 {
+        let mut indices = std::mem::take(&mut self.indices_buf);
+        self.plan.compute_offsets(ctx, &mut indices);
+        self.stats.predictions += 1;
+        let confidence = self.tables.confidence(&indices);
+        self.train(llc_set, block, &indices, confidence);
+        self.indices_buf = indices;
+        confidence
     }
 
     /// Presents an access to the sampler if its set is sampled, applying
@@ -306,6 +326,24 @@ mod tests {
         assert_eq!(s.predictions, 1);
         assert_eq!(s.sampler_accesses, 2);
         assert_eq!(s.sampler_hits, 1);
+    }
+
+    #[test]
+    fn fused_access_matches_unfused_sequence() {
+        let mut fused = predictor();
+        let mut unfused = predictor();
+        let mut idx = Vec::new();
+        for i in 0..300u64 {
+            let c = ctx(0x400000 + (i % 5) * 4, i % 3 == 0);
+            let set = (i % 3) as u32 * 32; // sampled and unsampled sets
+            let block = i.wrapping_mul(0x9e37_79b9);
+            unfused.compute_indices(&c, &mut idx);
+            let conf_unfused = unfused.confidence(&idx);
+            unfused.train(set, block, &idx, conf_unfused);
+            let conf_fused = fused.access(&c, set, block);
+            assert_eq!(conf_fused, conf_unfused, "access {i}");
+        }
+        assert_eq!(fused.stats(), unfused.stats());
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Runtime SIMD dispatch and the shared i8 gather-sum kernel.
+//!
+//! The predictor hot path has two data-parallel inner loops: the 16-lane
+//! feature-index computation ([`crate::plan::FeaturePlan`]) and the
+//! 16-weight confidence gather-sum ([`crate::tables::WeightTables`], and
+//! the perceptron baseline's smaller arena). Both have a branch-free
+//! scalar form that LLVM autovectorizes on stable Rust, plus an explicit
+//! AVX2 form behind runtime feature detection. Which one runs is decided
+//! **once per process** here:
+//!
+//! * `MRP_NO_SIMD=1` (any value other than `0`/empty) forces the scalar
+//!   kernels, so the fallback path stays exercised on AVX2 machines (CI
+//!   runs one leg with this set);
+//! * otherwise `is_x86_feature_detected!("avx2")` picks the AVX2 kernels
+//!   where the hardware has them.
+//!
+//! Every kernel pair is bit-identical by construction (same integer
+//! operations, no floating point); `mrp-verify`'s kernel-identity pass
+//! and the property tests in `tests/properties.rs` hold them to that.
+
+use std::sync::OnceLock;
+
+/// Which kernel family the hot paths dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// Branch-free scalar kernels (autovectorized by LLVM).
+    Scalar,
+    /// Explicit `core::arch::x86_64` AVX2 kernels.
+    Avx2,
+}
+
+impl SimdLevel {
+    /// Stable lowercase name (`"scalar"` / `"avx2"`), for telemetry and
+    /// the `bench_snapshot` report.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Avx2 => "avx2",
+        }
+    }
+}
+
+/// Whether the `MRP_NO_SIMD` environment variable asks for scalar-only
+/// operation (set to anything except `0` or the empty string).
+fn simd_disabled_by_env() -> bool {
+    match std::env::var("MRP_NO_SIMD") {
+        Ok(v) => !(v.is_empty() || v == "0"),
+        Err(_) => false,
+    }
+}
+
+/// Levels the hardware can run, scalar first (for exhaustive kernel
+/// equivalence sweeps in tests and `mrp-verify`). Ignores `MRP_NO_SIMD`:
+/// the env var constrains *dispatch*, not *capability*.
+pub fn available_levels() -> &'static [SimdLevel] {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return &[SimdLevel::Scalar, SimdLevel::Avx2];
+        }
+    }
+    &[SimdLevel::Scalar]
+}
+
+/// The level the hot paths dispatch to, decided once per process from
+/// hardware detection and `MRP_NO_SIMD`.
+pub fn level() -> SimdLevel {
+    static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        if simd_disabled_by_env() {
+            return SimdLevel::Scalar;
+        }
+        *available_levels().last().expect("at least scalar")
+    })
+}
+
+/// Extra zeroed entries every i8 weight arena allocates past its logical
+/// length, so the AVX2 gather (which reads 4 bytes per lane and keeps the
+/// low byte) never reads past the allocation for any in-arena offset.
+pub const GATHER_PAD: usize = 4;
+
+/// Sums the `i8` weights selected by `offsets`, dispatching to the AVX2
+/// gather when `level` asks for it and every offset leaves [`GATHER_PAD`]
+/// readable bytes (callers allocate arenas with the pad; anything else
+/// falls back to the scalar sum, which bounds-checks normally).
+#[inline]
+pub fn gather_sum_i8(weights: &[i8], offsets: &[u16], level: SimdLevel) -> i32 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if level == SimdLevel::Avx2
+            && offsets
+                .iter()
+                .all(|&o| usize::from(o) + GATHER_PAD <= weights.len())
+        {
+            // SAFETY: AVX2 is detected before `SimdLevel::Avx2` is ever
+            // produced, and the bound above keeps every 4-byte gather
+            // inside `weights`.
+            return unsafe { gather_sum_i8_avx2(weights, offsets) };
+        }
+    }
+    let _ = level;
+    gather_sum_i8_scalar(weights, offsets)
+}
+
+/// The scalar gather-sum (also the tail loop of the AVX2 kernel).
+#[inline]
+fn gather_sum_i8_scalar(weights: &[i8], offsets: &[u16]) -> i32 {
+    offsets
+        .iter()
+        .map(|&o| i32::from(weights[usize::from(o)]))
+        .sum()
+}
+
+/// AVX2 gather-sum: widens 8 offsets at a time to i32 lanes, gathers one
+/// 32-bit word per weight at byte granularity, and sign-extends the low
+/// byte of each before accumulating.
+///
+/// # Safety
+///
+/// Requires AVX2, and `usize::from(o) + 4 <= weights.len()` for every
+/// offset (each lane reads 4 bytes starting at its offset).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gather_sum_i8_avx2(weights: &[i8], offsets: &[u16]) -> i32 {
+    use core::arch::x86_64::*;
+
+    let base = weights.as_ptr() as *const i32;
+    let mut acc = _mm256_setzero_si256();
+    let chunks = offsets.len() / 8;
+    for c in 0..chunks {
+        let o = _mm_loadu_si128(offsets.as_ptr().add(c * 8) as *const __m128i);
+        let vindex = _mm256_cvtepu16_epi32(o);
+        // scale = 1: offsets address individual bytes of the i8 arena.
+        let words = _mm256_i32gather_epi32(base, vindex, 1);
+        let signed = _mm256_srai_epi32(_mm256_slli_epi32(words, 24), 24);
+        acc = _mm256_add_epi32(acc, signed);
+    }
+    let mut lanes = [0i32; 8];
+    _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+    let mut sum: i32 = lanes.iter().sum();
+    for &o in &offsets[chunks * 8..] {
+        sum += i32::from(weights[usize::from(o)]);
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_is_stable_and_available() {
+        let l = level();
+        assert_eq!(l, level(), "dispatch decision must be cached");
+        assert!(available_levels().contains(&l) || l == SimdLevel::Scalar);
+        assert_eq!(available_levels()[0], SimdLevel::Scalar);
+    }
+
+    #[test]
+    fn gather_sum_matches_scalar_on_every_available_level() {
+        // 67 weights + pad, offsets hitting the extremes and interior.
+        let mut weights = vec![0i8; 67 + GATHER_PAD];
+        for (i, w) in weights.iter_mut().take(67).enumerate() {
+            *w = ((i as i32 * 37 % 64) - 32) as i8;
+        }
+        let offsets: Vec<u16> = (0..23).map(|i| (i * 29 % 67) as u16).collect();
+        let expected = gather_sum_i8_scalar(&weights, &offsets);
+        for &l in available_levels() {
+            assert_eq!(gather_sum_i8(&weights, &offsets, l), expected, "{l:?}");
+        }
+    }
+
+    #[test]
+    fn gather_sum_without_pad_falls_back_to_scalar() {
+        // Offsets reaching the last element of an unpadded slice must not
+        // take the AVX2 path (it would read out of bounds); the safe
+        // dispatch falls back and still returns the right sum.
+        let weights = vec![5i8; 16];
+        let offsets = vec![15u16; 16];
+        for &l in available_levels() {
+            assert_eq!(gather_sum_i8(&weights, &offsets, l), 80, "{l:?}");
+        }
+    }
+
+    #[test]
+    fn gather_sum_handles_empty_and_tail() {
+        let weights = vec![1i8; 8 + GATHER_PAD];
+        assert_eq!(gather_sum_i8(&weights, &[], level()), 0);
+        // 9 offsets: one full AVX2 chunk plus a scalar tail.
+        let offsets = vec![3u16; 9];
+        for &l in available_levels() {
+            assert_eq!(gather_sum_i8(&weights, &offsets, l), 9, "{l:?}");
+        }
+    }
+}

@@ -9,6 +9,7 @@
 //! accounting.
 
 use crate::feature::Feature;
+use crate::simd::{self, SimdLevel, GATHER_PAD};
 
 /// Weight bounds: "We find that 6 bit weights ranging from -32 to +31
 /// provide a good trade-off between accuracy and area" (§3.4).
@@ -18,9 +19,16 @@ pub const WEIGHT_MIN: i8 = -32;
 pub const WEIGHT_MAX: i8 = 31;
 
 /// One saturating weight table per feature, flattened into a single arena.
+///
+/// The backing vector is allocated [`GATHER_PAD`] entries past the
+/// logical arena so the AVX2 gather-sum kernel (which reads 4 bytes per
+/// selected weight) stays in bounds for every in-arena offset; the pad
+/// entries are never addressed by any offset and stay zero.
 #[derive(Debug, Clone)]
 pub struct WeightTables {
     weights: Vec<i8>,
+    /// Logical arena length (`weights.len() - GATHER_PAD`).
+    arena: usize,
     /// Arena start of each table, plus a final sentinel (= arena length).
     bases: Vec<u32>,
     weight_min: i8,
@@ -55,7 +63,8 @@ impl WeightTables {
             "weight arena exceeds u16 offsets"
         );
         WeightTables {
-            weights: vec![0i8; total as usize],
+            weights: vec![0i8; total as usize + GATHER_PAD],
+            arena: total as usize,
             bases,
             weight_min: (-half) as i8,
             weight_max: (half - 1) as i8,
@@ -77,9 +86,9 @@ impl WeightTables {
         self.bases[table] as usize
     }
 
-    /// Total arena entries across all tables.
+    /// Total arena entries across all tables (excluding the gather pad).
     pub fn arena_len(&self) -> usize {
-        self.weights.len()
+        self.arena
     }
 
     /// The `(min, max)` saturation bounds of these tables.
@@ -100,14 +109,24 @@ impl WeightTables {
     /// Sums the weights selected by `offsets` (one precombined arena
     /// offset per table, as emitted by
     /// [`crate::plan::FeaturePlan::compute_offsets`]) — the predictor's
-    /// confidence value.
+    /// confidence value. One batched gather-sum kernel serves every
+    /// confidence consumer; the kernel family follows
+    /// [`crate::simd::level`].
     #[inline]
     pub fn confidence(&self, offsets: &[u16]) -> i32 {
+        self.confidence_with(simd::level(), offsets)
+    }
+
+    /// [`Self::confidence`] with an explicit kernel level, for the
+    /// kernel-equivalence sweeps in `mrp-verify` and the benches.
+    #[inline]
+    pub fn confidence_with(&self, level: SimdLevel, offsets: &[u16]) -> i32 {
         debug_assert_eq!(offsets.len(), self.len(), "index vector arity");
-        offsets
-            .iter()
-            .map(|&o| i32::from(self.weights[usize::from(o)]))
-            .sum()
+        debug_assert!(
+            offsets.iter().all(|&o| usize::from(o) < self.arena),
+            "offset beyond arena"
+        );
+        simd::gather_sum_i8(&self.weights, offsets, level)
     }
 
     /// Saturating increment toward "dead".
@@ -125,6 +144,7 @@ impl WeightTables {
     /// Saturating increment of the weight at a precombined arena offset.
     #[inline]
     pub fn increment_at(&mut self, offset: u16) {
+        debug_assert!(usize::from(offset) < self.arena, "offset beyond arena");
         let w = &mut self.weights[usize::from(offset)];
         *w = (*w).saturating_add(1).min(self.weight_max);
         debug_assert!(*w >= self.weight_min && *w <= self.weight_max);
@@ -133,15 +153,17 @@ impl WeightTables {
     /// Saturating decrement of the weight at a precombined arena offset.
     #[inline]
     pub fn decrement_at(&mut self, offset: u16) {
+        debug_assert!(usize::from(offset) < self.arena, "offset beyond arena");
         let w = &mut self.weights[usize::from(offset)];
         *w = (*w).saturating_sub(1).max(self.weight_min);
         debug_assert!(*w >= self.weight_min && *w <= self.weight_max);
     }
 
     /// Total storage in bits (for the overhead accounting test against the
-    /// paper's §4.4 numbers).
+    /// paper's §4.4 numbers). Counts the logical arena only — the gather
+    /// pad is an implementation artifact, not modeled hardware.
     pub fn storage_bits(&self, weight_bits: u32) -> u64 {
-        self.weights.len() as u64 * u64::from(weight_bits)
+        self.arena as u64 * u64::from(weight_bits)
     }
 }
 
@@ -240,5 +262,28 @@ mod tests {
         let t = WeightTables::new(&features());
         // bias: 1 entry, burst: 2, pc: 256 => 259 weights x 6 bits.
         assert_eq!(t.storage_bits(6), 259 * 6);
+        // The gather pad is excluded from the modeled arena.
+        assert_eq!(t.arena_len(), 259);
+    }
+
+    #[test]
+    fn confidence_levels_agree() {
+        let mut t = WeightTables::new(&features());
+        // Weights spread across the arena, including the last entry.
+        for o in 0..t.arena_len() as u16 {
+            for _ in 0..(o % 67) {
+                if o % 2 == 0 {
+                    t.increment_at(o);
+                } else {
+                    t.decrement_at(o);
+                }
+            }
+        }
+        let last = (t.arena_len() - 1) as u16;
+        let offsets = vec![0u16, 2, last];
+        let expected = t.confidence_with(crate::simd::SimdLevel::Scalar, &offsets);
+        for &l in crate::simd::available_levels() {
+            assert_eq!(t.confidence_with(l, &offsets), expected, "{l:?}");
+        }
     }
 }

@@ -68,6 +68,13 @@ pub fn replay_single(
         if index == events {
             break;
         }
+        // Run the tag-row prefetch a fixed window ahead of the serial
+        // update loop; only LLC-reaching events cost a lookahead check
+        // beyond one flag byte.
+        let ahead = index + LlcRecording::REPLAY_LOOKAHEAD;
+        if ahead < events && recording.reaches_llc(ahead) {
+            cache.prefetch_block(recording.block_at(ahead));
+        }
         if recording.is_prefetch(index) {
             let _ = cache.access(&recording.access_at(index), true);
             continue;

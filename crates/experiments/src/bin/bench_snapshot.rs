@@ -63,6 +63,52 @@ fn bench_index_16_features(samples: usize, iters: u64) -> f64 {
     })
 }
 
+/// Ns/op of one index pass through `compute_offsets_with` at `level`.
+fn bench_lane_level(level: mrp_core::SimdLevel, samples: usize, iters: u64) -> f64 {
+    let plan = FeaturePlan::new(&feature_sets::table_1a());
+    let history: Vec<u64> = (0..18).map(|i| 0x40_0000 + i * 1357).collect();
+    let mut out = Vec::with_capacity(16);
+    let mut pc = 0x40_0000u64;
+    median_ns_per_op(samples, iters, || {
+        pc = pc.wrapping_add(4);
+        let ctx = FeatureContext {
+            pc,
+            address: pc << 3,
+            pc_history: &history,
+            is_mru: pc.is_multiple_of(2),
+            is_insert: pc.is_multiple_of(3),
+            last_miss: pc.is_multiple_of(5),
+        };
+        plan.compute_offsets_with(level, &ctx, &mut out);
+        std::hint::black_box(out.len());
+    })
+}
+
+/// Per-access ns of the batched front-end at `width` accesses per batch.
+fn bench_batch_width(width: usize, samples: usize, iters: u64) -> f64 {
+    let plan = FeaturePlan::new(&feature_sets::table_1a());
+    let history: Vec<u64> = (0..18).map(|i| 0x40_0000 + i * 1357).collect();
+    let ctxs: Vec<FeatureContext<'_>> = (0..width as u64)
+        .map(|i| {
+            let pc = 0x40_0000 + i * 4;
+            FeatureContext {
+                pc,
+                address: pc.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                pc_history: &history,
+                is_mru: i % 2 == 0,
+                is_insert: i % 3 == 0,
+                last_miss: i % 5 == 0,
+            }
+        })
+        .collect();
+    let mut out = Vec::with_capacity(width * 16);
+    let batches = (iters / width as u64).max(1);
+    median_ns_per_op(samples, batches, || {
+        plan.compute_offsets_batch(&ctxs, &mut out);
+        std::hint::black_box(out.len());
+    }) / width as f64
+}
+
 fn bench_confidence_and_train(samples: usize, iters: u64) -> f64 {
     const LLC_SETS: u32 = 2048;
     let mut predictor = MultiperspectivePredictor::new(feature_sets::table_1a(), LLC_SETS, 64, 18);
@@ -193,6 +239,33 @@ fn main() {
     let train_ns = bench_confidence_and_train(samples, iters);
     eprintln!("  predictor_hot_path/confidence_and_train: {train_ns:.1} ns/op");
 
+    // Batched hot path: the scalar-vs-SIMD lane kernel pair and the
+    // per-access cost of the batch front-end at widths 1/4/8. The
+    // dispatched level is whatever `simd::level()` detected (subject to
+    // MRP_NO_SIMD), recorded so snapshots from different machines or CI
+    // legs are comparable.
+    let detected = mrp_core::simd::level();
+    let lane_scalar_ns = bench_lane_level(mrp_core::SimdLevel::Scalar, samples, iters);
+    eprintln!("  batched_hot_path/lane_scalar: {lane_scalar_ns:.1} ns/op");
+    let lane_simd_ns = if detected == mrp_core::SimdLevel::Scalar {
+        lane_scalar_ns
+    } else {
+        bench_lane_level(detected, samples, iters)
+    };
+    eprintln!(
+        "  batched_hot_path/lane_{}: {lane_simd_ns:.1} ns/op",
+        detected.name()
+    );
+    let batch_widths = [1usize, 4, mrp_core::plan::MAX_BATCH];
+    let batch_ns: Vec<f64> = batch_widths
+        .iter()
+        .map(|&w| {
+            let ns = bench_batch_width(w, samples, iters);
+            eprintln!("  batched_hot_path/batch_{w}: {ns:.1} ns/access");
+            ns
+        })
+        .collect();
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"schema\": \"mrp-bench-snapshot-v1\",");
     let _ = writeln!(json, "  \"samples\": {samples},");
@@ -207,6 +280,24 @@ fn main() {
         json,
         "    \"confidence_and_train\": {{ \"median_ns_per_op\": {train_ns:.3} }}"
     );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"batched_hot_path\": {{");
+    let _ = writeln!(json, "    \"simd_level\": \"{}\",", detected.name());
+    let _ = writeln!(
+        json,
+        "    \"lane_scalar\": {{ \"median_ns_per_op\": {lane_scalar_ns:.3} }},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"lane_dispatched\": {{ \"median_ns_per_op\": {lane_simd_ns:.3} }},"
+    );
+    for (i, (&w, ns)) in batch_widths.iter().zip(&batch_ns).enumerate() {
+        let comma = if i + 1 < batch_widths.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    \"batch_{w}\": {{ \"median_ns_per_access\": {ns:.3} }}{comma}"
+        );
+    }
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"hierarchy_throughput\": {{");
     let kinds = [PolicyKind::Lru, PolicyKind::Srrip, PolicyKind::MpppbSingle];
@@ -266,6 +357,21 @@ fn main() {
             "predictor_hot_path.confidence_and_train.median_ns_per_op",
             train_ns,
         );
+        m.meta("simd_level", Json::Str(detected.name().to_string()));
+        m.scalar(
+            "batched_hot_path.lane_scalar.median_ns_per_op",
+            lane_scalar_ns,
+        );
+        m.scalar(
+            "batched_hot_path.lane_dispatched.median_ns_per_op",
+            lane_simd_ns,
+        );
+        for (&w, ns) in batch_widths.iter().zip(&batch_ns) {
+            m.scalar(
+                &format!("batched_hot_path.batch_{w}.median_ns_per_access"),
+                *ns,
+            );
+        }
         m.scalar("replay_speedup.full_sim_13_policies.median_ms", full_ms);
         m.scalar(
             "replay_speedup.record_and_replay_13_policies.median_ms",

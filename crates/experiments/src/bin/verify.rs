@@ -114,6 +114,16 @@ fn main() -> ExitCode {
             "FAIL"
         }
     );
+    let kernel_divergences: usize = summary.kernel_reports.iter().map(|r| r.total).sum();
+    println!(
+        "{:>16}  {:>4}  {kernel_divergences:>4} divergences",
+        "kernels",
+        if kernel_divergences == 0 {
+            "ok"
+        } else {
+            "FAIL"
+        }
+    );
     println!(
         "# MIN bound applied to {} of {} policy cells (prefetch jobs excluded)",
         summary.min_checks.0, summary.min_checks.1
@@ -153,6 +163,7 @@ fn main() -> ExitCode {
         );
         m.meta("min_checks", Json::U64(summary.min_checks.0 as u64));
         m.scalar("predictor_divergences", predictor_divergences as f64);
+        m.scalar("kernel_divergences", kernel_divergences as f64);
         m.scalar("total_divergences", summary.total_divergences() as f64);
         m.scalar("replay_clean", if replay_clean { 1.0 } else { 0.0 });
     }
@@ -181,6 +192,14 @@ fn main() -> ExitCode {
         .filter(|(_, r)| !r.is_clean())
     {
         eprintln!("--- predictor job {job}:\n{report}");
+    }
+    for (job, report) in summary
+        .kernel_reports
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| !r.is_clean())
+    {
+        eprintln!("--- kernels job {job}:\n{report}");
     }
     if let Some(shrunk) = &summary.shrunk {
         eprintln!("\n{shrunk}");

@@ -1,0 +1,295 @@
+//! Kernel-identity pass: every hot-path kernel against the interpretive
+//! reference.
+//!
+//! The lane-SoA rewrite of the index hot path (see `mrp_core::plan`)
+//! left four ways to compute the same arena offsets:
+//!
+//! 1. the interpretive reference — [`Feature::index`] plus a running
+//!    table base, the definition the paper gives;
+//! 2. the per-feature compiled path
+//!    ([`FeaturePlan::compute_offsets_compiled`]);
+//! 3. the lane kernel at each available SIMD level
+//!    ([`FeaturePlan::compute_offsets_with`] over
+//!    [`simd::available_levels`], which pairs AVX2 against scalar on
+//!    machines that have it); and
+//! 4. the batched front-end ([`FeaturePlan::compute_offsets_batch`]) at
+//!    widths 1, half, and [`MAX_BATCH`].
+//!
+//! This pass fuzzes feature sets ([`gen_features`]) and access contexts
+//! per job and asserts all four agree bit for bit, then randomizes the
+//! weight arena and asserts [`WeightTables::confidence_with`] agrees
+//! across levels with a per-table weight-sum reference. Any mismatch
+//! reproduces from `(seed, job)` alone.
+
+use mrp_core::context::{FeatureContext, HISTORY_DEPTH};
+use mrp_core::plan::MAX_BATCH;
+use mrp_core::simd;
+use mrp_core::tables::WeightTables;
+use mrp_core::{Feature, FeaturePlan};
+use mrp_runtime::map_indexed;
+
+use crate::divergence::{Divergence, DivergenceReport};
+use crate::fuzzer::{gen_features, SplitMix};
+
+/// Fuzzed contexts checked per job. Each context is compared across all
+/// kernels and levels, so a few hundred already cover the flag
+/// combinations, warm/cold history, and extreme PC/address patterns.
+const CONTEXTS_PER_JOB: usize = 384;
+
+/// Batch widths exercised against the per-context path.
+const BATCH_WIDTHS: [usize; 3] = [1, MAX_BATCH / 2, MAX_BATCH];
+
+/// An owned fuzzed access context ([`FeatureContext`] borrows the PC
+/// history, so the fuzzer stores it inline and lends out views).
+struct CtxSpec {
+    pc: u64,
+    address: u64,
+    history: [u64; HISTORY_DEPTH],
+    history_len: usize,
+    is_mru: bool,
+    is_insert: bool,
+    last_miss: bool,
+}
+
+impl CtxSpec {
+    fn random(rng: &mut SplitMix) -> Self {
+        let mut history = [0u64; HISTORY_DEPTH];
+        for slot in &mut history {
+            *slot = rng.next_u64();
+        }
+        // Every eighth context pins PC/address to an extreme so the fold
+        // and shift paths see all-ones and all-zeros lanes.
+        let (pc, address) = match rng.below(8) {
+            0 => (u64::MAX, 0),
+            1 => (0, u64::MAX),
+            _ => (rng.next_u64(), rng.next_u64()),
+        };
+        CtxSpec {
+            pc,
+            address,
+            history,
+            history_len: rng.below(HISTORY_DEPTH as u64 + 1) as usize,
+            is_mru: rng.below(2) == 1,
+            is_insert: rng.below(2) == 1,
+            last_miss: rng.below(2) == 1,
+        }
+    }
+
+    fn view(&self) -> FeatureContext<'_> {
+        FeatureContext {
+            pc: self.pc,
+            address: self.address,
+            pc_history: &self.history[..self.history_len],
+            is_mru: self.is_mru,
+            is_insert: self.is_insert,
+            last_miss: self.last_miss,
+        }
+    }
+}
+
+/// The interpretive reference: each feature's own index plus its table's
+/// running arena base — the definition every optimized kernel must match.
+fn reference_offsets(features: &[Feature], bases: &[u16], ctx: &FeatureContext<'_>) -> Vec<u16> {
+    features
+        .iter()
+        .zip(bases)
+        .map(|(f, base)| base + f.index(ctx))
+        .collect()
+}
+
+/// Per-table weight-sum confidence reference, bypassing the gather-sum
+/// kernel entirely.
+fn reference_confidence(
+    tables: &WeightTables,
+    features: &[Feature],
+    ctx: &FeatureContext<'_>,
+) -> i32 {
+    features
+        .iter()
+        .enumerate()
+        .map(|(t, f)| i32::from(tables.weight(t, f.index(ctx))))
+        .sum()
+}
+
+/// Drives every weight in the arena to a random value within the
+/// saturation bounds, so confidence sums exercise mixed-sign weights.
+fn randomize_weights(tables: &mut WeightTables, rng: &mut SplitMix) {
+    let (min, max) = tables.weight_bounds();
+    let span = i64::from(max) - i64::from(min) + 1;
+    for offset in 0..tables.arena_len() {
+        let target = i64::from(min) + rng.below(span as u64) as i64;
+        let offset = offset as u16;
+        for _ in 0..target.abs() {
+            if target >= 0 {
+                tables.increment_at(offset);
+            } else {
+                tables.decrement_at(offset);
+            }
+        }
+    }
+}
+
+/// Feature-set notation used as the divergence subject, mirroring the
+/// predictor lockstep's reporting.
+fn notation(features: &[Feature]) -> String {
+    features
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Runs the kernel-identity check for one `(seed, job)` pair.
+pub fn check_kernels_job(seed: u64, job: usize) -> DivergenceReport {
+    let mut rng = SplitMix::new(seed ^ (job as u64).wrapping_mul(0xd6e8_feb8_6659_fd93));
+    let features = gen_features(seed, job);
+    let subject = notation(&features);
+    let plan = FeaturePlan::new(&features);
+    let mut tables = WeightTables::new(&features);
+    randomize_weights(&mut tables, &mut rng);
+    let bases: Vec<u16> = features
+        .iter()
+        .scan(0u16, |base, f| {
+            let this = *base;
+            *base += f.table_size() as u16;
+            Some(this)
+        })
+        .collect();
+
+    let specs: Vec<CtxSpec> = (0..CONTEXTS_PER_JOB)
+        .map(|_| CtxSpec::random(&mut rng))
+        .collect();
+    let mut report = DivergenceReport::default();
+    let push = |report: &mut DivergenceReport, index: usize, detail: String| {
+        report.push(Divergence {
+            access_index: index,
+            access: None,
+            subject: subject.clone(),
+            detail,
+        });
+    };
+
+    // Per-context identity: reference vs compiled vs each lane level,
+    // and the confidence kernel family vs the per-table weight sum.
+    let mut references = Vec::with_capacity(specs.len());
+    let mut out = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let ctx = spec.view();
+        let reference = reference_offsets(&features, &bases, &ctx);
+        plan.compute_offsets_compiled(&ctx, &mut out);
+        if out != reference {
+            push(
+                &mut report,
+                i,
+                format!("compiled offsets {out:?} != reference {reference:?}"),
+            );
+        }
+        for &level in simd::available_levels() {
+            plan.compute_offsets_with(level, &ctx, &mut out);
+            if out != reference {
+                push(
+                    &mut report,
+                    i,
+                    format!(
+                        "{} lane offsets {out:?} != reference {reference:?}",
+                        level.name()
+                    ),
+                );
+            }
+            let confidence = tables.confidence_with(level, &reference);
+            let expected = reference_confidence(&tables, &features, &ctx);
+            if confidence != expected {
+                push(
+                    &mut report,
+                    i,
+                    format!(
+                        "{} confidence {confidence} != reference {expected}",
+                        level.name()
+                    ),
+                );
+            }
+        }
+        references.push(reference);
+    }
+
+    // Batched front-end identity: every batch width must reproduce the
+    // per-context offsets exactly, at every chunk alignment.
+    let len = features.len();
+    let mut batch_out = Vec::new();
+    for width in BATCH_WIDTHS {
+        for (chunk_index, chunk) in specs.chunks(width).enumerate() {
+            let views: Vec<FeatureContext<'_>> = chunk.iter().map(CtxSpec::view).collect();
+            plan.compute_offsets_batch(&views, &mut batch_out);
+            for (i, _) in chunk.iter().enumerate() {
+                let global = chunk_index * width + i;
+                let got = &batch_out[i * len..(i + 1) * len];
+                if got != references[global].as_slice() {
+                    push(
+                        &mut report,
+                        global,
+                        format!(
+                            "batch(width {width}) offsets {got:?} != per-context {:?}",
+                            references[global]
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Runs the kernel-identity pass across `jobs` fuzz jobs in parallel,
+/// returning one report per job.
+pub fn run_kernel_check(seed: u64, jobs: usize) -> Vec<DivergenceReport> {
+    map_indexed(jobs.max(1), |job| check_kernels_job(seed, job))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuzzed_kernels_are_identical_across_paths() {
+        for report in run_kernel_check(42, 4) {
+            assert!(report.is_clean(), "{report}");
+        }
+    }
+
+    #[test]
+    fn kernel_check_is_deterministic_in_seed() {
+        // Same seed, same verdict and same divergence count — the pass
+        // must reproduce from (seed, job) alone.
+        let a = check_kernels_job(7, 2);
+        let b = check_kernels_job(7, 2);
+        assert_eq!(a.total, b.total);
+        assert!(a.is_clean());
+    }
+
+    #[test]
+    fn randomized_weights_cover_both_signs() {
+        let features = gen_features(3, 0);
+        let mut tables = WeightTables::new(&features);
+        let mut rng = SplitMix::new(99);
+        randomize_weights(&mut tables, &mut rng);
+        let (min, max) = tables.weight_bounds();
+        let weights: Vec<i8> = (0..tables.arena_len())
+            .map(|o| {
+                let t = features
+                    .iter()
+                    .scan(0usize, |b, f| {
+                        let r = *b;
+                        *b += f.table_size();
+                        Some(r)
+                    })
+                    .take_while(|&b| b <= o)
+                    .count()
+                    - 1;
+                let base: usize = features[..t].iter().map(|f| f.table_size()).sum();
+                tables.weight(t, (o - base) as u16)
+            })
+            .collect();
+        assert!(weights.iter().any(|&w| w < 0) && weights.iter().any(|&w| w > 0));
+        assert!(weights.iter().all(|&w| w >= min && w <= max));
+    }
+}

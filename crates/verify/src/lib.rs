@@ -15,8 +15,12 @@
 //!    geometries, and feature specs fanned out across the `mrp-runtime`
 //!    pool with index-ordered collection, plus a greedy shrinker that
 //!    minimizes a failing stream before it is reported.
+//! 4. **Kernel identity** ([`kernels`]): the lane-SoA/SIMD/batched index
+//!    kernels and the gather-sum confidence kernel checked bit-identical
+//!    to the interpretive `Feature::index` reference on fuzzed feature
+//!    sets, at every SIMD level the machine offers.
 //!
-//! A fourth, separately-invoked pillar ([`replay_check`]) proves the
+//! A separately-invoked pillar ([`replay_check`]) proves the
 //! record-once/replay-many fast path bit-identical to full simulation
 //! on real workload traces, per `(policy, workload)` cell.
 //!
@@ -27,6 +31,7 @@
 pub mod divergence;
 pub mod fuzzer;
 pub mod invariants;
+pub mod kernels;
 pub mod lockstep;
 pub mod reference;
 pub mod replay_check;
@@ -40,6 +45,7 @@ use mrp_runtime::map_indexed;
 
 pub use divergence::{Divergence, DivergenceReport, MAX_REPORTED};
 pub use fuzzer::{gen_features, gen_stream, job_profile, shrink, SplitMix, StreamProfile};
+pub use kernels::{check_kernels_job, run_kernel_check};
 pub use lockstep::{run_lockstep, run_predictor_lockstep, DualCache, PredictorPair, StreamItem};
 pub use reference::{ReferenceCache, ReferencePredictor};
 pub use replay_check::{run_replay_check, ReplayCheckSummary, ReplayMismatch};
@@ -150,6 +156,9 @@ pub struct VerifySummary {
     pub policy_cells: Vec<PolicyCell>,
     /// Predictor lockstep reports, one per job.
     pub predictor_reports: Vec<DivergenceReport>,
+    /// Kernel-identity reports (lane/SIMD/batch kernels vs the
+    /// interpretive reference), one per job.
+    pub kernel_reports: Vec<DivergenceReport>,
     /// `(applied, total)` MIN-bound checks.
     pub min_checks: (usize, usize),
     /// A minimized reproducer for the first failure, if any failed.
@@ -161,14 +170,17 @@ impl VerifySummary {
     pub fn is_clean(&self) -> bool {
         self.policy_cells.iter().all(|c| c.report.is_clean())
             && self.predictor_reports.iter().all(|r| r.is_clean())
+            && self.kernel_reports.iter().all(|r| r.is_clean())
     }
 
-    /// Total divergences across all cells and predictor jobs.
+    /// Total divergences across all cells, predictor jobs, and kernel
+    /// jobs.
     pub fn total_divergences(&self) -> usize {
         self.policy_cells
             .iter()
             .map(|c| c.report.total)
             .chain(self.predictor_reports.iter().map(|r| r.total))
+            .chain(self.kernel_reports.iter().map(|r| r.total))
             .sum()
     }
 }
@@ -192,8 +204,8 @@ fn min_demand_misses(geometry: &CacheConfig, stream: &[StreamItem]) -> u64 {
 }
 
 /// Runs the full verification: per-job MIN floors, policy lockstep cells,
-/// predictor lockstep jobs, and — if anything failed — one shrunk
-/// reproducer.
+/// predictor lockstep jobs, kernel-identity jobs, and — if a stream-driven
+/// check failed — one shrunk reproducer.
 pub fn run_verification(cfg: &VerifyConfig, policies: &[PolicySpec]) -> VerifySummary {
     let per_job = (cfg.accesses / cfg.jobs.max(1)).max(64);
     let jobs = cfg.jobs.max(1);
@@ -255,7 +267,14 @@ pub fn run_verification(cfg: &VerifyConfig, policies: &[PolicySpec]) -> VerifySu
         run_predictor_lockstep(&features, 256, sampler_sets, theta, &stream)
     });
 
-    // Phase 4: shrink the first failure to a minimal reproducer.
+    // Phase 4: kernel identity — the lane/SIMD/batch index kernels and
+    // the gather-sum confidence kernel against the interpretive
+    // reference, on fuzzed feature sets and contexts. A failure here
+    // reproduces from (seed, job) alone, so no stream shrinking applies.
+    let kernel_reports = kernels::run_kernel_check(cfg.seed, jobs);
+
+    // Phase 5: shrink the first stream-driven failure to a minimal
+    // reproducer.
     let shrunk = shrink_first_failure(cfg, per_job, policies, &policy_cells, &predictor_reports);
 
     let applied = min_floors.iter().filter(|f| f.is_some()).count() * policies.len();
@@ -265,6 +284,7 @@ pub fn run_verification(cfg: &VerifyConfig, policies: &[PolicySpec]) -> VerifySu
         accesses_per_job: per_job,
         policy_cells,
         predictor_reports,
+        kernel_reports,
         min_checks: (applied, cells),
         shrunk,
     }
@@ -378,6 +398,7 @@ mod tests {
         );
         assert_eq!(summary.policy_cells.len(), 8);
         assert_eq!(summary.predictor_reports.len(), 4);
+        assert_eq!(summary.kernel_reports.len(), 4);
         assert!(summary.shrunk.is_none());
         // Jobs 0..4 include one prefetch job (job 3), so 3 of 4 floors apply.
         assert_eq!(summary.min_checks.0, 6);

@@ -285,6 +285,136 @@ proptest! {
     }
 
     #[test]
+    fn lane_kernels_match_reference_indexing_at_every_level(
+        features in proptest::collection::vec(arbitrary_feature(), 1..12),
+        pc in any::<u64>(),
+        address in any::<u64>(),
+        is_mru in any::<bool>(),
+        is_insert in any::<bool>(),
+        last_miss in any::<bool>(),
+        history in proptest::collection::vec(any::<u64>(), 0..18),
+    ) {
+        // The lane-SoA kernels (scalar and, where the machine has it,
+        // AVX2) are alternative evaluations of the same compiled plan:
+        // each level's offsets must equal the interpretive
+        // `Feature::index` reference bit for bit.
+        let ctx = mrp_core::context::FeatureContext {
+            pc,
+            address,
+            pc_history: &history,
+            is_mru,
+            is_insert,
+            last_miss,
+        };
+        let plan = mrp_core::FeaturePlan::new(&features);
+        let mut reference = Vec::new();
+        let mut base = 0u16;
+        for feature in &features {
+            reference.push(base + feature.index(&ctx));
+            base += feature.table_size() as u16;
+        }
+        let mut offsets = Vec::new();
+        plan.compute_offsets_compiled(&ctx, &mut offsets);
+        prop_assert_eq!(&offsets, &reference, "compiled path diverged");
+        for &level in mrp_core::simd::available_levels() {
+            plan.compute_offsets_with(level, &ctx, &mut offsets);
+            prop_assert_eq!(
+                &offsets, &reference,
+                "{} lane kernel diverged from reference", level.name()
+            );
+        }
+    }
+
+    #[test]
+    fn batched_offsets_equal_per_context_offsets(
+        features in proptest::collection::vec(arbitrary_feature(), 1..12),
+        contexts in proptest::collection::vec(
+            (any::<u64>(), any::<u64>(), any::<bool>(), any::<bool>(), any::<bool>()),
+            1..=mrp_core::plan::MAX_BATCH,
+        ),
+    ) {
+        // Batching hoists context transposition, nothing else: a batch of
+        // any width must emit exactly the offsets the per-context path
+        // emits for each member.
+        let plan = mrp_core::FeaturePlan::new(&features);
+        let views: Vec<mrp_core::context::FeatureContext<'_>> = contexts
+            .iter()
+            .map(|&(pc, address, is_mru, is_insert, last_miss)| {
+                mrp_core::context::FeatureContext {
+                    pc,
+                    address,
+                    pc_history: &[],
+                    is_mru,
+                    is_insert,
+                    last_miss,
+                }
+            })
+            .collect();
+        let mut batched = Vec::new();
+        plan.compute_offsets_batch(&views, &mut batched);
+        prop_assert_eq!(batched.len(), views.len() * features.len());
+        let mut single = Vec::new();
+        for (i, ctx) in views.iter().enumerate() {
+            plan.compute_offsets(ctx, &mut single);
+            prop_assert_eq!(
+                &batched[i * features.len()..(i + 1) * features.len()],
+                single.as_slice(),
+                "batch member {} diverged from per-context offsets", i
+            );
+        }
+    }
+
+    #[test]
+    fn confidence_kernels_agree_across_levels(
+        features in proptest::collection::vec(arbitrary_feature(), 1..12),
+        weight_seed in any::<u64>(),
+        pc in any::<u64>(),
+        address in any::<u64>(),
+    ) {
+        // The gather-sum confidence kernel family must agree across SIMD
+        // levels (AVX2 vs scalar where available) and with a plain
+        // per-table weight sum, on randomized weight arenas.
+        let plan = mrp_core::FeaturePlan::new(&features);
+        let mut tables = mrp_core::tables::WeightTables::new(&features);
+        let (min, max) = tables.weight_bounds();
+        let span = (i32::from(max) - i32::from(min) + 1) as u64;
+        let mut state = weight_seed;
+        for offset in 0..tables.arena_len() {
+            state = state.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(1);
+            let target = i32::from(min) + ((state >> 33) % span) as i32;
+            for _ in 0..target.abs() {
+                if target >= 0 {
+                    tables.increment_at(offset as u16);
+                } else {
+                    tables.decrement_at(offset as u16);
+                }
+            }
+        }
+        let ctx = mrp_core::context::FeatureContext {
+            pc,
+            address,
+            pc_history: &[],
+            is_mru: false,
+            is_insert: false,
+            last_miss: false,
+        };
+        let mut offsets = Vec::new();
+        plan.compute_offsets(&ctx, &mut offsets);
+        let expected: i32 = features
+            .iter()
+            .enumerate()
+            .map(|(t, f)| i32::from(tables.weight(t, f.index(&ctx))))
+            .sum();
+        for &level in mrp_core::simd::available_levels() {
+            prop_assert_eq!(
+                tables.confidence_with(level, &offsets),
+                expected,
+                "{} gather-sum diverged from per-table weight sum", level.name()
+            );
+        }
+    }
+
+    #[test]
     fn guided_zipf_rank_equals_plain_binary_search(
         n in 1usize..5000,
         theta_milli in 0u32..2000,

@@ -1,0 +1,383 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API this
+//! workspace uses (see `vendor/README.md`).
+//!
+//! Provides the same harness surface — `criterion_group!` /
+//! `criterion_main!`, benchmark groups, `Bencher::iter`, throughput
+//! annotation — with a plain `std::time::Instant` measurement loop:
+//! per-sample medians, no statistical analysis, no HTML reports. Bench
+//! binaries compile and run unchanged and print one summary line per
+//! benchmark; `--no-run` / CLI-filter invocations behave like upstream's
+//! `cargo bench` entry points.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How work per iteration is reported alongside timings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (`group/id` in the output).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the closure given to `bench_function`/`bench_with_input`;
+/// `iter` runs the routine and records wall-clock time.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Batch sizing hint for `iter_batched` (ignored by this harness).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(800),
+            throughput: None,
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+    list_only: bool,
+    defaults: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            list_only: false,
+            defaults: Settings::default(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Reads the CLI arguments `cargo bench` forwards: `--bench` /
+    /// `--test` (cargo harness protocol), `--list`, and a positional
+    /// substring filter. Everything else is accepted and ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" | "--test" | "--verbose" | "--quiet" | "--noplot" => {}
+                "--list" => self.list_only = true,
+                "--sample-size" | "--measurement-time" | "--warm-up-time" | "--profile-time" => {
+                    let _ = args.next();
+                }
+                other => {
+                    if !other.starts_with('-') && self.filter.is_none() {
+                        self.filter = Some(other.to_string());
+                    }
+                }
+            }
+        }
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.defaults.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.defaults.measurement_time = t;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.defaults.clone();
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            settings,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let settings = self.defaults.clone();
+        self.run_one(id, &settings, f);
+        self
+    }
+
+    fn matches(&self, full_id: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_id.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, full_id: &str, settings: &Settings, mut f: F) {
+        if !self.matches(full_id) {
+            return;
+        }
+        if self.list_only {
+            println!("{full_id}: benchmark");
+            return;
+        }
+
+        // Calibrate: grow the iteration count until one sample is long
+        // enough to time reliably.
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        loop {
+            f(&mut bencher);
+            if bencher.elapsed >= Duration::from_millis(2) || bencher.iters >= 1 << 30 {
+                break;
+            }
+            bencher.iters = (bencher.iters * 4).max(4);
+        }
+        let per_iter_ns = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+        let budget_per_sample =
+            settings.measurement_time.as_nanos() as f64 / settings.sample_size as f64;
+        bencher.iters = ((budget_per_sample / per_iter_ns.max(0.1)) as u64).max(1);
+
+        let mut samples: Vec<f64> = (0..settings.sample_size)
+            .map(|_| {
+                f(&mut bencher);
+                bencher.elapsed.as_nanos() as f64 / bencher.iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        let median = samples[samples.len() / 2];
+
+        let mut line = format!("{full_id:<50} time: [{} per iter]", format_ns(median));
+        if let Some(t) = settings.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "elem/s"),
+                Throughput::Bytes(n) => (n, "B/s"),
+            };
+            let rate = count as f64 / (median * 1e-9);
+            line.push_str(&format!("  thrpt: [{} {unit}]", format_si(rate)));
+        }
+        println!("{line}");
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn format_si(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.3} G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.3} M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.3} K", rate / 1e3)
+    } else {
+        format!("{rate:.1} ")
+    }
+}
+
+/// A named group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.settings.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.settings.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id);
+        let settings = self.settings.clone();
+        self.criterion.run_one(&full_id, &settings, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_id = format!("{}/{}", self.name, id);
+        let settings = self.settings.clone();
+        self.criterion.run_one(&full_id, &settings, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, like upstream's plain form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) -> Vec<String> {
+        // Drive the full group API the way the bench files do.
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.measurement_time(Duration::from_millis(5));
+        group.throughput(Throughput::Elements(10));
+        let mut runs = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &3u64, |b, &v| {
+            b.iter(|| {
+                runs += 1;
+                black_box(v * 2)
+            })
+        });
+        group.bench_function("direct", |b| b.iter(|| black_box(runs)));
+        group.finish();
+        assert!(runs > 0, "routine must actually run");
+        Vec::new()
+    }
+
+    #[test]
+    fn harness_runs_benchmarks() {
+        let mut c = Criterion::default();
+        c.sample_size(2).measurement_time(Duration::from_millis(5));
+        quick(&mut c);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            list_only: false,
+            defaults: Settings {
+                sample_size: 2,
+                measurement_time: Duration::from_millis(5),
+                throughput: None,
+            },
+        };
+        let mut ran = false;
+        c.bench_function("something_else", |b| {
+            b.iter(|| {
+                ran = true;
+            })
+        });
+        assert!(!ran, "filtered benchmark must not run");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter("lru").to_string(), "lru");
+        assert_eq!(BenchmarkId::new("f", 4).to_string(), "f/4");
+    }
+}

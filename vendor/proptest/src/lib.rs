@@ -1,0 +1,469 @@
+//! Offline stand-in for the subset of the `proptest` 1.x API this
+//! workspace uses (see `vendor/README.md`).
+//!
+//! Implements the same programming model — composable [`Strategy`]
+//! values, the [`proptest!`] test macro, `prop_assert*` soft assertions —
+//! with a deterministic splitmix64 case generator. Differences from
+//! upstream: no shrinking (a failing case panics with its seed and case
+//! number so it can be replayed), and value distributions are plain
+//! uniform. Case count defaults to 256 like upstream and follows
+//! `PROPTEST_CASES`.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator driving every strategy during a test run.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A failed `prop_assert*` inside a [`proptest!`] body.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: String) -> Self {
+        TestCaseError { message }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Number of cases each [`proptest!`] test runs (`PROPTEST_CASES`
+/// overrides the upstream-matching default of 256).
+pub fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(256)
+}
+
+/// Per-test seed: stable across runs, distinct across test names, and
+/// overridable for replaying a failure (`PROPTEST_SEED`).
+pub fn test_seed(name: &str) -> u64 {
+    if let Ok(v) = std::env::var("PROPTEST_SEED") {
+        if let Ok(seed) = v.parse() {
+            return seed;
+        }
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// A generator of test values. `generate` takes `&self` so one strategy
+/// value can drive many cases.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            source: self,
+            whence,
+            f,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// [`Strategy::prop_filter`] adapter (rejection sampling, bounded).
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    source: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.source.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 10000 consecutive values: {}", self.whence);
+    }
+}
+
+/// A strategy producing one fixed value (upstream's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — uniform over the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128 % span) as i128;
+                (start as i128 + v) as $t
+            }
+        }
+    )*};
+}
+range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: a fixed size or a half-open
+    /// range of sizes.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange {
+                min: *r.start(),
+                max_exclusive: r.end() + 1,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_exclusive - self.size.min) as u64;
+            let len = self.size.min + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, Strategy, TestCaseError, TestRng};
+}
+
+/// Soft assertion inside a [`proptest!`] body: fails the current case
+/// (with formatted context) instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Soft equality assertion; the default message shows both values.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+            stringify!($left), stringify!($right), left, right, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Soft inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), left
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` running [`case_count`] generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cases = $crate::case_count();
+            let seed = $crate::test_seed(stringify!($name));
+            let mut rng = $crate::TestRng::new(seed);
+            for case in 0..cases {
+                let mut one_case = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)*
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                if let ::std::result::Result::Err(err) = one_case() {
+                    panic!(
+                        "proptest case {case}/{cases} failed (replay with \
+                         PROPTEST_SEED={seed}):\n{err}"
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(v in 3u8..=9, w in -5i32..17, n in 1usize..50) {
+            prop_assert!((3..=9).contains(&v));
+            prop_assert!((-5..17).contains(&w));
+            prop_assert!((1..50).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_follow_size_range(
+            xs in crate::collection::vec(any::<u64>(), 2..7),
+            fixed in crate::collection::vec(any::<bool>(), 4),
+        ) {
+            prop_assert!((2..7).contains(&xs.len()));
+            prop_assert_eq!(fixed.len(), 4);
+        }
+
+        #[test]
+        fn prop_map_composes(even in (0u32..100).prop_map(|v| v * 2)) {
+            prop_assert!(even % 2 == 0, "{} not even", even);
+        }
+
+        #[test]
+        fn tuples_generate_componentwise(pair in (1u8..=18, any::<bool>())) {
+            prop_assert!((1..=18).contains(&pair.0));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let strat = crate::collection::vec(0u64..1000, 1..20);
+        let a: Vec<Vec<u64>> = {
+            let mut rng = TestRng::new(99);
+            (0..10).map(|_| strat.generate(&mut rng)).collect()
+        };
+        let b: Vec<Vec<u64>> = {
+            let mut rng = TestRng::new(99);
+            (0..10).map(|_| strat.generate(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_reports_seed_and_case() {
+        proptest! {
+            #[allow(unreachable_code)]
+            fn always_fails(v in 0u8..10) {
+                prop_assert!(v >= 10, "v was {}", v);
+            }
+        }
+        always_fails();
+    }
+}
