@@ -7,7 +7,7 @@ use mrp_trace::{MemoryAccess, ServiceLevel};
 use crate::cache::Cache;
 use crate::config::CacheConfig;
 use crate::policies::Lru;
-use crate::policy::ReplacementPolicy;
+use crate::policy::{ReplacementPolicy, UpcomingAccess};
 use crate::prefetch::StreamPrefetcher;
 use crate::replay::LlcRecording;
 use crate::stats::HierarchyStats;
@@ -106,6 +106,10 @@ pub struct Hierarchy {
     private: CorePrivate,
     llc: Cache,
     latencies: LevelLatencies,
+    /// Scratch: deferred LLC operations of the current access group.
+    batch_ops: Vec<LlcOp>,
+    /// Scratch: the group's LLC-bound accesses, announced to the policy.
+    batch_window: Vec<UpcomingAccess>,
 }
 
 impl fmt::Debug for Hierarchy {
@@ -123,6 +127,8 @@ impl Hierarchy {
             private: CorePrivate::new(&config),
             llc: Cache::new(config.llc, llc_policy),
             latencies: config.latencies,
+            batch_ops: Vec::new(),
+            batch_window: Vec::new(),
         }
     }
 
@@ -131,6 +137,96 @@ impl Hierarchy {
     pub fn access(&mut self, access: &MemoryAccess) -> HierarchyAccess {
         self.private
             .access_with_llc(access, &mut self.llc, &self.latencies)
+    }
+
+    /// Simulates a group of consecutive demand accesses, batching the
+    /// LLC work. Bit-identical to calling [`Hierarchy::access`] once per
+    /// access (results land in `out` in access order):
+    ///
+    /// 1. the private levels run for the whole group first — valid
+    ///    because L1/L2/prefetcher never consult the LLC (the invariant
+    ///    record/replay is built on) — queueing every LLC operation in
+    ///    the exact order the fused path would execute it;
+    /// 2. the group's LLC-bound accesses are announced through
+    ///    [`ReplacementPolicy::on_upcoming_accesses`], letting policies
+    ///    like MPPPB batch their prediction stage;
+    /// 3. the queued LLC operations drain in order, resolving each
+    ///    LLC-bound access's hit/miss and hence its latency.
+    pub fn access_batch(&mut self, accesses: &[MemoryAccess], out: &mut Vec<HierarchyAccess>) {
+        out.clear();
+        self.batch_ops.clear();
+        let lat = self.latencies;
+        // Policies that ignore `on_core_access` (the default) get no
+        // `CoreAccess` ops queued at all — they dominate the op stream
+        // (every trace access queues one, vs. ~1 in 6 reaching the
+        // LLC), and draining them into a no-op hook is pure overhead.
+        let core_hook = self.llc.policy().uses_core_accesses();
+        // Phase 1: private levels, deferring all LLC operations.
+        for (slot, access) in accesses.iter().enumerate() {
+            let serviced = self.private.access_deferred(
+                access,
+                slot as u32,
+                core_hook,
+                &self.llc,
+                &mut self.batch_ops,
+            );
+            out.push(match serviced {
+                Some(ServicedBy::L1) => HierarchyAccess {
+                    serviced_by: ServicedBy::L1,
+                    latency: lat.l1,
+                },
+                Some(_) => HierarchyAccess {
+                    serviced_by: ServicedBy::L2,
+                    latency: lat.l1 + lat.l2,
+                },
+                // LLC-bound: placeholder, overwritten by the drain.
+                None => HierarchyAccess {
+                    serviced_by: ServicedBy::Dram,
+                    latency: 0,
+                },
+            });
+        }
+        // Phase 2: announce the group's LLC accesses (fills + demands,
+        // in drain order) to window-consuming policies.
+        if self.llc.policy_mut().uses_upcoming_accesses() {
+            self.batch_window.clear();
+            for op in &self.batch_ops {
+                match op {
+                    LlcOp::PrefetchFill(pf) => {
+                        self.batch_window.push(UpcomingAccess::new(pf, true));
+                    }
+                    LlcOp::Demand(_, a) => {
+                        self.batch_window.push(UpcomingAccess::new(a, false));
+                    }
+                    LlcOp::CoreAccess(_) => {}
+                }
+            }
+            self.llc
+                .policy_mut()
+                .on_upcoming_accesses(&self.batch_window);
+        }
+        // Phase 3: drain the LLC operations in fused order.
+        for op in &self.batch_ops {
+            match op {
+                LlcOp::CoreAccess(a) => self.llc.policy_mut().on_core_access(a),
+                LlcOp::PrefetchFill(pf) => {
+                    let _ = self.llc.access(pf, true);
+                }
+                LlcOp::Demand(slot, a) => {
+                    out[*slot as usize] = if self.llc.access(a, false).is_hit() {
+                        HierarchyAccess {
+                            serviced_by: ServicedBy::Llc,
+                            latency: lat.l1 + lat.l2 + lat.llc,
+                        }
+                    } else {
+                        HierarchyAccess {
+                            serviced_by: ServicedBy::Dram,
+                            latency: lat.l1 + lat.l2 + lat.llc + lat.dram,
+                        }
+                    };
+                }
+            }
+        }
     }
 
     /// Statistics, combining the private levels and the LLC.
@@ -156,6 +252,18 @@ impl Hierarchy {
 /// zero-latency prefetcher perfectly covers any stream, which no real
 /// memory system does.
 const PREFETCH_FILL_DELAY_ACCESSES: u64 = 6;
+
+/// One deferred LLC operation, queued by the private-level phase of a
+/// grouped access drain ([`Hierarchy::access_batch`]) and replayed
+/// against the LLC in the exact order the fused path would execute it.
+pub(crate) enum LlcOp {
+    /// `on_core_access` position of a demand access.
+    CoreAccess(MemoryAccess),
+    /// A prefetch fill whose L2 probe missed.
+    PrefetchFill(MemoryAccess),
+    /// The demand LLC access of group slot `.0`.
+    Demand(u32, MemoryAccess),
+}
 
 /// The per-core private levels (L1D, L2, prefetcher), decoupled from the
 /// LLC so four cores can share one.
@@ -286,6 +394,70 @@ impl CorePrivate {
         }
     }
 
+    /// The private-level phase of a grouped access drain: runs L1, L2,
+    /// and the prefetcher for one demand access, queueing every LLC
+    /// operation into `ops` instead of executing it. Returns the
+    /// servicing level when the access resolves privately (L1/L2 hit),
+    /// `None` when it is LLC-bound (a [`LlcOp::Demand`] was queued).
+    ///
+    /// Mirrors [`CorePrivate::access_with_llc`] step for step; the
+    /// queued operation order — core-access hook, due prefetch fills,
+    /// then the demand access — is exactly the fused execution order.
+    /// When `core_hook` is false the caller's policy ignores
+    /// `on_core_access`, so the `CoreAccess` op is elided instead of
+    /// queued and drained into a no-op.
+    pub(crate) fn access_deferred(
+        &mut self,
+        access: &MemoryAccess,
+        slot: u32,
+        core_hook: bool,
+        llc: &Cache,
+        ops: &mut Vec<LlcOp>,
+    ) -> Option<ServicedBy> {
+        self.instructions += access.instructions();
+        self.accesses += 1;
+        if core_hook {
+            ops.push(LlcOp::CoreAccess(*access));
+        }
+
+        while let Some(&(due, pf)) = self.in_flight.front() {
+            if due > self.accesses {
+                break;
+            }
+            self.in_flight.pop_front();
+            if self.l2.access(&pf, true).is_miss() {
+                ops.push(LlcOp::PrefetchFill(pf));
+            }
+        }
+
+        if self.l1d.access(access, false).is_hit() {
+            return Some(ServicedBy::L1);
+        }
+
+        if let Some(prefetcher) = &mut self.prefetcher {
+            let requests = prefetcher.on_l1_miss(access.block());
+            self.prefetches_issued += requests.len() as u64;
+            for block in requests {
+                let pf = MemoryAccess {
+                    address: block * mrp_trace::BLOCK_BYTES,
+                    ..*access
+                };
+                self.in_flight
+                    .push_back((self.accesses + PREFETCH_FILL_DELAY_ACCESSES, pf));
+            }
+        }
+
+        // Start pulling the tag row in ahead of the (deferred) LLC work.
+        llc.prefetch_block(access.block());
+
+        if self.l2.access(access, false).is_hit() {
+            return Some(ServicedBy::L2);
+        }
+
+        ops.push(LlcOp::Demand(slot, *access));
+        None
+    }
+
     /// Simulates one demand access against the private levels with *no*
     /// LLC, logging into `recording` every event an LLC would observe.
     ///
@@ -414,6 +586,42 @@ mod tests {
             latency_with < latency_without,
             "prefetching should reduce stream latency ({latency_with} vs {latency_without})"
         );
+    }
+
+    #[test]
+    fn access_batch_is_bit_identical_to_sequential() {
+        use crate::policies::Srrip;
+        // Mixed stream (reuse + streaming) with prefetching on, so the
+        // deferred path sees fills, L1/L2 hits, LLC hits, and misses.
+        for group_len in [1usize, 3, 8, crate::HIERARCHY_BATCH] {
+            let mut config = HierarchyConfig::single_thread();
+            config.prefetch = true;
+            let mk = |config: &HierarchyConfig| {
+                Box::new(Srrip::new(config.llc.sets(), config.llc.associativity()))
+            };
+            let mut fused = Hierarchy::new(config, mk(&config));
+            let mut batched = Hierarchy::new(config, mk(&config));
+            let mut x = 0x9e37_79b9u64;
+            let accesses: Vec<MemoryAccess> = (0..30_000u64)
+                .map(|i| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let block = match x % 3 {
+                        0 => (x >> 33) % 700,
+                        1 => i, // stream
+                        _ => (x >> 40) % 40_000,
+                    };
+                    load(block)
+                })
+                .collect();
+            let mut out = Vec::new();
+            for group in accesses.chunks(group_len) {
+                batched.access_batch(group, &mut out);
+                for (a, b) in group.iter().zip(&out) {
+                    assert_eq!(fused.access(a), *b, "group_len={group_len}");
+                }
+            }
+            assert_eq!(fused.stats(), batched.stats(), "group_len={group_len}");
+        }
     }
 
     #[test]

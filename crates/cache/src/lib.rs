@@ -43,7 +43,31 @@ pub mod stats;
 pub use cache::{AccessResult, Cache};
 pub use config::CacheConfig;
 pub use hierarchy::{Hierarchy, HierarchyConfig, LevelLatencies};
-pub use policy::{AccessInfo, ReplacementPolicy};
+pub use policy::{AccessInfo, ReplacementPolicy, UpcomingAccess};
 pub use prefetch::StreamPrefetcher;
 pub use replay::{LlcRecording, RecordedWindow};
 pub use stats::{CacheStats, HierarchyStats};
+
+/// The LLC lookahead window, in LLC-bound events.
+///
+/// Every batched front-end shares this one constant: the replay loops'
+/// tag-row software-prefetch depth, the [`UpcomingAccess`] window handed
+/// to policies via [`ReplacementPolicy::on_upcoming_accesses`], and the
+/// hierarchy's grouped access drain. Unifying them here keeps batch
+/// width and prefetch depth from silently diverging (they were two
+/// hardcoded `8`s before).
+pub const LLC_LOOKAHEAD: usize = 8;
+
+/// Trace accesses pulled per hierarchy batch group
+/// ([`Hierarchy::access_batch`]).
+///
+/// Deliberately decoupled from [`LLC_LOOKAHEAD`]: that constant counts
+/// *LLC-bound events*, but most trace accesses hit the private levels
+/// and never reach the LLC (the suite's LLC-bound fraction is roughly
+/// 1/6), so a group must span several times more trace accesses than
+/// the window it feeds. 64 trace accesses yield `UpcomingAccess`
+/// windows of about 8–16 LLC events — wide enough to amortize the
+/// batched index kernel's fixed cost. Grouping is latency-invisible:
+/// per-access outcomes and statistics are bit-identical for any group
+/// size (see `access_batch_is_bit_identical_to_sequential`).
+pub const HIERARCHY_BATCH: usize = 64;

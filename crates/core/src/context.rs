@@ -78,35 +78,39 @@ impl PcHistory {
 /// MRU determination: the last block accessed in each set and whether the
 /// last access missed ("The lastmiss feature requires keeping a single
 /// extra bit for every set", §3.4).
+///
+/// Both facts are packed into one word per set — `(block << 1) | missed`
+/// — so the hot path's `is_mru`/`last_miss` pair touches a single cache
+/// line per set instead of two. Block numbers are byte addresses shifted
+/// right by the line-size bits, so the top bit is always free. The
+/// initial sentinel clears the miss bit and keeps a block value
+/// (`u64::MAX >> 1`) no real address can produce.
 #[derive(Debug, Clone)]
 pub struct SetState {
-    last_block: Vec<u64>,
-    last_miss: Vec<bool>,
+    packed: Vec<u64>,
 }
 
 impl SetState {
     /// Creates state for `sets` cache sets.
     pub fn new(sets: u32) -> Self {
         SetState {
-            last_block: vec![u64::MAX; sets as usize],
-            last_miss: vec![false; sets as usize],
+            packed: vec![!1u64; sets as usize],
         }
     }
 
     /// Whether `block` is the most recently accessed block of `set`.
     pub fn is_mru(&self, set: u32, block: u64) -> bool {
-        self.last_block[set as usize] == block
+        self.packed[set as usize] >> 1 == block
     }
 
     /// Whether the last access to `set` missed.
     pub fn last_miss(&self, set: u32) -> bool {
-        self.last_miss[set as usize]
+        self.packed[set as usize] & 1 != 0
     }
 
     /// Records the outcome of an access to `set`.
     pub fn record(&mut self, set: u32, block: u64, missed: bool) {
-        self.last_block[set as usize] = block;
-        self.last_miss[set as usize] = missed;
+        self.packed[set as usize] = (block << 1) | u64::from(missed);
     }
 }
 

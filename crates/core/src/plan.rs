@@ -36,8 +36,12 @@
 //! feature [`Feature::new`] accepts: `Loop` folds are unreachable (all
 //! table sizes are ≤ [`MAX_TABLE_SIZE`]), and for `Identity` lanes the
 //! raw value is already below 256 so `fold8` is the identity. The pass is
-//! written so LLVM autovectorizes it on stable Rust, with an explicit
-//! AVX2 form dispatched at runtime (see [`crate::simd`]).
+//! written so LLVM autovectorizes it on stable Rust, with explicit AVX2
+//! and AVX-512 forms dispatched at runtime (see [`crate::simd`]). The
+//! AVX-512 form goes one step further: it never materializes the
+//! [`LaneContext`] — the 32-slot value table lives in four zmm registers
+//! built straight from the [`FeatureContext`], and lane selection is two
+//! register permutes instead of a memory gather.
 //!
 //! The lowering is semantics-preserving: for every context, the emitted
 //! offset is exactly `base(feature) + Feature::index(ctx)`. Unit tests
@@ -239,13 +243,15 @@ const V_LASTMISS: usize = HISTORY_DEPTH + 4;
 const V_ZERO: usize = HISTORY_DEPTH + 5;
 
 /// Lane count granularity: plans pad to a multiple of this with inert
-/// lanes so both kernels run whole vector-width groups only.
-const LANE_WIDTH: usize = 8;
+/// lanes so every kernel runs whole vector-width groups only (the AVX2
+/// kernel steps 4 lanes, the AVX-512 kernel 8; both divide 16).
+const LANE_WIDTH: usize = 16;
 
 /// Largest batch [`FeaturePlan::compute_offsets_batch`] accepts: the
-/// access front-end groups 4–8 consecutive accesses, and a small bound
-/// keeps the per-batch context array on the stack.
-pub const MAX_BATCH: usize = 8;
+/// access front-ends group up to one LLC lookahead window of consecutive
+/// accesses, and a small bound keeps the per-batch context array on the
+/// stack.
+pub const MAX_BATCH: usize = 16;
 
 /// One access, transposed for lane-parallel index computation: every
 /// value any feature can source, laid out so a lane reads `vals[src]`.
@@ -431,6 +437,230 @@ unsafe fn lanes_avx2(plan: &LanePlan, lane_ctx: &LaneContext, out: &mut [u16]) {
     }
 }
 
+/// The lane pass as 8-wide AVX-512, fed straight from the
+/// [`FeatureContext`]: the 32-slot value table is built in four zmm
+/// registers (history slots masked-loaded with the current-PC fallback),
+/// lane selection is two `vpermi2q` register permutes blended on source
+/// bit 4, and the eight u16 offsets are narrowed with one `vpmovqw`
+/// store. No [`LaneContext`] is materialized and no memory gather runs.
+///
+/// # Safety
+///
+/// Requires AVX-512 F. `out` must hold at least `plan.padded` entries.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn lanes_avx512(plan: &LanePlan, ctx: &FeatureContext<'_>, out: &mut [u16]) {
+    use core::arch::x86_64::*;
+
+    debug_assert!(out.len() >= plan.padded);
+    // Value-table slots 0..8 and 8..16: history entries, with slots past
+    // the recorded depth holding the current PC (the `history_pc`
+    // fallback `LaneContext::new` also applies). Masked loads read only
+    // the selected elements, so short histories never touch past-the-end
+    // memory.
+    let depth = ctx.pc_history.len().min(HISTORY_DEPTH);
+    let pc = _mm512_set1_epi64(ctx.pc as i64);
+    let hist = ctx.pc_history.as_ptr() as *const i64;
+    let k0 = (1u32 << depth.min(8)) - 1;
+    let k1 = (1u32 << depth.saturating_sub(8).min(8)) - 1;
+    let v0 = _mm512_mask_loadu_epi64(pc, k0 as u8, hist);
+    let v1 = _mm512_mask_loadu_epi64(pc, k1 as u8, hist.add(8));
+    // Slots 16..24: the last two history entries, then pc / address /
+    // flags / zero — the same layout as `LaneContext::vals`.
+    let h16 = if depth > 16 {
+        *hist.add(16)
+    } else {
+        ctx.pc as i64
+    };
+    let h17 = if depth > 17 {
+        *hist.add(17)
+    } else {
+        ctx.pc as i64
+    };
+    let v2 = _mm512_set_epi64(
+        0,
+        i64::from(ctx.last_miss),
+        i64::from(ctx.is_insert),
+        i64::from(ctx.is_mru),
+        ctx.address as i64,
+        ctx.pc as i64,
+        h17,
+        h16,
+    );
+    // Slots 24..32 are the all-zero pad plane.
+    let v3 = _mm512_setzero_si512();
+
+    let pc_fold = _mm512_set1_epi64(fold8(ctx.pc) as i64);
+    let byte_mask = _mm512_set1_epi64(0xff);
+    let high_bit = _mm512_set1_epi64(16);
+    let mut i = 0;
+    while i < plan.padded {
+        let src32 = _mm256_loadu_si256(plan.src.as_ptr().add(i) as *const __m256i);
+        let idx = _mm512_cvtepu32_epi64(src32);
+        // vpermi2q reads idx bits 3:0, so `lo` selects within slots
+        // 0..16 and `hi` within 16..32; bit 4 picks the half.
+        let lo = _mm512_permutex2var_epi64(v0, idx, v1);
+        let hi = _mm512_permutex2var_epi64(v2, idx, v3);
+        let in_hi = _mm512_test_epi64_mask(idx, high_bit);
+        let raw = _mm512_mask_blend_epi64(in_hi, lo, hi);
+        let shift = _mm512_loadu_epi64(plan.shift.as_ptr().add(i) as *const i64);
+        let mut v = _mm512_srlv_epi64(raw, shift);
+        v = _mm512_and_si512(
+            v,
+            _mm512_loadu_epi64(plan.mask.as_ptr().add(i) as *const i64),
+        );
+        v = _mm512_xor_si512(v, _mm512_srli_epi64(v, 32));
+        v = _mm512_xor_si512(v, _mm512_srli_epi64(v, 16));
+        v = _mm512_xor_si512(v, _mm512_srli_epi64(v, 8));
+        v = _mm512_and_si512(v, byte_mask);
+        let xor_mask = _mm512_loadu_epi64(plan.xor_mask.as_ptr().add(i) as *const i64);
+        v = _mm512_xor_si512(v, _mm512_and_si512(pc_fold, xor_mask));
+        v = _mm512_and_si512(
+            v,
+            _mm512_loadu_epi64(plan.index_mask.as_ptr().add(i) as *const i64),
+        );
+        v = _mm512_add_epi64(
+            v,
+            _mm512_loadu_epi64(plan.base.as_ptr().add(i) as *const i64),
+        );
+        let packed = _mm512_cvtepi64_epi16(v);
+        _mm_storeu_si128(out.as_mut_ptr().add(i) as *mut __m128i, packed);
+        i += 8;
+    }
+}
+
+/// [`lanes_avx512`] unrolled over a batch for the 16-lane plans every
+/// [`Feature::new`] feature set compiles to: the twelve plan-constant
+/// vectors (lane selectors, shifts, masks, bases) and the two half-select
+/// masks are loaded into registers once, so the per-access loop runs only
+/// the value-table build, the permutes, and the lane arithmetic. Each
+/// access `i` writes `out[i * 16 .. (i + 1) * 16]`. Bit-identical to
+/// calling [`lanes_avx512`] per access — same instructions, hoisted
+/// loads.
+///
+/// # Safety
+///
+/// Requires AVX-512 F. `plan.padded` must be 16 and `out` must hold at
+/// least `ctxs.len() * 16` entries.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn lanes_avx512_batch16(plan: &LanePlan, ctxs: &[FeatureContext<'_>], out: &mut [u16]) {
+    use core::arch::x86_64::*;
+
+    debug_assert_eq!(plan.padded, 16);
+    debug_assert!(out.len() >= ctxs.len() * 16);
+    let high_bit = _mm512_set1_epi64(16);
+    let byte_mask = _mm512_set1_epi64(0xff);
+    // Plan-constant lane parameters, hoisted across the batch.
+    let src0 = _mm256_loadu_si256(plan.src.as_ptr() as *const __m256i);
+    let src1 = _mm256_loadu_si256(plan.src.as_ptr().add(8) as *const __m256i);
+    let idx0 = _mm512_cvtepu32_epi64(src0);
+    let idx1 = _mm512_cvtepu32_epi64(src1);
+    let in_hi0 = _mm512_test_epi64_mask(idx0, high_bit);
+    let in_hi1 = _mm512_test_epi64_mask(idx1, high_bit);
+    let sh0 = _mm512_loadu_epi64(plan.shift.as_ptr() as *const i64);
+    let sh1 = _mm512_loadu_epi64(plan.shift.as_ptr().add(8) as *const i64);
+    let m0 = _mm512_loadu_epi64(plan.mask.as_ptr() as *const i64);
+    let m1 = _mm512_loadu_epi64(plan.mask.as_ptr().add(8) as *const i64);
+    let x0 = _mm512_loadu_epi64(plan.xor_mask.as_ptr() as *const i64);
+    let x1 = _mm512_loadu_epi64(plan.xor_mask.as_ptr().add(8) as *const i64);
+    let im0 = _mm512_loadu_epi64(plan.index_mask.as_ptr() as *const i64);
+    let im1 = _mm512_loadu_epi64(plan.index_mask.as_ptr().add(8) as *const i64);
+    let b0 = _mm512_loadu_epi64(plan.base.as_ptr() as *const i64);
+    let b1 = _mm512_loadu_epi64(plan.base.as_ptr().add(8) as *const i64);
+
+    for (i, ctx) in ctxs.iter().enumerate() {
+        // Value-table build, exactly as in `lanes_avx512`.
+        let depth = ctx.pc_history.len().min(HISTORY_DEPTH);
+        let pc = _mm512_set1_epi64(ctx.pc as i64);
+        let hist = ctx.pc_history.as_ptr() as *const i64;
+        let k0 = (1u32 << depth.min(8)) - 1;
+        let k1 = (1u32 << depth.saturating_sub(8).min(8)) - 1;
+        let v0 = _mm512_mask_loadu_epi64(pc, k0 as u8, hist);
+        let v1 = _mm512_mask_loadu_epi64(pc, k1 as u8, hist.add(8));
+        let h16 = if depth > 16 {
+            *hist.add(16)
+        } else {
+            ctx.pc as i64
+        };
+        let h17 = if depth > 17 {
+            *hist.add(17)
+        } else {
+            ctx.pc as i64
+        };
+        let v2 = _mm512_set_epi64(
+            0,
+            i64::from(ctx.last_miss),
+            i64::from(ctx.is_insert),
+            i64::from(ctx.is_mru),
+            ctx.address as i64,
+            ctx.pc as i64,
+            h17,
+            h16,
+        );
+        let v3 = _mm512_setzero_si512();
+        let pc_fold = _mm512_set1_epi64(fold8(ctx.pc) as i64);
+        let dst = out.as_mut_ptr().add(i * 16);
+
+        let lo = _mm512_permutex2var_epi64(v0, idx0, v1);
+        let hi = _mm512_permutex2var_epi64(v2, idx0, v3);
+        let raw = _mm512_mask_blend_epi64(in_hi0, lo, hi);
+        let mut v = _mm512_srlv_epi64(raw, sh0);
+        v = _mm512_and_si512(v, m0);
+        v = _mm512_xor_si512(v, _mm512_srli_epi64(v, 32));
+        v = _mm512_xor_si512(v, _mm512_srli_epi64(v, 16));
+        v = _mm512_xor_si512(v, _mm512_srli_epi64(v, 8));
+        v = _mm512_and_si512(v, byte_mask);
+        v = _mm512_xor_si512(v, _mm512_and_si512(pc_fold, x0));
+        v = _mm512_and_si512(v, im0);
+        v = _mm512_add_epi64(v, b0);
+        _mm_storeu_si128(dst as *mut __m128i, _mm512_cvtepi64_epi16(v));
+
+        let lo = _mm512_permutex2var_epi64(v0, idx1, v1);
+        let hi = _mm512_permutex2var_epi64(v2, idx1, v3);
+        let raw = _mm512_mask_blend_epi64(in_hi1, lo, hi);
+        let mut v = _mm512_srlv_epi64(raw, sh1);
+        v = _mm512_and_si512(v, m1);
+        v = _mm512_xor_si512(v, _mm512_srli_epi64(v, 32));
+        v = _mm512_xor_si512(v, _mm512_srli_epi64(v, 16));
+        v = _mm512_xor_si512(v, _mm512_srli_epi64(v, 8));
+        v = _mm512_and_si512(v, byte_mask);
+        v = _mm512_xor_si512(v, _mm512_and_si512(pc_fold, x1));
+        v = _mm512_and_si512(v, im1);
+        v = _mm512_add_epi64(v, b1);
+        _mm_storeu_si128(dst.add(8) as *mut __m128i, _mm512_cvtepi64_epi16(v));
+    }
+}
+
+/// Which access-time flag a [`FlagLane`] sources.
+#[derive(Debug, Clone, Copy)]
+enum FlagKind {
+    /// `burst(..)`: the set-MRU flag.
+    Mru,
+    /// `insert(..)`: the miss-fill flag.
+    Insert,
+    /// `lastmiss(..)`: the set's last-access-missed flag.
+    LastMiss,
+}
+
+/// One lane whose raw value is an access-time flag. Everything else a
+/// lane reads (PC, address, history) is derivable from the access stream
+/// alone, so batched front-ends compute whole windows of offsets ahead
+/// of time with the flags zeroed and [`FeaturePlan::patch_flags`]
+/// rewrites just these lanes once the outcome-dependent state is known.
+#[derive(Debug, Clone, Copy)]
+struct FlagLane {
+    /// Offset-vector position (always `< len()`).
+    lane: u32,
+    flag: FlagKind,
+    /// `0xff` when the lane XORs the shared PC fold.
+    xor_mask: u64,
+    /// `table_size - 1`.
+    index_mask: u64,
+    /// Arena base of the lane's table.
+    base: u16,
+}
+
 /// A feature set lowered for the hot path, plus the arena geometry the
 /// matching [`crate::tables::WeightTables`] uses.
 #[derive(Debug, Clone)]
@@ -438,6 +668,8 @@ pub struct FeaturePlan {
     compiled: Vec<CompiledFeature>,
     /// The compiled features transposed into SoA lane arrays.
     lanes: LanePlan,
+    /// Lanes sourcing access-time flags (see [`FlagLane`]).
+    flag_lanes: Vec<FlagLane>,
     /// Whether any feature XORs with the PC (skip the shared fold if not).
     any_xor: bool,
     arena_len: usize,
@@ -467,11 +699,65 @@ impl FeaturePlan {
             "weight arena exceeds u16 offsets"
         );
         let compiled: Vec<CompiledFeature> = compiled;
+        let flag_lanes = compiled
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let flag = match c.source {
+                    Source::Mru => FlagKind::Mru,
+                    Source::Insert => FlagKind::Insert,
+                    Source::LastMiss => FlagKind::LastMiss,
+                    _ => return None,
+                };
+                Some(FlagLane {
+                    lane: i as u32,
+                    flag,
+                    xor_mask: if c.xor_pc { 0xff } else { 0 },
+                    index_mask: c.index_mask,
+                    base: c.base,
+                })
+            })
+            .collect();
         FeaturePlan {
             lanes: LanePlan::build(&compiled),
             compiled,
+            flag_lanes,
             any_xor: features.iter().any(|f| f.xor_pc),
             arena_len: base,
+        }
+    }
+
+    /// Rewrites the flag-sourced entries of one access's precomputed
+    /// offset vector (`offsets[..len()]`, as produced with all flags
+    /// zeroed) for the true access-time flag values.
+    ///
+    /// Bit-identical to having computed the offsets with the flags set
+    /// from the start: a flag lane's raw value is 0 or 1, for which the
+    /// byte fold is the identity, so the lane formula collapses to
+    /// `base + ((flag ^ (fold8(pc) & xor_mask)) & index_mask)` — applied
+    /// here verbatim. Single-entry flag tables have `index_mask == 0`
+    /// and still resolve to `base`, matching the compiled early-out.
+    #[inline]
+    pub fn patch_flags(
+        &self,
+        offsets: &mut [u16],
+        pc: u64,
+        is_mru: bool,
+        is_insert: bool,
+        last_miss: bool,
+    ) {
+        if self.flag_lanes.is_empty() {
+            return;
+        }
+        let pc_fold8 = fold8(pc);
+        for fl in &self.flag_lanes {
+            let flag = u64::from(match fl.flag {
+                FlagKind::Mru => is_mru,
+                FlagKind::Insert => is_insert,
+                FlagKind::LastMiss => last_miss,
+            });
+            let v = (flag ^ (pc_fold8 & fl.xor_mask)) & fl.index_mask;
+            offsets[fl.lane as usize] = fl.base + v as u16;
         }
     }
 
@@ -511,6 +797,16 @@ impl FeaturePlan {
     ) {
         if !self.lanes.ok {
             self.compute_offsets_compiled(ctx, out);
+            return;
+        }
+        #[cfg(target_arch = "x86_64")]
+        if level == SimdLevel::Avx512 && std::arch::is_x86_feature_detected!("avx512f") {
+            out.clear();
+            out.resize(self.lanes.padded, 0);
+            // SAFETY: AVX-512 F presence just checked; `out` holds the
+            // padded lane count.
+            unsafe { lanes_avx512(&self.lanes, ctx, out) };
+            out.truncate(self.compiled.len());
             return;
         }
         let lane_ctx = LaneContext::new(ctx);
@@ -579,21 +875,47 @@ impl FeaturePlan {
             }
             return;
         }
-        // Front-end phase: transpose every context (and fold every PC)
-        // before any index computation.
-        let mut lane_ctxs = [LaneContext {
-            vals: [0; LANE_VALS],
-            pc_fold8: 0,
-        }; MAX_BATCH];
-        for (slot, ctx) in lane_ctxs.iter_mut().zip(ctxs) {
-            *slot = LaneContext::new(ctx);
-        }
-        // Kernel phase: lane passes back to back into one buffer.
         let padded = self.lanes.padded;
         let level = simd::level();
         out.resize(ctxs.len() * padded, 0);
-        for (i, lane_ctx) in lane_ctxs[..ctxs.len()].iter().enumerate() {
-            self.run_lane_kernel(level, lane_ctx, &mut out[i * padded..(i + 1) * padded]);
+        #[cfg(target_arch = "x86_64")]
+        let direct_avx512 =
+            level == SimdLevel::Avx512 && std::arch::is_x86_feature_detected!("avx512f");
+        #[cfg(not(target_arch = "x86_64"))]
+        let direct_avx512 = false;
+        if direct_avx512 {
+            // The AVX-512 kernel builds its value table in registers, so
+            // the group skips the transposition phase entirely. 16-lane
+            // plans (every `Feature::new` set) run the batch variant with
+            // the plan constants hoisted across the group.
+            #[cfg(target_arch = "x86_64")]
+            if padded == 16 {
+                // SAFETY: AVX-512 F presence checked above; `out` holds
+                // `ctxs.len() * 16` entries and the plan is 16-lane.
+                unsafe { lanes_avx512_batch16(&self.lanes, ctxs, out) };
+            } else {
+                for (i, ctx) in ctxs.iter().enumerate() {
+                    // SAFETY: AVX-512 F presence checked above; each
+                    // slice holds the padded lane count.
+                    unsafe {
+                        lanes_avx512(&self.lanes, ctx, &mut out[i * padded..(i + 1) * padded])
+                    };
+                }
+            }
+        } else {
+            // Front-end phase: transpose every context (and fold every
+            // PC) before any index computation.
+            let mut lane_ctxs = [LaneContext {
+                vals: [0; LANE_VALS],
+                pc_fold8: 0,
+            }; MAX_BATCH];
+            for (slot, ctx) in lane_ctxs.iter_mut().zip(ctxs) {
+                *slot = LaneContext::new(ctx);
+            }
+            // Kernel phase: lane passes back to back into one buffer.
+            for (i, lane_ctx) in lane_ctxs[..ctxs.len()].iter().enumerate() {
+                self.run_lane_kernel(level, lane_ctx, &mut out[i * padded..(i + 1) * padded]);
+            }
         }
         if padded != len {
             for i in 1..ctxs.len() {
@@ -817,6 +1139,57 @@ mod tests {
                     one.as_slice(),
                     "batch slot {i}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn patched_flag_offsets_equal_direct_computation() {
+        // Offsets computed with flags zeroed then patched must equal
+        // offsets computed with the true flags, for every flag combo,
+        // kernel level, and both xor and non-xor flag features.
+        for xor_pc in [false, true] {
+            let features = vec![
+                Feature::new(9, FeatureKind::Burst, xor_pc),
+                Feature::new(
+                    9,
+                    FeatureKind::Pc {
+                        begin: 0,
+                        end: 63,
+                        which: 2,
+                    },
+                    true,
+                ),
+                Feature::new(9, FeatureKind::Insert, xor_pc),
+                Feature::new(9, FeatureKind::Address { begin: 6, end: 27 }, xor_pc),
+                Feature::new(9, FeatureKind::LastMiss, xor_pc),
+            ];
+            let plan = FeaturePlan::new(&features);
+            let history: Vec<u64> = (0..18).map(|i| 0x40_0000 + i * 0x1351).collect();
+            let (mut zeroed, mut direct) = (Vec::new(), Vec::new());
+            for ctx in contexts(&history) {
+                for &level in simd::available_levels() {
+                    let blank = FeatureContext {
+                        is_mru: false,
+                        is_insert: false,
+                        last_miss: false,
+                        ..ctx
+                    };
+                    plan.compute_offsets_with(level, &blank, &mut zeroed);
+                    plan.patch_flags(
+                        &mut zeroed,
+                        ctx.pc,
+                        ctx.is_mru,
+                        ctx.is_insert,
+                        ctx.last_miss,
+                    );
+                    plan.compute_offsets_with(level, &ctx, &mut direct);
+                    assert_eq!(
+                        zeroed, direct,
+                        "{level:?} flags ({}, {}, {})",
+                        ctx.is_mru, ctx.is_insert, ctx.last_miss
+                    );
+                }
             }
         }
     }

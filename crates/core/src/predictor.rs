@@ -5,7 +5,7 @@ use std::fmt;
 use crate::context::FeatureContext;
 use crate::feature::Feature;
 use crate::plan::FeaturePlan;
-use crate::sampler::{clamp_confidence, partial_tag, Sampler, TrainingEvent};
+use crate::sampler::{clamp_confidence, partial_tag, SampledSetFilter, Sampler, TrainingEvent};
 use crate::tables::WeightTables;
 
 /// Statistics about predictor activity.
@@ -37,9 +37,12 @@ pub struct MultiperspectivePredictor {
     /// LLC sets between consecutive sampled sets.
     sample_stride: u32,
     /// `(shift, mask)` when `sample_stride` is a power of two (the common
-    /// configuration): turns the two divisions per access in the sampled
-    /// check into a mask test and a shift.
+    /// configuration): turns the quotient computation on the sampled path
+    /// into a shift.
     sample_pow2: Option<(u32, u32)>,
+    /// One bit per LLC set: the O(1) membership test every access takes
+    /// before any train-stage work.
+    set_filter: SampledSetFilter,
     stats: PredictorStats,
     events_buf: Vec<TrainingEvent>,
     indices_buf: Vec<u16>,
@@ -92,6 +95,7 @@ impl MultiperspectivePredictor {
             sampler: Sampler::new(sampler_sets, assocs, theta),
             sample_stride,
             sample_pow2,
+            set_filter: SampledSetFilter::new(llc_sets, sample_stride, sampler_sets),
             stats: PredictorStats::default(),
             events_buf: Vec::with_capacity(64),
             indices_buf: Vec::with_capacity(16),
@@ -108,30 +112,31 @@ impl MultiperspectivePredictor {
         self.stats
     }
 
-    /// The sampler set `llc_set` maps to, if it is a sampled set.
+    /// The sampler set `llc_set` maps to, if it is a sampled set. The
+    /// fast path is one bit test in [`SampledSetFilter`]; the quotient is
+    /// only computed for the rare sampled access.
     #[inline]
     fn sampler_set(&self, llc_set: u32) -> Option<u32> {
-        let quotient = match self.sample_pow2 {
-            Some((shift, mask)) => {
-                if llc_set & mask != 0 {
-                    return None;
-                }
-                llc_set >> shift
-            }
-            None => {
-                if !llc_set.is_multiple_of(self.sample_stride) {
-                    return None;
-                }
-                llc_set / self.sample_stride
-            }
-        };
-        (quotient < self.sampler.sets()).then_some(quotient)
+        if !self.set_filter.contains(llc_set) {
+            return None;
+        }
+        Some(match self.sample_pow2 {
+            Some((shift, _)) => llc_set >> shift,
+            None => llc_set / self.sample_stride,
+        })
     }
 
     /// Whether `llc_set` is a sampled set.
     #[inline]
     pub fn is_sampled(&self, llc_set: u32) -> bool {
-        self.sampler_set(llc_set).is_some()
+        self.set_filter.contains(llc_set)
+    }
+
+    /// The sampled-set membership filter (shared with callers that gate
+    /// their own deferred train stage, e.g. the MPPPB policy's split
+    /// predict/train pipeline).
+    pub fn set_filter(&self) -> &SampledSetFilter {
+        &self.set_filter
     }
 
     /// Computes the per-feature weight-arena offsets for an access into
@@ -171,6 +176,25 @@ impl MultiperspectivePredictor {
         self.train(llc_set, block, &indices, confidence);
         self.indices_buf = indices;
         confidence
+    }
+
+    /// The back half of [`Self::access`] for a batched front-end that
+    /// already computed this access's arena offsets (through
+    /// [`FeaturePlan::compute_offsets_batch`] over a lookahead window):
+    /// gathers the confidence and trains from the supplied offsets.
+    /// Bit-identical to [`Self::access`] given identical offsets — the
+    /// fused path's own offsets pass produces exactly these values.
+    pub fn access_precomputed(&mut self, indices: &[u16], llc_set: u32, block: u64) -> i32 {
+        self.stats.predictions += 1;
+        let confidence = self.tables.confidence(indices);
+        self.train(llc_set, block, indices, confidence);
+        confidence
+    }
+
+    /// The compiled feature plan (for batched front-ends that group index
+    /// computation across accesses).
+    pub fn plan(&self) -> &FeaturePlan {
+        &self.plan
     }
 
     /// Presents an access to the sampler if its set is sampled, applying

@@ -250,6 +250,44 @@ impl Sampler {
     }
 }
 
+/// O(1) sampled-set membership filter: one bit per LLC set, built once at
+/// predictor construction from the arithmetic sampling definition (every
+/// `stride`-th set, as long as its quotient names a real sampler set).
+///
+/// The per-access membership test on the train path used to be a
+/// divide/modulo (or shift/mask for power-of-two strides) plus a range
+/// check; the filter turns it into a single indexed bit test for *any*
+/// stride, so the overwhelmingly common unsampled access skips
+/// tag-partialing, LRU bookkeeping, and weight-update setup on one load.
+/// Exact by construction — no false positives or negatives.
+#[derive(Debug, Clone)]
+pub struct SampledSetFilter {
+    bits: Box<[u64]>,
+}
+
+impl SampledSetFilter {
+    /// Builds the filter for `llc_sets` sets sampled every `stride` sets
+    /// into `sampler_sets` sampler sets.
+    pub fn new(llc_sets: u32, stride: u32, sampler_sets: u32) -> Self {
+        let stride = stride.max(1);
+        let mut bits = vec![0u64; (llc_sets as usize).div_ceil(64)].into_boxed_slice();
+        for set in (0..llc_sets).step_by(stride as usize) {
+            if set / stride < sampler_sets {
+                bits[(set / 64) as usize] |= 1u64 << (set % 64);
+            }
+        }
+        SampledSetFilter { bits }
+    }
+
+    /// Whether `llc_set` is a sampled set. Sets beyond the built range
+    /// are never sampled.
+    #[inline]
+    pub fn contains(&self, llc_set: u32) -> bool {
+        let word = (llc_set / 64) as usize;
+        word < self.bits.len() && self.bits[word] & (1u64 << (llc_set % 64)) != 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,8 +11,10 @@
 //! * `MRP_NO_SIMD=1` (any value other than `0`/empty) forces the scalar
 //!   kernels, so the fallback path stays exercised on AVX2 machines (CI
 //!   runs one leg with this set);
-//! * otherwise `is_x86_feature_detected!("avx2")` picks the AVX2 kernels
-//!   where the hardware has them.
+//! * otherwise the widest of `avx512f`+`avx512bw` and `avx2` the
+//!   hardware reports wins (AVX-512 needs both: the lane kernel's
+//!   64-bit permutes/shifts are F, the 512-bit `cvtepu16_epi32` widen
+//!   in the gather-sum is BW).
 //!
 //! Every kernel pair is bit-identical by construction (same integer
 //! operations, no floating point); `mrp-verify`'s kernel-identity pass
@@ -27,15 +29,19 @@ pub enum SimdLevel {
     Scalar,
     /// Explicit `core::arch::x86_64` AVX2 kernels.
     Avx2,
+    /// Explicit `core::arch::x86_64` AVX-512 kernels (requires
+    /// `avx512f` + `avx512bw`).
+    Avx512,
 }
 
 impl SimdLevel {
-    /// Stable lowercase name (`"scalar"` / `"avx2"`), for telemetry and
-    /// the `bench_snapshot` report.
+    /// Stable lowercase name (`"scalar"` / `"avx2"` / `"avx512"`), for
+    /// telemetry and the `bench_snapshot` report.
     pub fn name(self) -> &'static str {
         match self {
             SimdLevel::Scalar => "scalar",
             SimdLevel::Avx2 => "avx2",
+            SimdLevel::Avx512 => "avx512",
         }
     }
 }
@@ -55,6 +61,11 @@ fn simd_disabled_by_env() -> bool {
 pub fn available_levels() -> &'static [SimdLevel] {
     #[cfg(target_arch = "x86_64")]
     {
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512bw")
+        {
+            return &[SimdLevel::Scalar, SimdLevel::Avx2, SimdLevel::Avx512];
+        }
         if std::arch::is_x86_feature_detected!("avx2") {
             return &[SimdLevel::Scalar, SimdLevel::Avx2];
         }
@@ -80,22 +91,26 @@ pub fn level() -> SimdLevel {
 pub const GATHER_PAD: usize = 4;
 
 /// Sums the `i8` weights selected by `offsets`, dispatching to the AVX2
-/// gather when `level` asks for it and every offset leaves [`GATHER_PAD`]
-/// readable bytes (callers allocate arenas with the pad; anything else
-/// falls back to the scalar sum, which bounds-checks normally).
+/// or AVX-512 gather when `level` asks for it and every offset leaves
+/// [`GATHER_PAD`] readable bytes (callers allocate arenas with the pad;
+/// anything else falls back to the scalar sum, which bounds-checks
+/// normally).
 #[inline]
 pub fn gather_sum_i8(weights: &[i8], offsets: &[u16], level: SimdLevel) -> i32 {
     #[cfg(target_arch = "x86_64")]
     {
-        if level == SimdLevel::Avx2
+        if level != SimdLevel::Scalar
             && offsets
                 .iter()
                 .all(|&o| usize::from(o) + GATHER_PAD <= weights.len())
         {
-            // SAFETY: AVX2 is detected before `SimdLevel::Avx2` is ever
-            // produced, and the bound above keeps every 4-byte gather
-            // inside `weights`.
-            return unsafe { gather_sum_i8_avx2(weights, offsets) };
+            // SAFETY: the feature set is detected before the matching
+            // level is ever produced, and the bound above keeps every
+            // 4-byte gather inside `weights`.
+            return match level {
+                SimdLevel::Avx512 => unsafe { gather_sum_i8_avx512(weights, offsets) },
+                _ => unsafe { gather_sum_i8_avx2(weights, offsets) },
+            };
         }
     }
     let _ = level;
@@ -139,6 +154,37 @@ unsafe fn gather_sum_i8_avx2(weights: &[i8], offsets: &[u16]) -> i32 {
     _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
     let mut sum: i32 = lanes.iter().sum();
     for &o in &offsets[chunks * 8..] {
+        sum += i32::from(weights[usize::from(o)]);
+    }
+    sum
+}
+
+/// AVX-512 gather-sum: widens 16 offsets at a time to i32 lanes, gathers
+/// one 32-bit word per weight at byte granularity, and sign-extends the
+/// low byte of each before accumulating.
+///
+/// # Safety
+///
+/// Requires AVX-512 F+BW, and `usize::from(o) + 4 <= weights.len()` for
+/// every offset (each lane reads 4 bytes starting at its offset).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw")]
+unsafe fn gather_sum_i8_avx512(weights: &[i8], offsets: &[u16]) -> i32 {
+    use core::arch::x86_64::*;
+
+    let base = weights.as_ptr() as *const i32;
+    let mut acc = _mm512_setzero_si512();
+    let chunks = offsets.len() / 16;
+    for c in 0..chunks {
+        let o = _mm256_loadu_si256(offsets.as_ptr().add(c * 16) as *const __m256i);
+        let vindex = _mm512_cvtepu16_epi32(o);
+        // scale = 1: offsets address individual bytes of the i8 arena.
+        let words = _mm512_i32gather_epi32(vindex, base, 1);
+        let signed = _mm512_srai_epi32(_mm512_slli_epi32(words, 24), 24);
+        acc = _mm512_add_epi32(acc, signed);
+    }
+    let mut sum = _mm512_reduce_add_epi32(acc);
+    for &o in &offsets[chunks * 16..] {
         sum += i32::from(weights[usize::from(o)]);
     }
     sum

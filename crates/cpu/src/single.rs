@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use mrp_cache::{Hierarchy, HierarchyConfig, HierarchyStats, ReplacementPolicy};
+use mrp_cache::{Hierarchy, HierarchyConfig, HierarchyStats, ReplacementPolicy, HIERARCHY_BATCH};
 use mrp_trace::MemoryAccess;
 
 use crate::core_model::{CoreModel, CoreModelConfig};
@@ -92,18 +92,32 @@ impl<T: Iterator<Item = MemoryAccess>> SingleCoreSim<T> {
         }
     }
 
-    /// Runs until at least `instructions` have retired.
+    /// Runs until at least `instructions` have retired, driving the
+    /// hierarchy in [`HIERARCHY_BATCH`]-access groups so the LLC
+    /// policy's prediction stage can batch
+    /// ([`Hierarchy::access_batch`]). The group pull re-checks the
+    /// retirement target exactly where the one-at-a-time loop would, so
+    /// the access sequence (including the final overshoot) is
+    /// unchanged; accesses retire in access order.
     fn advance(&mut self, instructions: u64) {
         let mut retired = 0u64;
+        let mut group: Vec<MemoryAccess> = Vec::with_capacity(HIERARCHY_BATCH);
+        let mut outcomes = Vec::with_capacity(HIERARCHY_BATCH);
         while retired < instructions {
-            let access = self.trace.next().expect("traces are infinite");
-            let outcome = self.hierarchy.access(&access);
-            self.core.retire_access(
-                access.instructions() as u32,
-                outcome.latency,
-                access.dependent,
-            );
-            retired += access.instructions();
+            group.clear();
+            while group.len() < HIERARCHY_BATCH && retired < instructions {
+                let access = self.trace.next().expect("traces are infinite");
+                retired += access.instructions();
+                group.push(access);
+            }
+            self.hierarchy.access_batch(&group, &mut outcomes);
+            for (access, outcome) in group.iter().zip(&outcomes) {
+                self.core.retire_access(
+                    access.instructions() as u32,
+                    outcome.latency,
+                    access.dependent,
+                );
+            }
         }
     }
 

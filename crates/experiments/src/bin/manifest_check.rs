@@ -1,20 +1,187 @@
-//! Validates every JSONL run manifest in a directory against the
-//! `mrp-run-manifest-v1` schema. CI runs this after the smoke drivers so
-//! a malformed manifest fails the build instead of silently rotting in
-//! the uploaded artifact.
+//! CI gate binary: run-manifest schema validation plus the bench
+//! snapshot regression gate.
+//!
+//! **Manifest mode** (default): validates every JSONL run manifest in a
+//! directory against the `mrp-run-manifest-v1` schema. CI runs this
+//! after the smoke drivers so a malformed manifest fails the build
+//! instead of silently rotting in the uploaded artifact.
+//!
+//! **Bench-gate mode** (`--bench-gate FRESH.json`): diffs a freshly
+//! measured `bench_snapshot` document against the committed baseline
+//! (`--bench-baseline`, default `results/bench_snapshot.json`) and exits
+//! nonzero when a gated metric regressed beyond the tolerance
+//! (`--tolerance-pct`, default 15). Gated metrics: the predictor hot
+//! path (`index_16_features`, `confidence_and_train` — higher ns/op is
+//! worse) and per-policy hierarchy throughput (lower instructions/sec is
+//! worse). Non-gated fields (lane kernels, batch widths, replay
+//! speedup) are informational: they vary with the detected SIMD level
+//! and machine, and the gated metrics already cover their sum.
+//! `--bless` re-anchors: the fresh snapshot overwrites the baseline and
+//! the gate passes, for intentional perf-profile changes.
 //!
 //! Usage: `manifest_check [--dir runs]`
-//!
-//! Exits nonzero if the directory is missing, holds no `*.jsonl` files,
-//! or any manifest fails validation; prints one summary line per file.
+//!        `manifest_check --bench-gate results/bench_fresh.json
+//!          [--bench-baseline results/bench_snapshot.json]
+//!          [--tolerance-pct 15] [--bless]`
 
 use std::path::Path;
 use std::process::ExitCode;
 
 use mrp_experiments::Args;
+use mrp_obs::Json;
+
+/// One gated metric: where it lives and which direction is a regression.
+struct GatedMetric {
+    /// Dotted display name (`hierarchy_throughput.MPPPB.instructions_per_sec`).
+    name: String,
+    /// Path through the JSON objects.
+    path: Vec<String>,
+    /// `true` for ns/op metrics, `false` for throughput.
+    higher_is_worse: bool,
+}
+
+/// Looks up a nested numeric field.
+fn metric(doc: &Json, path: &[String]) -> Option<f64> {
+    let mut cur = doc;
+    for key in path {
+        cur = cur.get(key)?;
+    }
+    cur.as_f64()
+}
+
+/// The gate set for a given baseline document: the two predictor
+/// hot-path metrics plus one throughput metric per policy the baseline
+/// recorded (so adding a policy to `bench_snapshot` auto-extends the
+/// gate once blessed).
+fn gated_metrics(baseline: &Json) -> Vec<GatedMetric> {
+    let mut out = vec![
+        GatedMetric {
+            name: "predictor_hot_path.index_16_features.median_ns_per_op".into(),
+            path: vec![
+                "predictor_hot_path".into(),
+                "index_16_features".into(),
+                "median_ns_per_op".into(),
+            ],
+            higher_is_worse: true,
+        },
+        GatedMetric {
+            name: "predictor_hot_path.confidence_and_train.median_ns_per_op".into(),
+            path: vec![
+                "predictor_hot_path".into(),
+                "confidence_and_train".into(),
+                "median_ns_per_op".into(),
+            ],
+            higher_is_worse: true,
+        },
+    ];
+    if let Some(Json::Obj(policies)) = baseline.get("hierarchy_throughput") {
+        for (policy, _) in policies {
+            out.push(GatedMetric {
+                name: format!("hierarchy_throughput.{policy}.instructions_per_sec"),
+                path: vec![
+                    "hierarchy_throughput".into(),
+                    policy.clone(),
+                    "instructions_per_sec".into(),
+                ],
+                higher_is_worse: false,
+            });
+        }
+    }
+    out
+}
+
+/// Compares fresh against baseline; returns regression descriptions
+/// (empty = gate passes) or an error when a document is malformed.
+fn bench_gate(baseline: &Json, fresh: &Json, tolerance_pct: f64) -> Result<Vec<String>, String> {
+    let tol = tolerance_pct / 100.0;
+    let mut failures = Vec::new();
+    for m in gated_metrics(baseline) {
+        let base = metric(baseline, &m.path)
+            .ok_or_else(|| format!("baseline snapshot missing numeric field {}", m.name))?;
+        let new = metric(fresh, &m.path)
+            .ok_or_else(|| format!("fresh snapshot missing numeric field {}", m.name))?;
+        let (regressed, change_pct) = if m.higher_is_worse {
+            (new > base * (1.0 + tol), (new / base - 1.0) * 100.0)
+        } else {
+            (new < base * (1.0 - tol), (1.0 - new / base) * 100.0)
+        };
+        let verdict = if regressed { "REGRESSED" } else { "ok" };
+        println!(
+            "{}: {base:.3} -> {new:.3} ({change_pct:+.1}% {}) {verdict}",
+            m.name,
+            if m.higher_is_worse { "slower" } else { "loss" },
+        );
+        if regressed {
+            failures.push(format!(
+                "{} regressed {change_pct:.1}% (baseline {base:.3}, fresh {new:.3}, \
+                 tolerance {tolerance_pct:.0}%)",
+                m.name
+            ));
+        }
+    }
+    Ok(failures)
+}
+
+fn load_json(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn run_bench_gate(args: &Args, fresh_path: &str) -> ExitCode {
+    let baseline_path = args.get_str("bench-baseline", "results/bench_snapshot.json");
+    let tolerance_pct = args.get_u64("tolerance-pct", 15) as f64;
+    let bless = args.get_flag("bless", false);
+    let fresh = match load_json(fresh_path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if bless {
+        if let Err(e) = std::fs::copy(fresh_path, &baseline_path) {
+            eprintln!("bench_gate: bless {fresh_path} -> {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("bench_gate: blessed {fresh_path} as new baseline {baseline_path}");
+        return ExitCode::SUCCESS;
+    }
+    let baseline = match load_json(&baseline_path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match bench_gate(&baseline, &fresh, tolerance_pct) {
+        Ok(failures) if failures.is_empty() => {
+            println!("# bench gate passed ({tolerance_pct:.0}% tolerance)");
+            ExitCode::SUCCESS
+        }
+        Ok(failures) => {
+            for f in &failures {
+                eprintln!("bench_gate: {f}");
+            }
+            eprintln!(
+                "# bench gate FAILED: {} metric(s) regressed \
+                 (rerun with --bless to re-anchor an intentional change)",
+                failures.len()
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args = Args::parse();
+    let bench_gate_path = args.get_str("bench-gate", "");
+    if !bench_gate_path.is_empty() {
+        return run_bench_gate(&args, &bench_gate_path);
+    }
     let dir = args.get_str("dir", "runs");
     let summaries = match mrp_obs::validate_dir(Path::new(&dir)) {
         Ok(s) => s,
@@ -35,4 +202,70 @@ fn main() -> ExitCode {
     }
     println!("# {} manifest(s) valid", summaries.len());
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(index: f64, train: f64, lru: f64, mpppb: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{
+              "predictor_hot_path": {{
+                "index_16_features": {{ "median_ns_per_op": {index} }},
+                "confidence_and_train": {{ "median_ns_per_op": {train} }}
+              }},
+              "hierarchy_throughput": {{
+                "LRU": {{ "instructions_per_sec": {lru} }},
+                "MPPPB": {{ "instructions_per_sec": {mpppb} }}
+              }}
+            }}"#
+        ))
+        .expect("valid test snapshot")
+    }
+
+    #[test]
+    fn unchanged_and_improved_metrics_pass() {
+        let base = snapshot(40.0, 80.0, 30e6, 35e6);
+        // Faster hot path, higher throughput: clean.
+        let fresh = snapshot(20.0, 60.0, 40e6, 40e6);
+        assert!(bench_gate(&base, &fresh, 15.0).unwrap().is_empty());
+        // Exactly at the boundary is still within tolerance.
+        let edge = snapshot(40.0 * 1.15, 80.0, 30e6 * 0.85, 35e6);
+        assert!(bench_gate(&base, &edge, 15.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn slower_ns_and_lower_throughput_fail() {
+        let base = snapshot(40.0, 80.0, 30e6, 35e6);
+        let slow_index = snapshot(50.0, 80.0, 30e6, 35e6);
+        let f = bench_gate(&base, &slow_index, 15.0).unwrap();
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].contains("index_16_features"), "{f:?}");
+
+        let slow_mpppb = snapshot(40.0, 80.0, 30e6, 25e6);
+        let f = bench_gate(&base, &slow_mpppb, 15.0).unwrap();
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].contains("MPPPB"), "{f:?}");
+    }
+
+    #[test]
+    fn gate_covers_every_baseline_policy() {
+        let base = snapshot(40.0, 80.0, 30e6, 35e6);
+        let names: Vec<String> = gated_metrics(&base).into_iter().map(|m| m.name).collect();
+        assert_eq!(names.len(), 4);
+        assert!(names
+            .iter()
+            .any(|n| n == "hierarchy_throughput.LRU.instructions_per_sec"));
+        assert!(names
+            .iter()
+            .any(|n| n == "hierarchy_throughput.MPPPB.instructions_per_sec"));
+    }
+
+    #[test]
+    fn missing_field_is_an_error_not_a_pass() {
+        let base = snapshot(40.0, 80.0, 30e6, 35e6);
+        let truncated = Json::parse(r#"{ "predictor_hot_path": {} }"#).unwrap();
+        assert!(bench_gate(&base, &truncated, 15.0).is_err());
+    }
 }
