@@ -9,14 +9,17 @@
 //!
 //! `--bless` regenerates the reduced-scale golden matrix at
 //! `results/fig10_golden.txt` (checked by the `golden_tables` test)
-//! instead of running the full study.
+//! instead of running the full study; `--golden-check` re-renders it
+//! and exits nonzero on drift (the `orchestrate ci` entry point).
+
+use std::process::ExitCode;
 
 use mrp_experiments::ablation;
 use mrp_experiments::output::pct;
 use mrp_experiments::{finish_manifest, golden, Args, RunScale};
 use mrp_obs::Json;
 
-fn main() {
+fn main() -> ExitCode {
     let args = Args::parse();
     let threads = args.init_threads();
     args.init_replay();
@@ -24,7 +27,16 @@ fn main() {
         let path = golden::results_path("fig10_golden.txt");
         std::fs::write(&path, golden::ablation_golden()).expect("write golden");
         eprintln!("fig10 golden regenerated at {}", path.display());
-        return;
+        return ExitCode::SUCCESS;
+    }
+    if args.get_flag("golden-check", false) {
+        return golden::run_golden_check(
+            &args,
+            "fig10_ablation",
+            "fig10_golden.txt",
+            golden::ABLATION_SEED,
+            golden::ablation_golden,
+        );
     }
     let scale = args.run_scale(RunScale::multi_core().warmup(1_000_000).measure(5_000_000));
     let mut manifest = args.init_metrics("fig10_ablation", scale.seed);
@@ -80,4 +92,5 @@ fn main() {
     }
     drop(report_phase);
     finish_manifest(manifest);
+    ExitCode::SUCCESS
 }

@@ -9,15 +9,37 @@
 //! re-simulates every cell instead. `--metrics` additionally writes a
 //! schema-versioned JSONL run manifest (per-cell IPC/MPKI, phase
 //! timings, runtime counters) under `--manifest-dir`.
+//!
+//! `--bless` regenerates the reduced-scale golden matrix at
+//! `results/fig6_golden.txt` (checked by the `golden` test) and
+//! `--golden-check` re-renders it and exits nonzero on drift (the
+//! `orchestrate ci` entry point).
+
+use std::process::ExitCode;
 
 use mrp_experiments::output::pct;
-use mrp_experiments::{finish_manifest, single_thread, Args, RunScale};
+use mrp_experiments::{finish_manifest, golden, single_thread, Args, RunScale};
 use mrp_obs::Json;
 
-fn main() {
+fn main() -> ExitCode {
     let args = Args::parse();
     let threads = args.init_threads();
     let replay = args.init_replay();
+    if args.get_flag("bless", false) {
+        let path = golden::results_path("fig6_golden.txt");
+        std::fs::write(&path, golden::fig6_golden()).expect("write golden");
+        eprintln!("fig6 golden regenerated at {}", path.display());
+        return ExitCode::SUCCESS;
+    }
+    if args.get_flag("golden-check", false) {
+        return golden::run_golden_check(
+            &args,
+            "fig6_st_speedup",
+            "fig6_golden.txt",
+            golden::FIG6_SEED,
+            golden::fig6_golden,
+        );
+    }
     let scale = args.run_scale(RunScale::single_thread());
     let mut manifest = args.init_metrics("fig6_st_speedup", scale.seed);
     let workloads = args.get_usize("workloads", 33);
@@ -83,4 +105,5 @@ fn main() {
     }
     drop(report_phase);
     finish_manifest(manifest);
+    ExitCode::SUCCESS
 }

@@ -6,13 +6,16 @@
 //!
 //! `--bless` regenerates the reduced-scale golden matrix at
 //! `results/table3_golden.txt` (checked by the `golden_tables` test)
-//! instead of running the full study.
+//! instead of running the full study; `--golden-check` re-renders it
+//! and exits nonzero on drift (the `orchestrate ci` entry point).
+
+use std::process::ExitCode;
 
 use mrp_experiments::feature_table;
 use mrp_experiments::{finish_manifest, golden, Args};
 use mrp_obs::Json;
 
-fn main() {
+fn main() -> ExitCode {
     let args = Args::parse();
     let threads = args.init_threads();
     args.init_replay();
@@ -20,7 +23,16 @@ fn main() {
         let path = golden::results_path("table3_golden.txt");
         std::fs::write(&path, golden::table3_golden()).expect("write golden");
         eprintln!("table3 golden regenerated at {}", path.display());
-        return;
+        return ExitCode::SUCCESS;
+    }
+    if args.get_flag("golden-check", false) {
+        return golden::run_golden_check(
+            &args,
+            "table3_contrib",
+            "table3_golden.txt",
+            golden::TABLE3_SEED,
+            golden::table3_golden,
+        );
     }
     let workloads = args.get_usize("workloads", 33);
     let instructions = args.get_u64("instructions", 3_000_000);
@@ -71,4 +83,5 @@ fn main() {
     }
     drop(report_phase);
     finish_manifest(manifest);
+    ExitCode::SUCCESS
 }

@@ -1,26 +1,35 @@
-//! Golden-file plumbing for the table-producing drivers.
+//! Golden-file plumbing for the golden-backed drivers.
 //!
-//! The ablation (Fig. 10) and feature-contribution (Table 3) drivers
-//! promise deterministic, bit-identical outputs for a given seed. Each
-//! gets a reduced-scale golden matrix in `results/`, regenerated with the
-//! driver's `--bless` flag (or `MRP_UPDATE_GOLDEN=1` on the test), in the
-//! same format as `results/fig6_golden.txt`: a trace fingerprint line
-//! followed by rows carrying exact `f64::to_bits` values plus a human
-//! comment.
+//! The Fig. 6 matrix, ablation (Fig. 10), and feature-contribution
+//! (Table 3) drivers promise deterministic, bit-identical outputs for a
+//! given seed. Each gets a reduced-scale golden matrix in `results/`,
+//! regenerated with the driver's `--bless` flag (or
+//! `MRP_UPDATE_GOLDEN=1` on the test), in a shared format: a trace
+//! fingerprint line followed by rows carrying exact `f64::to_bits`
+//! values plus a human comment.
 //!
-//! Like the Fig. 6 golden, values are only comparable when the trace
-//! streams match — they depend on the `rand` implementation backing the
-//! generators — so a fingerprint mismatch skips the comparison with a
-//! message instead of failing.
+//! Values are only comparable when the trace streams match — they
+//! depend on the `rand` implementation backing the generators — so a
+//! fingerprint mismatch skips the comparison with a message instead of
+//! failing.
+//!
+//! Two consumers share the comparison logic ([`diff_against_committed`]
+//! / [`GoldenOutcome`]): the test harness ([`check_against_committed`]
+//! panics on drift, for `cargo test`) and the drivers' `--golden-check`
+//! mode ([`golden_check_cli`] returns pass/fail, for `orchestrate ci`
+//! to turn into a process exit code).
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::process::ExitCode;
 
+use mrp_obs::Json;
 use mrp_trace::workloads;
 
 use crate::ablation;
 use crate::feature_table;
-use crate::runner::MpParams;
+use crate::runner::{run_single_kind, run_single_mpppb_cv, MpParams, StParams};
+use crate::PolicyKind;
 
 /// Workloads folded into the trace fingerprint (a stable, representative
 /// sample of the suite).
@@ -48,6 +57,54 @@ pub fn trace_fingerprint(seed: u64) -> u64 {
         }
     }
     fp
+}
+
+/// Seed of the Fig. 6 golden run.
+pub const FIG6_SEED: u64 = 1;
+
+/// Policies in the Fig. 6 golden matrix (plus the `mpppb-cv` row).
+const FIG6_KINDS: [PolicyKind; 3] = [PolicyKind::Lru, PolicyKind::Srrip, PolicyKind::MpppbSingle];
+
+/// Renders the reduced-scale Fig. 6 golden matrix: MPKI/IPC per
+/// (workload × policy) over the fingerprint workloads, exact to the bit.
+pub fn fig6_golden() -> String {
+    let params = StParams {
+        warmup: 50_000,
+        measure: 200_000,
+        seed: FIG6_SEED,
+    };
+    let suite = workloads::suite();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# fig6 golden matrix (reduced scale: warmup 50k / measure 200k, seed {FIG6_SEED})"
+    );
+    let _ = writeln!(
+        out,
+        "# regenerate: MRP_UPDATE_GOLDEN=1 cargo test -p mrp-experiments --test golden"
+    );
+    let _ = writeln!(out, "fingerprint {:016x}", trace_fingerprint(FIG6_SEED));
+    for name in FINGERPRINT_WORKLOADS {
+        let w = suite.iter().find(|w| w.name() == name).expect("workload");
+        let mut rows: Vec<(String, f64, f64)> = FIG6_KINDS
+            .iter()
+            .map(|kind| {
+                let r = run_single_kind(w, *kind, params);
+                (kind.name().to_string(), r.mpki, r.ipc)
+            })
+            .collect();
+        let cv = run_single_mpppb_cv(w, params);
+        rows.push(("mpppb-cv".to_string(), cv.mpki, cv.ipc));
+        for (policy, mpki, ipc) in rows {
+            let _ = writeln!(
+                out,
+                "{name} {policy} {:016x} {:016x} # mpki={mpki:.4} ipc={ipc:.4}",
+                mpki.to_bits(),
+                ipc.to_bits()
+            );
+        }
+    }
+    out
 }
 
 /// Seed of the ablation golden run.
@@ -118,6 +175,78 @@ pub fn table3_golden() -> String {
     out
 }
 
+/// Outcome of comparing a freshly rendered golden against the committed
+/// file, without deciding pass/fail policy (the test harness panics on
+/// drift; the drivers' `--golden-check` mode turns it into an exit
+/// code).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GoldenOutcome {
+    /// Every significant line matches bit-for-bit.
+    Match,
+    /// Trace fingerprints differ: values were produced by a different
+    /// rand/trace stream and are incomparable. Skipped, not failed.
+    FingerprintSkip {
+        /// Fingerprint recorded in the committed file.
+        committed: u64,
+        /// Fingerprint of this environment's trace streams.
+        fresh: u64,
+    },
+    /// Fingerprints match but lines differ: outputs are no longer
+    /// bit-identical. Each entry describes one drifted line.
+    Drift(Vec<String>),
+    /// The committed golden file is absent or unreadable.
+    Missing(String),
+}
+
+/// Compares `rendered` against the committed golden `file`, returning
+/// the structured [`GoldenOutcome`]. Comment lines (`#`) are ignored;
+/// everything else — fingerprint line included — must match exactly.
+pub fn diff_against_committed(file: &str, rendered: &str) -> GoldenOutcome {
+    let path = results_path(file);
+    let committed = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => return GoldenOutcome::Missing(format!("{}: {e}", path.display())),
+    };
+    let fp = |text: &str| -> Option<u64> {
+        text.lines()
+            .find_map(|l| l.strip_prefix("fingerprint "))
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+    };
+    let (Some(committed_fp), Some(fresh_fp)) = (fp(&committed), fp(rendered)) else {
+        return GoldenOutcome::Missing(format!(
+            "{}: no parseable fingerprint line",
+            path.display()
+        ));
+    };
+    if committed_fp != fresh_fp {
+        return GoldenOutcome::FingerprintSkip {
+            committed: committed_fp,
+            fresh: fresh_fp,
+        };
+    }
+    fn significant(text: &str) -> Vec<&str> {
+        text.lines().filter(|l| !l.starts_with('#')).collect()
+    }
+    let (want, got) = (significant(&committed), significant(rendered));
+    let mut drifted = Vec::new();
+    for i in 0..want.len().max(got.len()) {
+        let (w, g) = (want.get(i).copied(), got.get(i).copied());
+        if w != g {
+            drifted.push(format!(
+                "row {}: committed {} vs fresh {}",
+                i + 1,
+                w.unwrap_or("<absent>"),
+                g.unwrap_or("<absent>")
+            ));
+        }
+    }
+    if drifted.is_empty() {
+        GoldenOutcome::Match
+    } else {
+        GoldenOutcome::Drift(drifted)
+    }
+}
+
 /// Compares a freshly rendered golden against the committed file.
 ///
 /// * `MRP_UPDATE_GOLDEN=1` (or a missing-but-blessing caller) rewrites
@@ -131,46 +260,99 @@ pub fn table3_golden() -> String {
 ///
 /// Panics when the committed file is absent or any line differs.
 pub fn check_against_committed(file: &str, rendered: &str) {
-    let path = results_path(file);
     if std::env::var("MRP_UPDATE_GOLDEN").is_ok() {
+        let path = results_path(file);
         std::fs::write(&path, rendered).expect("write golden");
         eprintln!("golden regenerated at {}", path.display());
         return;
     }
-    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "missing golden file {} ({e}); regenerate it with the driver's --bless flag",
-            path.display()
-        )
-    });
-    let fp = |text: &str| -> u64 {
-        text.lines()
-            .find_map(|l| l.strip_prefix("fingerprint "))
-            .map(|h| u64::from_str_radix(h, 16).expect("fingerprint hex"))
-            .expect("fingerprint line")
-    };
-    let (committed_fp, fresh_fp) = (fp(&committed), fp(rendered));
-    if committed_fp != fresh_fp {
-        eprintln!(
-            "{file}: trace fingerprint mismatch ({committed_fp:016x} committed vs \
-             {fresh_fp:016x} here): golden values were produced by a different \
-             rand/trace stream; skipping value comparison. Re-bless to pin this \
-             environment."
-        );
-        return;
+    match diff_against_committed(file, rendered) {
+        GoldenOutcome::Match => {}
+        GoldenOutcome::FingerprintSkip { committed, fresh } => {
+            eprintln!(
+                "{file}: trace fingerprint mismatch ({committed:016x} committed vs \
+                 {fresh:016x} here): golden values were produced by a different \
+                 rand/trace stream; skipping value comparison. Re-bless to pin this \
+                 environment."
+            );
+        }
+        GoldenOutcome::Drift(lines) => panic!(
+            "{file} drifted (outputs are no longer bit-identical); if the change is \
+             intentional, re-bless with the driver's --bless flag:\n{}",
+            lines.join("\n")
+        ),
+        GoldenOutcome::Missing(why) => {
+            panic!("missing golden file ({why}); regenerate it with the driver's --bless flag")
+        }
     }
-    let significant = |text: &str| -> Vec<String> {
-        text.lines()
-            .filter(|l| !l.starts_with('#'))
-            .map(String::from)
-            .collect()
-    };
-    let (want, got) = (significant(&committed), significant(rendered));
-    assert_eq!(
-        want, got,
-        "{file} drifted (outputs are no longer bit-identical); \
-         if the change is intentional, re-bless with the driver's --bless flag"
-    );
+}
+
+/// `--golden-check` driver mode: compares and reports on stderr,
+/// returning whether the check passed (a [`GoldenOutcome::FingerprintSkip`]
+/// passes — the values are incomparable, not wrong — so CI hosts with a
+/// different rand stream skip rather than fail, exactly like the test
+/// tier).
+pub fn golden_check_cli(file: &str, rendered: &str) -> bool {
+    match diff_against_committed(file, rendered) {
+        GoldenOutcome::Match => {
+            eprintln!("golden-check {file}: ok (bit-identical)");
+            true
+        }
+        GoldenOutcome::FingerprintSkip { committed, fresh } => {
+            eprintln!(
+                "golden-check {file}: skipped (fingerprint {committed:016x} committed vs \
+                 {fresh:016x} here; different rand/trace stream)"
+            );
+            true
+        }
+        GoldenOutcome::Drift(lines) => {
+            eprintln!(
+                "golden-check {file}: FAILED — {} drifted line(s):",
+                lines.len()
+            );
+            for line in &lines {
+                eprintln!("  {line}");
+            }
+            false
+        }
+        GoldenOutcome::Missing(why) => {
+            eprintln!("golden-check {file}: FAILED — {why}");
+            false
+        }
+    }
+}
+
+/// The shared `--golden-check` driver mode behind `orchestrate ci`:
+/// renders the reduced-scale golden, diffs it against the committed
+/// `file`, reports on stderr, and — with `--metrics` — records the
+/// outcome in the run manifest (`golden.match` scalar, `golden_file`
+/// meta). Returns the process exit code: failure on drift or a missing
+/// golden, success on match or fingerprint skip.
+pub fn run_golden_check(
+    args: &crate::Args,
+    bin: &str,
+    file: &str,
+    seed: u64,
+    render: impl FnOnce() -> String,
+) -> ExitCode {
+    let mut manifest = args.init_metrics(bin, seed);
+    let simulate_phase = mrp_obs::phase("simulate");
+    let rendered = render();
+    drop(simulate_phase);
+    let report_phase = mrp_obs::phase("report");
+    let ok = golden_check_cli(file, &rendered);
+    if let Some(m) = manifest.as_mut() {
+        m.meta("mode", Json::Str("golden-check".into()));
+        m.meta("golden_file", Json::Str(file.into()));
+        m.scalar("golden.match", if ok { 1.0 } else { 0.0 });
+    }
+    drop(report_phase);
+    crate::finish_manifest(manifest);
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +363,42 @@ mod tests {
     fn fingerprint_depends_on_seed() {
         assert_ne!(trace_fingerprint(1), trace_fingerprint(2));
         assert_eq!(trace_fingerprint(5), trace_fingerprint(5));
+    }
+
+    #[test]
+    fn diff_reports_structured_outcomes() {
+        // Self-comparison via a temp results copy is overkill; instead
+        // exercise the pure line-diff logic against the committed fig10
+        // golden, whose values may or may not be comparable here.
+        let fresh = ablation_golden();
+        match diff_against_committed("fig10_golden.txt", &fresh) {
+            GoldenOutcome::Match | GoldenOutcome::FingerprintSkip { .. } => {}
+            other => panic!("committed fig10 golden should match or skip, got {other:?}"),
+        }
+        // A doctored render with the right fingerprint but wrong rows
+        // must report Drift (or skip when fingerprints differ here).
+        let committed = std::fs::read_to_string(results_path("fig10_golden.txt")).unwrap();
+        let doctored: String = committed
+            .lines()
+            .map(|l| {
+                if l.starts_with('#') || l.starts_with("fingerprint") {
+                    format!("{l}\n")
+                } else {
+                    format!("{l}-doctored\n")
+                }
+            })
+            .collect();
+        match diff_against_committed("fig10_golden.txt", &doctored) {
+            GoldenOutcome::Drift(lines) => assert!(!lines.is_empty()),
+            GoldenOutcome::FingerprintSkip { .. } => {
+                unreachable!("doctored render copies the committed fingerprint")
+            }
+            other => panic!("doctored render must drift, got {other:?}"),
+        }
+        assert!(matches!(
+            diff_against_committed("no_such_golden.txt", &fresh),
+            GoldenOutcome::Missing(_)
+        ));
     }
 
     #[test]

@@ -1,0 +1,745 @@
+//! Schema-versioned orchestration state: the campaign **journal** and
+//! the aggregated **campaign manifest**.
+//!
+//! The `mrp-orchestrate` control plane persists every scheduling
+//! decision as one JSONL line appended to `journal.jsonl` inside the
+//! campaign directory. The journal is the single source of truth for
+//! resume: a killed orchestrator replays it on restart, re-verifies
+//! `done` jobs against their run manifests, and continues exactly where
+//! it stopped. The format follows the run-manifest conventions
+//! ([`crate::manifest`]): line-oriented JSON objects tagged with a
+//! `type`, a schema-carrying first line, and a hand-rolled [`Json`]
+//! encoding so integers round-trip exactly.
+//!
+//! | `type`       | written when |
+//! |--------------|--------------|
+//! | `meta`       | campaign creation (schema, campaign name, timestamp) |
+//! | `resume`     | an orchestrator restarts against an existing journal |
+//! | `enqueue`    | a job enters the campaign (id, spec hash, full spec) |
+//! | `running`    | a worker process was spawned (pid, attempt) |
+//! | `done`       | a job completed (`via` = `run` / `dedupe` / `journal`) |
+//! | `fail`       | a worker exited nonzero or vanished (attempt, reason) |
+//! | `invalidate` | a journaled `done` no longer verifies (manifest gone) |
+//!
+//! Crash tolerance: a `SIGKILL` can cut the final append mid-line.
+//! [`read_journal`] therefore tolerates an unparseable **final** line,
+//! reporting it as `truncated` with the byte offset where clean content
+//! ends so the writer can drop the partial tail before appending again.
+//! A malformed line anywhere else is corruption and an error.
+//!
+//! The campaign manifest (`campaign.jsonl`) is the deterministic
+//! aggregate the orchestrator rebuilds from done-jobs' run manifests:
+//! no timestamps, paths, or counters — only job identity, spec hashes,
+//! and per-job cells/scalars — so an interrupted-and-resumed campaign
+//! renders **bit-identically** to an uninterrupted one.
+//! [`validate_campaign`] enforces its shape.
+
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::json::Json;
+
+/// Current journal schema identifier.
+pub const JOURNAL_SCHEMA: &str = "mrp-orchestrate-journal-v1";
+
+/// Current campaign-manifest schema identifier.
+pub const CAMPAIGN_SCHEMA: &str = "mrp-campaign-manifest-v1";
+
+/// One journaled scheduling event. Field order in [`to_json`] is fixed,
+/// so render → parse → re-render is byte-identical.
+///
+/// [`to_json`]: JournalEntry::to_json
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalEntry {
+    /// First line of every journal: schema + campaign identity.
+    Meta {
+        /// Campaign name (not the directory — aggregates must not embed
+        /// paths).
+        campaign: String,
+        /// Creation time, unix seconds.
+        timestamp: u64,
+    },
+    /// An orchestrator restarted against this journal.
+    Resume {
+        /// Restart time, unix seconds.
+        timestamp: u64,
+    },
+    /// A job entered the campaign.
+    Enqueue {
+        /// Job id, unique within the campaign.
+        job: String,
+        /// Hex spec hash (the dedup key; stable across arg ordering).
+        spec_hash: String,
+        /// The full job spec, opaque to this layer (the orchestrator's
+        /// `JobSpec` JSON) — resume rebuilds the work list from it.
+        spec: Json,
+    },
+    /// A worker process was spawned for the job.
+    Running {
+        /// Job id.
+        job: String,
+        /// Worker OS process id.
+        pid: u64,
+        /// 1-based attempt number.
+        attempt: u64,
+    },
+    /// The job completed and its run manifest verified.
+    Done {
+        /// Job id.
+        job: String,
+        /// Hex spec hash, re-recorded so resume can verify the manifest
+        /// still matches the spec.
+        spec_hash: String,
+        /// Run-manifest file name (relative to the campaign's `runs/`).
+        manifest: String,
+        /// How completion was established: `run` (a worker finished),
+        /// `dedupe` (an existing manifest matched the spec hash), or
+        /// `journal` (a resume re-verified a journaled done).
+        via: String,
+    },
+    /// A worker exited unsuccessfully; the job may be retried.
+    Fail {
+        /// Job id.
+        job: String,
+        /// 1-based attempt number that failed.
+        attempt: u64,
+        /// Exit status or validation failure description.
+        reason: String,
+    },
+    /// A journaled `done` no longer verifies; the job is pending again.
+    Invalidate {
+        /// Job id.
+        job: String,
+        /// Why the done record was discarded.
+        reason: String,
+    },
+}
+
+impl JournalEntry {
+    /// The entry's `type` tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JournalEntry::Meta { .. } => "meta",
+            JournalEntry::Resume { .. } => "resume",
+            JournalEntry::Enqueue { .. } => "enqueue",
+            JournalEntry::Running { .. } => "running",
+            JournalEntry::Done { .. } => "done",
+            JournalEntry::Fail { .. } => "fail",
+            JournalEntry::Invalidate { .. } => "invalidate",
+        }
+    }
+
+    /// The job id this entry concerns, if any.
+    pub fn job(&self) -> Option<&str> {
+        match self {
+            JournalEntry::Meta { .. } | JournalEntry::Resume { .. } => None,
+            JournalEntry::Enqueue { job, .. }
+            | JournalEntry::Running { job, .. }
+            | JournalEntry::Done { job, .. }
+            | JournalEntry::Fail { job, .. }
+            | JournalEntry::Invalidate { job, .. } => Some(job),
+        }
+    }
+
+    /// Canonical JSON form (fixed field order).
+    pub fn to_json(&self) -> Json {
+        let s = |v: &str| Json::Str(v.to_string());
+        match self {
+            JournalEntry::Meta {
+                campaign,
+                timestamp,
+            } => Json::Obj(vec![
+                ("type".into(), s("meta")),
+                ("schema".into(), s(JOURNAL_SCHEMA)),
+                ("campaign".into(), s(campaign)),
+                ("timestamp_unix_s".into(), Json::U64(*timestamp)),
+            ]),
+            JournalEntry::Resume { timestamp } => Json::Obj(vec![
+                ("type".into(), s("resume")),
+                ("timestamp_unix_s".into(), Json::U64(*timestamp)),
+            ]),
+            JournalEntry::Enqueue {
+                job,
+                spec_hash,
+                spec,
+            } => Json::Obj(vec![
+                ("type".into(), s("enqueue")),
+                ("job".into(), s(job)),
+                ("spec_hash".into(), s(spec_hash)),
+                ("spec".into(), spec.clone()),
+            ]),
+            JournalEntry::Running { job, pid, attempt } => Json::Obj(vec![
+                ("type".into(), s("running")),
+                ("job".into(), s(job)),
+                ("pid".into(), Json::U64(*pid)),
+                ("attempt".into(), Json::U64(*attempt)),
+            ]),
+            JournalEntry::Done {
+                job,
+                spec_hash,
+                manifest,
+                via,
+            } => Json::Obj(vec![
+                ("type".into(), s("done")),
+                ("job".into(), s(job)),
+                ("spec_hash".into(), s(spec_hash)),
+                ("manifest".into(), s(manifest)),
+                ("via".into(), s(via)),
+            ]),
+            JournalEntry::Fail {
+                job,
+                attempt,
+                reason,
+            } => Json::Obj(vec![
+                ("type".into(), s("fail")),
+                ("job".into(), s(job)),
+                ("attempt".into(), Json::U64(*attempt)),
+                ("reason".into(), s(reason)),
+            ]),
+            JournalEntry::Invalidate { job, reason } => Json::Obj(vec![
+                ("type".into(), s("invalidate")),
+                ("job".into(), s(job)),
+                ("reason".into(), s(reason)),
+            ]),
+        }
+    }
+
+    /// Parses one journal line. Accepts fields in any order; rejects
+    /// unknown `type` tags and unknown schema majors on `meta`.
+    pub fn from_json(record: &Json) -> Result<JournalEntry, String> {
+        let kind = record
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or("journal record missing type")?;
+        let text = |key: &str| -> Result<String, String> {
+            record
+                .get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{kind} record missing string {key}"))
+        };
+        let int = |key: &str| -> Result<u64, String> {
+            record
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{kind} record missing integer {key}"))
+        };
+        match kind {
+            "meta" => {
+                let schema = text("schema")?;
+                if schema != JOURNAL_SCHEMA {
+                    return Err(format!(
+                        "unknown journal schema {schema:?} (expected {JOURNAL_SCHEMA:?})"
+                    ));
+                }
+                Ok(JournalEntry::Meta {
+                    campaign: text("campaign")?,
+                    timestamp: int("timestamp_unix_s")?,
+                })
+            }
+            "resume" => Ok(JournalEntry::Resume {
+                timestamp: int("timestamp_unix_s")?,
+            }),
+            "enqueue" => Ok(JournalEntry::Enqueue {
+                job: text("job")?,
+                spec_hash: text("spec_hash")?,
+                spec: record.get("spec").cloned().ok_or("enqueue missing spec")?,
+            }),
+            "running" => Ok(JournalEntry::Running {
+                job: text("job")?,
+                pid: int("pid")?,
+                attempt: int("attempt")?,
+            }),
+            "done" => Ok(JournalEntry::Done {
+                job: text("job")?,
+                spec_hash: text("spec_hash")?,
+                manifest: text("manifest")?,
+                via: text("via")?,
+            }),
+            "fail" => Ok(JournalEntry::Fail {
+                job: text("job")?,
+                attempt: int("attempt")?,
+                reason: text("reason")?,
+            }),
+            "invalidate" => Ok(JournalEntry::Invalidate {
+                job: text("job")?,
+                reason: text("reason")?,
+            }),
+            other => Err(format!("unknown journal record type {other:?}")),
+        }
+    }
+
+    /// Renders the canonical single-line form (no trailing newline).
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Parses one rendered line.
+    pub fn parse(line: &str) -> Result<JournalEntry, String> {
+        JournalEntry::from_json(&Json::parse(line)?)
+    }
+}
+
+/// Result of replaying a journal file.
+#[derive(Debug)]
+pub struct JournalRead {
+    /// Cleanly parsed entries, in append order (first is always `Meta`).
+    pub entries: Vec<JournalEntry>,
+    /// The unparseable partial final line, if the last append was cut
+    /// mid-write (orchestrator killed). `None` on a clean journal.
+    pub truncated: Option<String>,
+    /// Byte offset where clean content ends. Equal to the text length on
+    /// a clean journal; on truncation, the offset the writer should
+    /// truncate the file to before appending.
+    pub clean_len: usize,
+}
+
+/// Replays a journal document, tolerating a truncated final line.
+///
+/// The first line must be a `meta` entry carrying [`JOURNAL_SCHEMA`]. A
+/// line that fails to parse is tolerated only in final position (the
+/// partial append of a killed writer); anywhere else it is an error.
+pub fn read_journal(text: &str) -> Result<JournalRead, String> {
+    if text.is_empty() {
+        return Err("empty journal".into());
+    }
+    let mut entries = Vec::new();
+    let mut truncated = None;
+    let mut clean_len = 0usize;
+    let mut offset = 0usize;
+    let mut lines = text.split_inclusive('\n').enumerate().peekable();
+    while let Some((i, raw)) = lines.next() {
+        let line = raw.strip_suffix('\n').unwrap_or(raw);
+        let is_last = lines.peek().is_none();
+        match JournalEntry::parse(line) {
+            Ok(entry) => {
+                if i == 0 && !matches!(entry, JournalEntry::Meta { .. }) {
+                    return Err("journal line 1 is not a meta record".into());
+                }
+                if i > 0 && matches!(entry, JournalEntry::Meta { .. }) {
+                    return Err(format!("journal line {}: duplicate meta record", i + 1));
+                }
+                entries.push(entry);
+                clean_len = offset + raw.len();
+            }
+            Err(_) if is_last => {
+                // Partial final append from a killed writer: report it,
+                // don't abort the replay.
+                truncated = Some(line.to_string());
+            }
+            Err(e) => return Err(format!("journal line {}: {e}", i + 1)),
+        }
+        offset += raw.len();
+    }
+    if entries.is_empty() {
+        return Err("journal has no parseable entries".into());
+    }
+    Ok(JournalRead {
+        entries,
+        truncated,
+        clean_len,
+    })
+}
+
+/// Append-only journal writer. Every entry is one line written and
+/// flushed immediately, so a killed process loses at most the line being
+/// written — which [`read_journal`] tolerates.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: std::fs::File,
+}
+
+impl Journal {
+    /// Creates a fresh journal at `path`, writing the `meta` line.
+    pub fn create(path: impl Into<PathBuf>, campaign: &str) -> io::Result<Journal> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = std::fs::OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(&path)?;
+        let mut journal = Journal { path, file };
+        journal.append(&JournalEntry::Meta {
+            campaign: campaign.to_string(),
+            timestamp: now_unix(),
+        })?;
+        Ok(journal)
+    }
+
+    /// Opens an existing journal for appending, first truncating the
+    /// file to `clean_len` bytes (from [`JournalRead`]) so a partial
+    /// final line from a previous kill is dropped rather than corrupting
+    /// the next append.
+    pub fn open_append(path: impl Into<PathBuf>, clean_len: u64) -> io::Result<Journal> {
+        let path = path.into();
+        let file = std::fs::OpenOptions::new().write(true).open(&path)?;
+        file.set_len(clean_len)?;
+        drop(file);
+        let file = std::fs::OpenOptions::new().append(true).open(&path)?;
+        Ok(Journal { path, file })
+    }
+
+    /// Appends one entry and flushes it.
+    pub fn append(&mut self, entry: &JournalEntry) -> io::Result<()> {
+        let mut line = entry.render();
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn now_unix() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Shape summary of a validated journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalSummary {
+    /// Campaign name from the meta line.
+    pub campaign: String,
+    /// Total entries.
+    pub entries: usize,
+    /// Number of `enqueue` entries (distinct jobs if the journal is
+    /// well-formed).
+    pub enqueued: usize,
+    /// Number of `done` entries.
+    pub done: usize,
+    /// Number of `fail` entries.
+    pub failed: usize,
+}
+
+/// Strictly validates a journal document: every line must parse (CI runs
+/// this on completed campaigns, where a truncated tail would mean the
+/// final append was cut after a claimed-successful exit).
+pub fn validate_journal(text: &str) -> Result<JournalSummary, String> {
+    let read = read_journal(text)?;
+    if let Some(partial) = read.truncated {
+        return Err(format!("journal ends in a truncated line: {partial:?}"));
+    }
+    let campaign = match &read.entries[0] {
+        JournalEntry::Meta { campaign, .. } => campaign.clone(),
+        _ => unreachable!("read_journal enforces meta first"),
+    };
+    Ok(JournalSummary {
+        campaign,
+        entries: read.entries.len(),
+        enqueued: read
+            .entries
+            .iter()
+            .filter(|e| matches!(e, JournalEntry::Enqueue { .. }))
+            .count(),
+        done: read
+            .entries
+            .iter()
+            .filter(|e| matches!(e, JournalEntry::Done { .. }))
+            .count(),
+        failed: read
+            .entries
+            .iter()
+            .filter(|e| matches!(e, JournalEntry::Fail { .. }))
+            .count(),
+    })
+}
+
+/// Shape summary of a validated campaign manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignSummary {
+    /// Campaign name from the meta line.
+    pub campaign: String,
+    /// Number of `job` lines.
+    pub jobs: usize,
+    /// Number of `cell` lines.
+    pub cells: usize,
+    /// Number of `scalar` lines.
+    pub scalars: usize,
+}
+
+/// Parses and schema-checks an aggregated campaign manifest.
+///
+/// Enforces: a first `meta` line carrying [`CAMPAIGN_SCHEMA`] plus a
+/// `campaign` name and integer `jobs` count; `job` records with `job`,
+/// `spec_hash`, `bin`, `status`; `cell` records with `job`, `workload`,
+/// `policy`, and an object `metrics`; `scalar` records with `job`,
+/// `name`, `value`; and that the meta `jobs` count matches the number of
+/// `job` lines.
+pub fn validate_campaign(text: &str) -> Result<CampaignSummary, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, first) = lines.next().ok_or("empty campaign manifest")?;
+    let meta = Json::parse(first).map_err(|e| format!("line 1: {e}"))?;
+    if meta.get("type").and_then(Json::as_str) != Some("meta") {
+        return Err("line 1 is not a meta record".into());
+    }
+    let schema = meta
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("meta line missing schema")?;
+    if schema != CAMPAIGN_SCHEMA {
+        return Err(format!(
+            "unknown schema {schema:?} (expected {CAMPAIGN_SCHEMA:?})"
+        ));
+    }
+    let campaign = meta
+        .get("campaign")
+        .and_then(Json::as_str)
+        .ok_or("meta line missing campaign")?
+        .to_string();
+    let declared_jobs = meta
+        .get("jobs")
+        .and_then(Json::as_u64)
+        .ok_or("meta line missing integer jobs")? as usize;
+
+    let mut summary = CampaignSummary {
+        campaign,
+        jobs: 0,
+        cells: 0,
+        scalars: 0,
+    };
+    for (i, line) in lines {
+        let n = i + 1;
+        let record = Json::parse(line).map_err(|e| format!("line {n}: {e}"))?;
+        let kind = record
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {n}: missing type"))?;
+        let require = |key: &str| -> Result<(), String> {
+            record
+                .get(key)
+                .map(|_| ())
+                .ok_or_else(|| format!("line {n}: {kind} record missing {key}"))
+        };
+        match kind {
+            "job" => {
+                require("job")?;
+                require("spec_hash")?;
+                require("bin")?;
+                require("status")?;
+                summary.jobs += 1;
+            }
+            "cell" => {
+                require("job")?;
+                require("workload")?;
+                require("policy")?;
+                match record.get("metrics") {
+                    Some(Json::Obj(_)) => {}
+                    _ => return Err(format!("line {n}: cell metrics must be an object")),
+                }
+                summary.cells += 1;
+            }
+            "scalar" => {
+                require("job")?;
+                require("name")?;
+                require("value")?;
+                summary.scalars += 1;
+            }
+            "meta" => return Err(format!("line {n}: duplicate meta record")),
+            other => return Err(format!("line {n}: unknown record type {other:?}")),
+        }
+    }
+    if summary.jobs != declared_jobs {
+        return Err(format!(
+            "meta declares {declared_jobs} jobs but {} job records present",
+            summary.jobs
+        ));
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entries() -> Vec<JournalEntry> {
+        vec![
+            JournalEntry::Meta {
+                campaign: "unit".into(),
+                timestamp: 1_700_000_000,
+            },
+            JournalEntry::Enqueue {
+                job: "cell.zipf.hot.lru".into(),
+                spec_hash: "00d1f2e3c4b5a697".into(),
+                spec: Json::Obj(vec![
+                    ("bin".into(), Json::Str("self".into())),
+                    ("id".into(), Json::Str("cell.zipf.hot.lru".into())),
+                ]),
+            },
+            JournalEntry::Running {
+                job: "cell.zipf.hot.lru".into(),
+                pid: 4242,
+                attempt: 1,
+            },
+            JournalEntry::Fail {
+                job: "cell.zipf.hot.lru".into(),
+                attempt: 1,
+                reason: "signal: 9".into(),
+            },
+            JournalEntry::Done {
+                job: "cell.zipf.hot.lru".into(),
+                spec_hash: "00d1f2e3c4b5a697".into(),
+                manifest: "orch-cell.zipf.hot.lru-1700000001-7.jsonl".into(),
+                via: "run".into(),
+            },
+            JournalEntry::Resume {
+                timestamp: 1_700_000_100,
+            },
+            JournalEntry::Invalidate {
+                job: "cell.zipf.hot.lru".into(),
+                reason: "manifest missing".into(),
+            },
+        ]
+    }
+
+    fn render_all(entries: &[JournalEntry]) -> String {
+        let mut out = String::new();
+        for e in entries {
+            out.push_str(&e.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    #[test]
+    fn entries_round_trip_bit_equal() {
+        for entry in sample_entries() {
+            let line = entry.render();
+            let parsed = JournalEntry::parse(&line).expect("parse");
+            assert_eq!(parsed, entry);
+            assert_eq!(parsed.render(), line, "re-render must be byte-identical");
+        }
+    }
+
+    #[test]
+    fn read_journal_replays_clean_files() {
+        let entries = sample_entries();
+        let text = render_all(&entries);
+        let read = read_journal(&text).expect("clean journal");
+        assert_eq!(read.entries, entries);
+        assert!(read.truncated.is_none());
+        assert_eq!(read.clean_len, text.len());
+    }
+
+    #[test]
+    fn truncated_final_line_is_tolerated_not_fatal() {
+        let entries = sample_entries();
+        let text = render_all(&entries);
+        // Cut the final line mid-write, as a SIGKILL would.
+        let last_line_start = text[..text.len() - 1].rfind('\n').unwrap() + 1;
+        let cut = last_line_start + 10;
+        let read = read_journal(&text[..cut]).expect("truncation tolerated");
+        assert_eq!(read.entries.len(), entries.len() - 1);
+        assert_eq!(read.clean_len, last_line_start);
+        assert!(read.truncated.is_some());
+    }
+
+    #[test]
+    fn malformed_middle_line_is_an_error() {
+        let entries = sample_entries();
+        let mut text = String::new();
+        text.push_str(&entries[0].render());
+        text.push_str("\n{broken\n");
+        text.push_str(&entries[1].render());
+        text.push('\n');
+        assert!(read_journal(&text).is_err());
+    }
+
+    #[test]
+    fn journal_must_start_with_meta() {
+        let e = JournalEntry::Resume { timestamp: 1 };
+        assert!(read_journal(&format!("{}\n", e.render())).is_err());
+        let meta = sample_entries().remove(0);
+        let double = format!("{}\n{}\n", meta.render(), meta.render());
+        assert!(read_journal(&double).is_err(), "duplicate meta");
+    }
+
+    #[test]
+    fn unknown_schema_and_type_are_rejected() {
+        let line = r#"{"type":"meta","schema":"mrp-orchestrate-journal-v999","campaign":"x","timestamp_unix_s":1}"#;
+        assert!(JournalEntry::parse(line).is_err());
+        assert!(JournalEntry::parse(r#"{"type":"martian"}"#).is_err());
+    }
+
+    #[test]
+    fn writer_creates_appends_and_reopens() {
+        let dir = std::env::temp_dir().join(format!("mrp-journal-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("journal.jsonl");
+        let mut journal = Journal::create(&path, "writer-test").expect("create");
+        journal
+            .append(&JournalEntry::Resume { timestamp: 2 })
+            .expect("append");
+        drop(journal);
+
+        // Simulate a partial final append, then reopen: the partial line
+        // must be dropped and the next append start on a clean line.
+        let mut text = std::fs::read_to_string(&path).expect("read");
+        text.push_str("{\"type\":\"done\",\"job\":\"x");
+        std::fs::write(&path, &text).expect("inject partial line");
+        let read = read_journal(&std::fs::read_to_string(&path).unwrap()).expect("tolerant");
+        assert!(read.truncated.is_some());
+        let mut journal = Journal::open_append(&path, read.clean_len as u64).expect("reopen");
+        journal
+            .append(&JournalEntry::Resume { timestamp: 3 })
+            .expect("append after truncation");
+        let final_read = read_journal(&std::fs::read_to_string(&path).unwrap()).expect("clean");
+        assert!(final_read.truncated.is_none());
+        assert_eq!(final_read.entries.len(), 3);
+        assert!(validate_journal(&std::fs::read_to_string(&path).unwrap()).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn validate_journal_rejects_truncation_and_counts() {
+        let entries = sample_entries();
+        let text = render_all(&entries);
+        let summary = validate_journal(&text).expect("valid");
+        assert_eq!(summary.campaign, "unit");
+        assert_eq!(summary.entries, 7);
+        assert_eq!(summary.enqueued, 1);
+        assert_eq!(summary.done, 1);
+        assert_eq!(summary.failed, 1);
+        assert!(validate_journal(&text[..text.len() - 3]).is_err());
+    }
+
+    fn campaign_text() -> String {
+        [
+            format!(
+                r#"{{"type":"meta","schema":"{CAMPAIGN_SCHEMA}","campaign":"unit","jobs":1}}"#
+            ),
+            r#"{"type":"job","job":"a","spec_hash":"1234","bin":"self","status":"ok"}"#.into(),
+            r#"{"type":"cell","job":"a","workload":"zipf.hot","policy":"lru","metrics":{"mpki":3.5}}"#.into(),
+            r#"{"type":"scalar","job":"a","name":"golden.match","value":1.0}"#.into(),
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn campaign_manifest_validates_and_counts() {
+        let summary = validate_campaign(&campaign_text()).expect("valid campaign");
+        assert_eq!(summary.campaign, "unit");
+        assert_eq!(summary.jobs, 1);
+        assert_eq!(summary.cells, 1);
+        assert_eq!(summary.scalars, 1);
+    }
+
+    #[test]
+    fn campaign_manifest_rejects_malformed_documents() {
+        assert!(validate_campaign("").is_err());
+        let wrong_count = campaign_text().replace("\"jobs\":1", "\"jobs\":2");
+        assert!(validate_campaign(&wrong_count).is_err());
+        let missing_job_field = campaign_text().replace("\"status\":\"ok\"", "\"state\":\"ok\"");
+        assert!(validate_campaign(&missing_job_field).is_err());
+        let bad_metrics = campaign_text().replace(r#"{"mpki":3.5}"#, "7");
+        assert!(validate_campaign(&bad_metrics).is_err());
+    }
+}

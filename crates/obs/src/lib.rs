@@ -30,11 +30,16 @@
 //! value type — no serde, keeping the crate std-only per the repo's
 //! dependency policy.
 
+pub mod journal;
 pub mod json;
 pub mod manifest;
 pub mod phase;
 pub mod registry;
 
+pub use journal::{
+    read_journal, validate_campaign, validate_journal, CampaignSummary, Journal, JournalEntry,
+    JournalRead, JournalSummary, CAMPAIGN_SCHEMA, JOURNAL_SCHEMA,
+};
 pub use json::Json;
 pub use manifest::{validate, validate_dir, ManifestSummary, RunManifest, SCHEMA};
 pub use phase::{phase, phases_snapshot, PhaseGuard, PhaseStat};

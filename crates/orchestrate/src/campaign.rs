@@ -1,0 +1,553 @@
+//! Campaign state machine: journal replay → manifest re-verification →
+//! dedup → process waves → deterministic aggregation.
+//!
+//! The journal is the single source of truth for scheduling state; run
+//! manifests under `<dir>/runs/` are the source of truth for results.
+//! Resume trusts neither blindly: a journaled `done` only survives if
+//! its manifest still validates and records the job's spec hash, and
+//! any valid manifest in `runs/` — journaled or not, including one left
+//! by a worker orphaned when the orchestrator was SIGKILL-ed — can
+//! satisfy a pending job by spec-hash dedup.
+//!
+//! The aggregate (`campaign.jsonl`) is rewritten atomically after every
+//! stage that changes the done set. It is a pure function of that set —
+//! job ids sorted, no timestamps, paths, pids, or attempt counts — so a
+//! killed-and-resumed campaign renders byte-identically to an
+//! uninterrupted one (the acceptance bar the crash tests enforce).
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use mrp_experiments::{JobSpec, SELF_BIN};
+use mrp_obs::{read_journal, Journal, JournalEntry, Json, CAMPAIGN_SCHEMA};
+use mrp_runtime::{run_processes, ProcessEvent, ProcessJob};
+
+/// Scheduling options for one campaign run.
+pub struct CampaignOpts {
+    /// Campaign directory (journal, aggregate, `runs/`, `logs/`).
+    pub dir: PathBuf,
+    /// Campaign name recorded in journal and aggregate (not the
+    /// directory, so aggregates never embed paths).
+    pub name: String,
+    /// Worker process pool width.
+    pub procs: usize,
+    /// `--threads` handed to each driver worker.
+    pub worker_threads: usize,
+    /// Re-run attempts after a failed or crashed worker.
+    pub retries: u64,
+}
+
+/// What a campaign run did; drives the summary line and exit code.
+#[derive(Debug, Default)]
+pub struct CampaignReport {
+    /// Total jobs in the campaign.
+    pub jobs: usize,
+    /// Journaled done-jobs whose manifests re-verified (no recompute).
+    pub skipped: usize,
+    /// Pending jobs satisfied by a pre-existing manifest's spec hash.
+    pub deduped: usize,
+    /// Jobs completed by a worker process this run.
+    pub ran: usize,
+    /// Re-spawns after failures.
+    pub retried: usize,
+    /// Jobs with no verified manifest after all attempts.
+    pub failed: Vec<(String, String)>,
+}
+
+impl CampaignReport {
+    /// One-line machine-parsable outcome (the crash tests assert on the
+    /// `skipped=`/`deduped=`/`ran=` fields).
+    pub fn summary_line(&self, campaign: &str) -> String {
+        format!(
+            "orchestrate summary: campaign={campaign} jobs={} done={} skipped={} deduped={} ran={} retried={} failed={}",
+            self.jobs,
+            self.skipped + self.deduped + self.ran,
+            self.skipped,
+            self.deduped,
+            self.ran,
+            self.retried,
+            self.failed.len()
+        )
+    }
+}
+
+/// Scheduler-side view of one job.
+struct JobState {
+    spec: JobSpec,
+    /// Hex spec hash (dedup key).
+    hash: String,
+    /// Verified run-manifest file name in `runs/`, once done.
+    manifest: Option<String>,
+}
+
+/// Cached `orchestrate.jobs.*` counters.
+struct Counters {
+    enqueued: mrp_obs::Counter,
+    skipped: mrp_obs::Counter,
+    deduped: mrp_obs::Counter,
+    spawned: mrp_obs::Counter,
+    done: mrp_obs::Counter,
+    failed: mrp_obs::Counter,
+    retried: mrp_obs::Counter,
+}
+
+fn counters() -> Counters {
+    Counters {
+        enqueued: mrp_obs::counter("orchestrate.jobs.enqueued"),
+        skipped: mrp_obs::counter("orchestrate.jobs.skipped"),
+        deduped: mrp_obs::counter("orchestrate.jobs.deduped"),
+        spawned: mrp_obs::counter("orchestrate.jobs.spawned"),
+        done: mrp_obs::counter("orchestrate.jobs.done"),
+        failed: mrp_obs::counter("orchestrate.jobs.failed"),
+        retried: mrp_obs::counter("orchestrate.jobs.retried"),
+    }
+}
+
+fn now_unix() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+fn jerr(e: std::io::Error) -> String {
+    format!("journal append: {e}")
+}
+
+/// Runs (or resumes) a campaign to completion. See the module docs for
+/// the stage order; every stage journals before it acts.
+pub fn run_campaign(opts: &CampaignOpts, plan: Vec<JobSpec>) -> Result<CampaignReport, String> {
+    let runs_dir = opts.dir.join("runs");
+    let logs_dir = opts.dir.join("logs");
+    for dir in [&runs_dir, &logs_dir] {
+        fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    }
+
+    let ctr = counters();
+    let mut jobs: BTreeMap<String, JobState> = BTreeMap::new();
+    let mut report = CampaignReport::default();
+
+    // Stage 1: load or create the journal. A truncated final line (the
+    // orchestrator died mid-append) is dropped; anything worse is a
+    // hard error rather than a silently-wrong resume.
+    let journal_path = opts.dir.join("journal.jsonl");
+    let mut journal = if journal_path.exists() {
+        let text = fs::read_to_string(&journal_path)
+            .map_err(|e| format!("{}: {e}", journal_path.display()))?;
+        let read = read_journal(&text).map_err(|e| format!("{}: {e}", journal_path.display()))?;
+        if let Some(JournalEntry::Meta { campaign, .. }) = read.entries.first() {
+            if *campaign != opts.name {
+                return Err(format!(
+                    "journal belongs to campaign {campaign:?}, not {:?} (pass --name {campaign})",
+                    opts.name
+                ));
+            }
+        }
+        if let Some(partial) = &read.truncated {
+            eprintln!("orchestrate: dropping truncated journal tail {partial:?}");
+        }
+        replay(&read.entries, &mut jobs)?;
+        let mut journal =
+            Journal::open_append(&journal_path, read.clean_len as u64).map_err(jerr)?;
+        journal
+            .append(&JournalEntry::Resume {
+                timestamp: now_unix(),
+            })
+            .map_err(jerr)?;
+        journal
+    } else {
+        Journal::create(&journal_path, &opts.name).map_err(jerr)?
+    };
+
+    // Stage 2: merge the plan. Known ids must hash identically — a
+    // changed spec under a reused id would corrupt the dedup story.
+    for spec in plan {
+        spec.check_reserved()?;
+        let hash = spec.spec_hash_hex();
+        match jobs.get(&spec.id) {
+            Some(state) if state.hash != hash => {
+                return Err(format!(
+                    "job {} re-planned with a different spec (journal {}, plan {hash}); use a fresh --dir",
+                    spec.id, state.hash
+                ));
+            }
+            Some(_) => {}
+            None => {
+                journal
+                    .append(&JournalEntry::Enqueue {
+                        job: spec.id.clone(),
+                        spec_hash: hash.clone(),
+                        spec: spec.to_json(),
+                    })
+                    .map_err(jerr)?;
+                ctr.enqueued.incr();
+                jobs.insert(
+                    spec.id.clone(),
+                    JobState {
+                        spec,
+                        hash,
+                        manifest: None,
+                    },
+                );
+            }
+        }
+    }
+    report.jobs = jobs.len();
+
+    // Stage 3: re-verify journaled done-jobs against their manifests.
+    // A manifest that vanished, fails validation, or lost its spec
+    // hash sends the job back to pending via an `invalidate` entry.
+    for (id, state) in jobs.iter_mut() {
+        let Some(file) = state.manifest.clone() else {
+            continue;
+        };
+        match verify_manifest(&runs_dir.join(&file), &state.hash) {
+            Ok(()) => {
+                report.skipped += 1;
+                ctr.skipped.incr();
+            }
+            Err(reason) => {
+                journal
+                    .append(&JournalEntry::Invalidate {
+                        job: id.clone(),
+                        reason,
+                    })
+                    .map_err(jerr)?;
+                state.manifest = None;
+            }
+        }
+    }
+
+    // Stage 4: dedup pending jobs against every valid manifest already
+    // in `runs/` — earlier campaigns, orphaned workers, manual runs.
+    let by_hash = scan_runs(&runs_dir);
+    for (id, state) in jobs.iter_mut() {
+        if state.manifest.is_some() {
+            continue;
+        }
+        if let Some(file) = by_hash.get(&state.hash) {
+            journal
+                .append(&JournalEntry::Done {
+                    job: id.clone(),
+                    spec_hash: state.hash.clone(),
+                    manifest: file.clone(),
+                    via: "dedupe".into(),
+                })
+                .map_err(jerr)?;
+            state.manifest = Some(file.clone());
+            report.deduped += 1;
+            ctr.deduped.incr();
+        }
+    }
+    write_aggregate(&opts.dir, &opts.name, &jobs, &runs_dir)?;
+
+    // Stage 5: run the remainder in retry waves over the process pool.
+    let mut fail_reason: BTreeMap<String, String> = BTreeMap::new();
+    let max_attempts = opts.retries + 1;
+    for attempt in 1..=max_attempts {
+        let pending: Vec<String> = jobs
+            .iter()
+            .filter(|(_, s)| s.manifest.is_none())
+            .map(|(id, _)| id.clone())
+            .collect();
+        if pending.is_empty() {
+            break;
+        }
+        if attempt > 1 {
+            report.retried += pending.len();
+            ctr.retried.add(pending.len() as u64);
+        }
+        let procs: Vec<ProcessJob> = pending
+            .iter()
+            .map(|id| build_job(&jobs[id], &runs_dir, &logs_dir, opts.worker_threads))
+            .collect::<Result<_, String>>()?;
+        let statuses = run_processes(procs, opts.procs, |event| {
+            if let ProcessEvent::Spawned { id, pid, .. } = event {
+                ctr.spawned.incr();
+                let entry = JournalEntry::Running {
+                    job: id.to_string(),
+                    pid: pid as u64,
+                    attempt,
+                };
+                if let Err(e) = journal.append(&entry) {
+                    eprintln!("orchestrate: journal append: {e}");
+                }
+            }
+        });
+        let by_hash = scan_runs(&runs_dir);
+        for (id, status) in pending.iter().zip(&statuses) {
+            let state = jobs.get_mut(id).expect("pending job exists");
+            let failure = match status {
+                Err(spawn) => Some(format!("spawn failed: {spawn}")),
+                Ok(status) if !status.success() => Some(format!("worker exited with {status}")),
+                Ok(_) => match by_hash.get(&state.hash) {
+                    Some(file) => {
+                        journal
+                            .append(&JournalEntry::Done {
+                                job: id.clone(),
+                                spec_hash: state.hash.clone(),
+                                manifest: file.clone(),
+                                via: "run".into(),
+                            })
+                            .map_err(jerr)?;
+                        state.manifest = Some(file.clone());
+                        report.ran += 1;
+                        ctr.done.incr();
+                        None
+                    }
+                    None => Some("worker exited 0 without a manifest for its spec hash".into()),
+                },
+            };
+            if let Some(reason) = failure {
+                journal
+                    .append(&JournalEntry::Fail {
+                        job: id.clone(),
+                        attempt,
+                        reason: reason.clone(),
+                    })
+                    .map_err(jerr)?;
+                ctr.failed.incr();
+                eprintln!(
+                    "orchestrate: job {id} attempt {attempt}/{max_attempts} failed: {reason}"
+                );
+                fail_reason.insert(id.clone(), reason);
+            }
+        }
+        write_aggregate(&opts.dir, &opts.name, &jobs, &runs_dir)?;
+    }
+
+    for (id, state) in &jobs {
+        if state.manifest.is_none() {
+            let reason = fail_reason
+                .remove(id)
+                .unwrap_or_else(|| "never completed".into());
+            report.failed.push((id.clone(), reason));
+        }
+    }
+    Ok(report)
+}
+
+/// Rebuilds the job table from journal entries (resume path).
+fn replay(entries: &[JournalEntry], jobs: &mut BTreeMap<String, JobState>) -> Result<(), String> {
+    for entry in entries {
+        match entry {
+            JournalEntry::Enqueue {
+                job,
+                spec_hash,
+                spec,
+            } => {
+                let spec =
+                    JobSpec::from_json(spec).map_err(|e| format!("journal enqueue {job}: {e}"))?;
+                jobs.insert(
+                    job.clone(),
+                    JobState {
+                        spec,
+                        hash: spec_hash.clone(),
+                        manifest: None,
+                    },
+                );
+            }
+            JournalEntry::Done {
+                job,
+                spec_hash,
+                manifest,
+                ..
+            } => {
+                if let Some(state) = jobs.get_mut(job) {
+                    if *spec_hash == state.hash {
+                        state.manifest = Some(manifest.clone());
+                    }
+                }
+            }
+            JournalEntry::Invalidate { job, .. } => {
+                if let Some(state) = jobs.get_mut(job) {
+                    state.manifest = None;
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// A done-job manifest verifies when it still parses under the
+/// run-manifest schema and records the expected spec hash in its meta.
+fn verify_manifest(path: &Path, expect_hash: &str) -> Result<(), String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    mrp_obs::validate(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    match manifest_spec_hash(&text) {
+        Some(hash) if hash == expect_hash => Ok(()),
+        other => Err(format!(
+            "{}: manifest spec hash {other:?} != expected {expect_hash:?}",
+            path.display()
+        )),
+    }
+}
+
+/// The `spec_hash` meta field of a manifest document, if present.
+fn manifest_spec_hash(text: &str) -> Option<String> {
+    let meta = Json::parse(text.lines().next()?).ok()?;
+    meta.get("spec_hash")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+}
+
+/// Maps spec hash → manifest file for every valid manifest in `runs/`.
+/// File names are scanned sorted and the first match wins, so the
+/// choice is deterministic when several manifests share a hash.
+fn scan_runs(runs_dir: &Path) -> BTreeMap<String, String> {
+    let mut by_hash = BTreeMap::new();
+    let Ok(entries) = fs::read_dir(runs_dir) else {
+        return by_hash;
+    };
+    let mut files: Vec<String> = entries
+        .flatten()
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.ends_with(".jsonl"))
+        .collect();
+    files.sort();
+    for file in files {
+        let Ok(text) = fs::read_to_string(runs_dir.join(&file)) else {
+            continue;
+        };
+        if mrp_obs::validate(&text).is_err() {
+            continue;
+        }
+        if let Some(hash) = manifest_spec_hash(&text) {
+            by_hash.entry(hash).or_insert(file);
+        }
+    }
+    by_hash
+}
+
+/// Builds the OS process for one pending job: the orchestrator re-execs
+/// itself for [`SELF_BIN`] cells, otherwise spawns the named driver
+/// from its own directory with the spawn-time extras appended
+/// (`--threads`, `--metrics`, `--manifest-dir`, `--spec-hash`).
+fn build_job(
+    state: &JobState,
+    runs_dir: &Path,
+    logs_dir: &Path,
+    worker_threads: usize,
+) -> Result<ProcessJob, String> {
+    let spec = &state.spec;
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut command;
+    if spec.bin == SELF_BIN {
+        command = Command::new(&exe);
+        command.arg("worker");
+        command.arg("--spec").arg(spec.to_json().render());
+    } else {
+        let bin = exe
+            .parent()
+            .ok_or("orchestrator binary has no parent directory")?
+            .join(&spec.bin);
+        command = Command::new(bin);
+        command.args(spec.cli_args());
+        command.arg("--threads").arg(worker_threads.to_string());
+        command.arg("--metrics").arg("1");
+    }
+    command.arg("--manifest-dir").arg(runs_dir);
+    command.arg("--spec-hash").arg(&state.hash);
+
+    // Reports go where the spec says (the script's old `tee` capture);
+    // otherwise stdout and stderr land under `logs/`.
+    let stdout_path = match &spec.stdout {
+        Some(path) => PathBuf::from(path),
+        None => logs_dir.join(format!("{}.log", spec.id)),
+    };
+    if let Some(parent) = stdout_path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
+        }
+    }
+    let stdout =
+        fs::File::create(&stdout_path).map_err(|e| format!("{}: {e}", stdout_path.display()))?;
+    let err_path = logs_dir.join(format!("{}.err", spec.id));
+    let stderr = fs::File::create(&err_path).map_err(|e| format!("{}: {e}", err_path.display()))?;
+    command.stdout(Stdio::from(stdout));
+    command.stderr(Stdio::from(stderr));
+    Ok(ProcessJob {
+        id: spec.id.clone(),
+        command,
+    })
+}
+
+/// Rewrites `campaign.jsonl` (atomically, tmp + rename) from the
+/// currently-done jobs. Copies each manifest's `cell` and `scalar`
+/// records — re-parsed and re-rendered through [`Json`], which is
+/// bit-stable for floats — and nothing environment-dependent.
+fn write_aggregate(
+    dir: &Path,
+    name: &str,
+    jobs: &BTreeMap<String, JobState>,
+    runs_dir: &Path,
+) -> Result<(), String> {
+    let s = |v: &str| Json::Str(v.to_string());
+    let done: Vec<(&String, &JobState)> =
+        jobs.iter().filter(|(_, s)| s.manifest.is_some()).collect();
+    let mut lines = vec![Json::Obj(vec![
+        ("type".into(), s("meta")),
+        ("schema".into(), s(CAMPAIGN_SCHEMA)),
+        ("campaign".into(), s(name)),
+        ("jobs".into(), Json::U64(done.len() as u64)),
+    ])
+    .render()];
+    for (id, state) in &done {
+        lines.push(
+            Json::Obj(vec![
+                ("type".into(), s("job")),
+                ("job".into(), s(id)),
+                ("spec_hash".into(), s(&state.hash)),
+                ("bin".into(), s(&state.spec.bin)),
+                ("status".into(), s("done")),
+            ])
+            .render(),
+        );
+        let file = state.manifest.as_ref().expect("done jobs have manifests");
+        let text = fs::read_to_string(runs_dir.join(file)).map_err(|e| format!("{file}: {e}"))?;
+        for line in text.lines().skip(1) {
+            let record = Json::parse(line).map_err(|e| format!("{file}: {e}"))?;
+            let field = |key: &str| {
+                record
+                    .get(key)
+                    .cloned()
+                    .ok_or_else(|| format!("{file}: record missing {key}"))
+            };
+            match record.get("type").and_then(Json::as_str) {
+                Some("cell") => lines.push(
+                    Json::Obj(vec![
+                        ("type".into(), s("cell")),
+                        ("job".into(), s(id)),
+                        ("workload".into(), field("workload")?),
+                        ("policy".into(), field("policy")?),
+                        ("metrics".into(), field("metrics")?),
+                    ])
+                    .render(),
+                ),
+                Some("scalar") => lines.push(
+                    Json::Obj(vec![
+                        ("type".into(), s("scalar")),
+                        ("job".into(), s(id)),
+                        ("name".into(), field("name")?),
+                        ("value".into(), field("value")?),
+                    ])
+                    .render(),
+                ),
+                // Phases, counters, and gauges are run-specific noise;
+                // copying them would break bit-identity across resumes.
+                _ => {}
+            }
+        }
+    }
+    let mut out = lines.join("\n");
+    out.push('\n');
+    let path = dir.join("campaign.jsonl");
+    let tmp = dir.join("campaign.jsonl.tmp");
+    fs::write(&tmp, out).map_err(|e| format!("{}: {e}", tmp.display()))?;
+    fs::rename(&tmp, &path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(())
+}

@@ -1,0 +1,191 @@
+//! `orchestrate`: resumable multi-process experiment campaigns.
+//!
+//! Schedules [`JobSpec`] work across worker OS processes — spawning the
+//! existing driver binaries, or re-execing itself (`orchestrate
+//! worker`) for single-cell jobs — while persisting every scheduling
+//! decision to an append-only journal (`journal.jsonl`, schema
+//! `mrp-orchestrate-journal-v1`). A SIGKILL-ed orchestrator resumes
+//! exactly: the journal is replayed, journaled done-jobs are re-verified
+//! against their run manifests, pre-existing manifests in `runs/` dedupe
+//! fresh enqueues by spec hash, and only the remainder is recomputed.
+//! Results aggregate incrementally into `campaign.jsonl` (schema
+//! `mrp-campaign-manifest-v1`), a pure function of the done set, so a
+//! killed-and-resumed campaign is byte-identical to an uninterrupted
+//! one.
+//!
+//! Subcommands:
+//!
+//! - `orchestrate run --dir DIR [--plan none|ci|smoke|full] [--procs N]
+//!   [--retries N] [--worker-threads N] [--name NAME] [--metrics]` plus
+//!   plan scale flags (`--st-warmup`, `--mixes`, … for `full`;
+//!   `--seed`, `--warmup`, `--measure`, `--spin-ms` for `smoke`).
+//!   `--plan none` (the default) resumes whatever the journal holds.
+//! - `orchestrate ci` — `run` with the golden-check plan against
+//!   `runs/ci-campaign`, no retries; exits nonzero on any golden drift.
+//! - `orchestrate worker --spec JSON --manifest-dir DIR --spec-hash HEX`
+//!   — the self-exec single-cell worker (internal).
+//! - `orchestrate status --dir DIR` — journal summary without running.
+//!
+//! [`JobSpec`]: mrp_experiments::JobSpec
+
+mod campaign;
+mod plans;
+mod worker;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use mrp_experiments::Args;
+use mrp_obs::{JournalEntry, Json, RunManifest};
+
+fn main() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        return usage(Some("missing subcommand"));
+    }
+    let cmd = argv.remove(0);
+    if matches!(cmd.as_str(), "help" | "--help" | "-h") {
+        return usage(None);
+    }
+    let args = Args::from_args(argv);
+    match cmd.as_str() {
+        "run" => run_cmd(&args, "runs/campaign", "none", 1),
+        "ci" => run_cmd(&args, "runs/ci-campaign", "ci", 0),
+        "worker" => worker::run_worker(&args),
+        "status" => status_cmd(&args),
+        other => usage(Some(&format!("unknown subcommand {other:?}"))),
+    }
+}
+
+fn usage(error: Option<&str>) -> ExitCode {
+    if let Some(error) = error {
+        eprintln!("orchestrate: {error}");
+    }
+    eprintln!(
+        "usage: orchestrate <run|ci|status|worker> [--key value ...]\n\
+         \n\
+         run    --dir DIR --plan none|ci|smoke|full --procs N --retries N\n\
+         \x20      --worker-threads N --name NAME --metrics  (+ plan scale flags)\n\
+         ci     run with the golden-check plan (dir runs/ci-campaign, no retries)\n\
+         status --dir DIR  (journal summary)\n\
+         worker --spec JSON --manifest-dir DIR --spec-hash HEX  (internal)"
+    );
+    if error.is_some() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Shared body of `run` and `ci` (which differ only in defaults).
+fn run_cmd(args: &Args, default_dir: &str, default_plan: &str, default_retries: u64) -> ExitCode {
+    let dir = PathBuf::from(args.get_str("dir", default_dir));
+    let opts = campaign::CampaignOpts {
+        name: args.get_str("name", &default_name(&dir)),
+        procs: args.get_usize("procs", 2).max(1),
+        worker_threads: args.get_usize("worker-threads", 1),
+        retries: args.get_u64("retries", default_retries),
+        dir,
+    };
+    let plan = match plans::resolve(args, default_plan) {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("orchestrate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let metrics = args.get_flag("metrics", false);
+    mrp_obs::set_enabled(metrics);
+    let report = match campaign::run_campaign(&opts, plan) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("orchestrate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", report.summary_line(&opts.name));
+    if metrics {
+        // The orchestrator's own run manifest lands in the campaign dir
+        // root — `runs/` is reserved for worker manifests, which are
+        // keyed by spec hash during dedup.
+        let mut manifest = RunManifest::new("orchestrate", 0, &opts.dir);
+        manifest.meta("campaign", Json::Str(opts.name.clone()));
+        mrp_experiments::finish_manifest(Some(manifest));
+    }
+    if report.failed.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for (job, reason) in &report.failed {
+            eprintln!("orchestrate: job {job} failed: {reason}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// Campaign name when `--name` is absent: the directory's base name.
+fn default_name(dir: &Path) -> String {
+    dir.file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("campaign")
+        .to_string()
+}
+
+/// `orchestrate status`: print the journal's view of the campaign
+/// without scheduling anything.
+fn status_cmd(args: &Args) -> ExitCode {
+    let dir = PathBuf::from(args.get_str("dir", "runs/campaign"));
+    let path = dir.join("journal.jsonl");
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("orchestrate: {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let read = match mrp_obs::read_journal(&text) {
+        Ok(read) => read,
+        Err(e) => {
+            eprintln!("orchestrate: {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut campaign = String::from("?");
+    let mut resumes = 0u64;
+    // Last-writer-wins fold of each job's lifecycle.
+    let mut state: BTreeMap<String, String> = BTreeMap::new();
+    for entry in &read.entries {
+        match entry {
+            JournalEntry::Meta { campaign: name, .. } => campaign = name.clone(),
+            JournalEntry::Resume { .. } => resumes += 1,
+            JournalEntry::Enqueue { job, .. } => {
+                state.insert(job.clone(), "pending".into());
+            }
+            JournalEntry::Running { job, attempt, .. } => {
+                state.insert(job.clone(), format!("running (attempt {attempt})"));
+            }
+            JournalEntry::Done { job, via, .. } => {
+                state.insert(job.clone(), format!("done (via {via})"));
+            }
+            JournalEntry::Fail { job, attempt, .. } => {
+                state.insert(job.clone(), format!("failed (attempt {attempt})"));
+            }
+            JournalEntry::Invalidate { job, .. } => {
+                state.insert(job.clone(), "pending (invalidated)".into());
+            }
+        }
+    }
+    let done = state.values().filter(|s| s.starts_with("done")).count();
+    println!(
+        "campaign {campaign}: {} jobs, {done} done, {} journal entries, {resumes} resumes",
+        state.len(),
+        read.entries.len()
+    );
+    for (job, status) in &state {
+        println!("  {job}: {status}");
+    }
+    if let Some(partial) = &read.truncated {
+        println!("  (truncated tail dropped: {partial:?})");
+    }
+    ExitCode::SUCCESS
+}

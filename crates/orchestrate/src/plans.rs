@@ -1,0 +1,39 @@
+//! `--plan` resolution: turns CLI scale flags into a [`JobSpec`] list.
+
+use mrp_experiments::jobspec;
+use mrp_experiments::{Args, FullScale, JobSpec};
+
+/// Resolves the `--plan` flag (falling back to the subcommand's
+/// default) into the jobs to merge with the journal. `none` enqueues
+/// nothing — a bare `orchestrate run --dir D` resumes whatever the
+/// journal already holds.
+pub fn resolve(args: &Args, default_plan: &str) -> Result<Vec<JobSpec>, String> {
+    let plan = args.get_str("plan", default_plan);
+    match plan.as_str() {
+        "none" => Ok(Vec::new()),
+        "ci" => Ok(jobspec::ci_plan()),
+        "smoke" => Ok(jobspec::smoke_plan(
+            args.get_u64("seed", 7),
+            args.get_u64("warmup", 2_000),
+            args.get_u64("measure", 8_000),
+            args.get_u64("spin-ms", 0),
+        )),
+        "full" => {
+            let d = FullScale::default();
+            Ok(jobspec::full_plan(&FullScale {
+                st_warmup: args.get_u64("st-warmup", d.st_warmup),
+                st_measure: args.get_u64("st-measure", d.st_measure),
+                mp_warmup: args.get_u64("mp-warmup", d.mp_warmup),
+                mp_measure: args.get_u64("mp-measure", d.mp_measure),
+                mixes: args.get_usize("mixes", d.mixes),
+                sweep_mixes: args.get_usize("sweep-mixes", d.sweep_mixes),
+                sweep_measure: args.get_u64("sweep-measure", d.sweep_measure),
+                roc_measure: args.get_u64("roc-measure", d.roc_measure),
+                candidates: args.get_usize("candidates", d.candidates),
+            }))
+        }
+        other => Err(format!(
+            "unknown plan {other:?} (expected none, ci, smoke, or full)"
+        )),
+    }
+}

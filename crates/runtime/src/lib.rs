@@ -43,6 +43,10 @@
 //! when telemetry is off, so the scheduling and results are untouched
 //! either way.
 
+pub mod process;
+
+pub use process::{run_processes, ProcessEvent, ProcessJob};
+
 use std::cell::Cell;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};

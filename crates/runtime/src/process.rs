@@ -1,0 +1,275 @@
+//! Process-level fan-out: the OS-process sibling of [`map_indexed`].
+//!
+//! The thread pool in the crate root parallelizes jobs *inside* one
+//! simulator process. The orchestration layer (`mrp-orchestrate`) needs
+//! the next level up: running whole driver binaries as **worker OS
+//! processes**, so a crashed or killed worker cannot take the control
+//! plane down with it, and so campaigns survive `SIGKILL` of any
+//! participant. [`run_processes`] is that primitive — a bounded-width
+//! process pool with the same index-ordered result contract as
+//! [`map_indexed`].
+//!
+//! Scheduling is deliberately simple: keep up to `workers` children
+//! alive, poll them with [`Child::try_wait`] every few milliseconds,
+//! and refill each slot from the queue as it frees. The caller observes
+//! every lifecycle transition through the `on_event` callback
+//! ([`ProcessEvent::Spawned`] / [`ProcessEvent::Exited`]), which is how
+//! the orchestrator journals `running` entries with real pids before
+//! the child has a chance to finish.
+//!
+//! Telemetry (when `mrp-obs` is enabled): `runtime.procs.spawned`,
+//! `runtime.procs.exited`, `runtime.procs.spawn_failed` counters and
+//! the `runtime.procs.active` gauge (peak = max concurrent children).
+//!
+//! [`map_indexed`]: crate::map_indexed
+
+use std::process::{Child, Command, ExitStatus};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Cached telemetry handles (registry lookups once per process).
+struct ProcTelemetry {
+    spawned: mrp_obs::Counter,
+    exited: mrp_obs::Counter,
+    spawn_failed: mrp_obs::Counter,
+    active: mrp_obs::Gauge,
+}
+
+fn telemetry() -> &'static ProcTelemetry {
+    static TELEMETRY: OnceLock<ProcTelemetry> = OnceLock::new();
+    TELEMETRY.get_or_init(|| ProcTelemetry {
+        spawned: mrp_obs::counter("runtime.procs.spawned"),
+        exited: mrp_obs::counter("runtime.procs.exited"),
+        spawn_failed: mrp_obs::counter("runtime.procs.spawn_failed"),
+        active: mrp_obs::gauge("runtime.procs.active"),
+    })
+}
+
+/// One queued worker process: a caller-chosen id plus the fully
+/// configured [`Command`] to spawn (args, env, stdio already set).
+pub struct ProcessJob {
+    /// Caller-chosen identifier, echoed back in events and errors.
+    pub id: String,
+    /// The command to spawn; consumed by the pool.
+    pub command: Command,
+}
+
+/// A lifecycle notification from [`run_processes`].
+#[derive(Debug)]
+pub enum ProcessEvent<'a> {
+    /// Job `index` started as OS process `pid`.
+    Spawned {
+        /// Queue index of the job.
+        index: usize,
+        /// The job's caller-chosen id.
+        id: &'a str,
+        /// OS process id of the spawned child.
+        pid: u32,
+    },
+    /// Job `index` exited (any status, including signals).
+    Exited {
+        /// Queue index of the job.
+        index: usize,
+        /// The job's caller-chosen id.
+        id: &'a str,
+        /// The child's exit status.
+        status: ExitStatus,
+    },
+}
+
+/// How often sleeping between [`Child::try_wait`] sweeps. Worker
+/// processes run for seconds-to-minutes, so 10ms of scheduling latency
+/// is invisible while keeping the control plane off the CPU.
+const POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+/// Runs every job as a child OS process, at most `workers` alive at a
+/// time, and returns exit statuses in **queue index order**.
+///
+/// A job whose spawn fails (missing binary, exec error) yields
+/// `Err(description)` in its slot without aborting the rest of the
+/// queue; a job that spawns always yields `Ok(status)`, even when the
+/// status is a crash or signal — interpreting statuses is the caller's
+/// job. `on_event` fires on the control thread, immediately after each
+/// spawn and after each reaped exit, in real time (not batched), so
+/// callers can persist progress between events.
+pub fn run_processes(
+    jobs: Vec<ProcessJob>,
+    workers: usize,
+    mut on_event: impl FnMut(ProcessEvent),
+) -> Vec<Result<ExitStatus, String>> {
+    let total = jobs.len();
+    let workers = workers.max(1);
+    let tel = mrp_obs::enabled().then(telemetry);
+    let mut results: Vec<Option<Result<ExitStatus, String>>> = Vec::with_capacity(total);
+    results.resize_with(total, || None);
+    // Live children: (queue index, id, child handle).
+    let mut running: Vec<(usize, String, Child)> = Vec::new();
+    let mut queue = jobs.into_iter().enumerate();
+    let mut done = 0usize;
+
+    while done < total {
+        // Fill free slots from the queue.
+        while running.len() < workers {
+            let Some((index, mut job)) = queue.next() else {
+                break;
+            };
+            match job.command.spawn() {
+                Ok(child) => {
+                    if let Some(tel) = tel {
+                        tel.spawned.incr();
+                        tel.active.set(running.len() as i64 + 1);
+                    }
+                    on_event(ProcessEvent::Spawned {
+                        index,
+                        id: &job.id,
+                        pid: child.id(),
+                    });
+                    running.push((index, job.id, child));
+                }
+                Err(e) => {
+                    if let Some(tel) = tel {
+                        tel.spawn_failed.incr();
+                    }
+                    results[index] = Some(Err(format!("spawn failed for job {}: {e}", job.id)));
+                    done += 1;
+                }
+            }
+        }
+        if running.is_empty() {
+            // Queue drained and nothing alive: only spawn failures left.
+            debug_assert_eq!(done, total);
+            break;
+        }
+        // Reap every finished child, then sleep one poll interval.
+        let mut reaped_any = false;
+        let mut slot = 0;
+        while slot < running.len() {
+            match running[slot].2.try_wait() {
+                Ok(Some(status)) => {
+                    let (index, id, _) = running.swap_remove(slot);
+                    if let Some(tel) = tel {
+                        tel.exited.incr();
+                        tel.active.set(running.len() as i64);
+                    }
+                    on_event(ProcessEvent::Exited {
+                        index,
+                        id: &id,
+                        status,
+                    });
+                    results[index] = Some(Ok(status));
+                    done += 1;
+                    reaped_any = true;
+                }
+                Ok(None) => slot += 1,
+                Err(e) => {
+                    let (index, id, _) = running.swap_remove(slot);
+                    results[index] = Some(Err(format!("wait failed for job {id}: {e}")));
+                    done += 1;
+                    reaped_any = true;
+                }
+            }
+        }
+        if !reaped_any {
+            std::thread::sleep(POLL_INTERVAL);
+        }
+    }
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every queued job produces a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicI64, Ordering};
+
+    fn sh(id: &str, script: &str) -> ProcessJob {
+        let mut command = Command::new("sh");
+        command
+            .arg("-c")
+            .arg(script)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null());
+        ProcessJob {
+            id: id.to_string(),
+            command,
+        }
+    }
+
+    #[test]
+    fn statuses_come_back_in_queue_order() {
+        // Job 0 sleeps past job 1's exit; index order must hold anyway.
+        let jobs = vec![
+            sh("slow-ok", "sleep 0.05; exit 0"),
+            sh("fast-fail", "exit 3"),
+            sh("fast-ok", "exit 0"),
+        ];
+        let statuses = run_processes(jobs, 3, |_| {});
+        assert_eq!(statuses.len(), 3);
+        assert!(statuses[0].as_ref().unwrap().success());
+        assert_eq!(statuses[1].as_ref().unwrap().code(), Some(3));
+        assert!(statuses[2].as_ref().unwrap().success());
+    }
+
+    #[test]
+    fn worker_width_bounds_concurrency() {
+        let active = AtomicI64::new(0);
+        let peak = AtomicI64::new(0);
+        let jobs: Vec<ProcessJob> = (0..6).map(|i| sh(&format!("j{i}"), "sleep 0.03")).collect();
+        run_processes(jobs, 2, |event| match event {
+            ProcessEvent::Spawned { .. } => {
+                let now = active.fetch_add(1, Ordering::Relaxed) + 1;
+                peak.fetch_max(now, Ordering::Relaxed);
+            }
+            ProcessEvent::Exited { .. } => {
+                active.fetch_sub(1, Ordering::Relaxed);
+            }
+        });
+        assert!(
+            peak.load(Ordering::Relaxed) <= 2,
+            "pool exceeded 2 concurrent workers"
+        );
+    }
+
+    #[test]
+    fn spawn_failure_fills_its_slot_without_sinking_the_queue() {
+        let missing = ProcessJob {
+            id: "ghost".into(),
+            command: Command::new("/nonexistent/mrp-no-such-binary"),
+        };
+        let jobs = vec![missing, sh("survivor", "exit 0")];
+        let statuses = run_processes(jobs, 1, |_| {});
+        assert!(statuses[0].as_ref().is_err());
+        assert!(statuses[1].as_ref().unwrap().success());
+    }
+
+    #[test]
+    fn events_carry_ids_pids_and_statuses() {
+        let mut log = Vec::new();
+        let jobs = vec![sh("only", "exit 7")];
+        run_processes(jobs, 1, |event| match event {
+            ProcessEvent::Spawned { index, id, pid } => {
+                assert!(pid > 0);
+                log.push(format!("spawn {index} {id}"));
+            }
+            ProcessEvent::Exited { index, id, status } => {
+                assert_eq!(status.code(), Some(7));
+                log.push(format!("exit {index} {id}"));
+            }
+        });
+        assert_eq!(log, vec!["spawn 0 only", "exit 0 only"]);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn killed_worker_reports_its_signal_status() {
+        // `kill -9 $$` SIGKILLs the shell itself: the pool must reap it
+        // as a non-success status, not hang or error.
+        let jobs = vec![sh("suicide", "kill -9 $$")];
+        let statuses = run_processes(jobs, 1, |_| {});
+        let status = statuses[0].as_ref().unwrap();
+        assert!(!status.success());
+        assert_eq!(status.code(), None, "signal deaths have no exit code");
+    }
+}

@@ -1,6 +1,15 @@
 #!/usr/bin/env bash
-# Regenerates every table and figure, teeing each to results/.
+# Regenerates every table and figure via the resumable orchestrator.
 # Scale knobs via environment: ST_MEASURE, MP_MEASURE, MIXES, etc.
+#
+# The campaign journal lives under $CAMPAIGN_DIR (default
+# runs/full-campaign): kill this script at any point and rerun it —
+# completed jobs are verified against their run manifests and skipped,
+# and the aggregated campaign.jsonl comes out byte-identical to an
+# uninterrupted pass. Reports still land in results/<name>.txt.
+#
+# LEGACY=1 runs the pre-orchestrator serial loop instead.
+# (No -e: both paths propagate failures explicitly, with context.)
 set -uo pipefail
 cd "$(dirname "$0")/.."
 mkdir -p results
@@ -23,12 +32,36 @@ ROC_MEASURE="${ROC_MEASURE:-6000000}"
 CANDIDATES="${CANDIDATES:-60}"
 
 BIN=target/release
-cargo build --workspace --release
+cargo build --workspace --release || exit 1
+
+if [ "${LEGACY:-0}" != "1" ]; then
+  # PROCS bounds concurrent driver *processes*; each driver still
+  # fans out internally over $THREADS, so the default keeps one
+  # heavyweight driver at a time.
+  PROCS="${PROCS:-1}"
+  CAMPAIGN_DIR="${CAMPAIGN_DIR:-runs/full-campaign}"
+  $BIN/orchestrate run --plan full --dir "$CAMPAIGN_DIR" \
+    --procs "$PROCS" --worker-threads "$THREADS" \
+    --st-warmup "$ST_WARMUP" --st-measure "$ST_MEASURE" \
+    --mp-warmup "$MP_WARMUP" --mp-measure "$MP_MEASURE" \
+    --mixes "$MIXES" --sweep-mixes "$SWEEP_MIXES" \
+    --sweep-measure "$SWEEP_MEASURE" --roc-measure "$ROC_MEASURE" \
+    --candidates "$CANDIDATES" || exit 1
+  echo "all experiments complete; reports in results/, campaign in $CAMPAIGN_DIR"
+  exit 0
+fi
 
 run() {
   local name="$1"; shift
   echo "=== $name: $* ==="
+  # tee swallows the driver's status without the PIPESTATUS check, so
+  # a failed driver used to let the loop report success.
   "$@" 2>&1 | tee "results/$name.txt"
+  local status="${PIPESTATUS[0]}"
+  if [ "$status" != "0" ]; then
+    echo "!!! $name failed with exit $status" >&2
+    exit "$status"
+  fi
 }
 
 run fig_roc       $BIN/fig_roc --warmup 2000000 --measure "$ROC_MEASURE" --workloads 33 --threads "$THREADS"

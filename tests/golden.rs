@@ -7,163 +7,22 @@
 //! bit-identical outputs, and this test holds them to it end to end
 //! (trace generator -> hierarchy -> predictor -> CPU model).
 //!
-//! Regenerate after an *intentional* output change with
-//! `MRP_UPDATE_GOLDEN=1 cargo test -p mrp-experiments --test golden`.
+//! The matrix renderer and comparison live in `mrp_experiments::golden`
+//! (shared with the `fig6_st_speedup --golden-check` driver mode that
+//! `orchestrate ci` spawns). Regenerate after an *intentional* output
+//! change with `MRP_UPDATE_GOLDEN=1 cargo test -p mrp-experiments --test
+//! golden` or `cargo run -p mrp-experiments --bin fig6_st_speedup --
+//! --bless`.
 //!
 //! The golden file records a fingerprint of the trace streams. The
 //! reference values are only comparable when the trace streams match
 //! (they depend on the `rand` implementation backing the generators), so
-//! on fingerprint mismatch the test regeneration instructions are printed
-//! and the value comparison is skipped rather than failed.
+//! on fingerprint mismatch the regeneration instructions are printed and
+//! the value comparison is skipped rather than failed.
 
-use std::fmt::Write as _;
-use std::path::PathBuf;
-
-use mrp_experiments::runner::{run_single_kind, run_single_mpppb_cv, StParams};
-use mrp_experiments::PolicyKind;
-use mrp_trace::workloads;
-
-const GOLDEN_WORKLOADS: [&str; 4] = ["scanhot.protect", "loop.edge", "zipf.hot", "stream.rw"];
-const GOLDEN_KINDS: [PolicyKind; 3] = [PolicyKind::Lru, PolicyKind::Srrip, PolicyKind::MpppbSingle];
-
-fn params() -> StParams {
-    StParams {
-        warmup: 50_000,
-        measure: 200_000,
-        seed: 1,
-    }
-}
-
-fn golden_path() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/fig6_golden.txt")
-}
-
-/// Fingerprint of the access streams the matrix is computed from: folds
-/// the first accesses of every golden workload. Identifies the trace
-/// generator + rand implementation, not the cache stack.
-fn trace_fingerprint() -> u64 {
-    let suite = workloads::suite();
-    let mut fp = 0xcbf2_9ce4_8422_2325u64;
-    for name in GOLDEN_WORKLOADS {
-        let w = suite.iter().find(|w| w.name() == name).expect("workload");
-        for access in w.trace(params().seed).take(256) {
-            for v in [access.pc, access.address] {
-                fp ^= v;
-                fp = fp.wrapping_mul(0x100_0000_01b3);
-            }
-        }
-    }
-    fp
-}
-
-/// One matrix row: `workload policy mpki_bits ipc_bits # mpki ipc`.
-fn compute_matrix() -> Vec<(String, String, f64, f64)> {
-    let suite = workloads::suite();
-    let mut rows = Vec::new();
-    for name in GOLDEN_WORKLOADS {
-        let w = suite.iter().find(|w| w.name() == name).expect("workload");
-        for kind in GOLDEN_KINDS {
-            let r = run_single_kind(w, kind, params());
-            rows.push((name.to_string(), kind.name().to_string(), r.mpki, r.ipc));
-        }
-        let cv = run_single_mpppb_cv(w, params());
-        rows.push((name.to_string(), "mpppb-cv".to_string(), cv.mpki, cv.ipc));
-    }
-    rows
-}
-
-fn render(fingerprint: u64, rows: &[(String, String, f64, f64)]) -> String {
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "# fig6 golden matrix (reduced scale: warmup 50k / measure 200k, seed 1)"
-    );
-    let _ = writeln!(
-        out,
-        "# regenerate: MRP_UPDATE_GOLDEN=1 cargo test -p mrp-experiments --test golden"
-    );
-    let _ = writeln!(out, "fingerprint {fingerprint:016x}");
-    for (w, p, mpki, ipc) in rows {
-        let _ = writeln!(
-            out,
-            "{w} {p} {:016x} {:016x} # mpki={mpki:.4} ipc={ipc:.4}",
-            mpki.to_bits(),
-            ipc.to_bits()
-        );
-    }
-    out
-}
+use mrp_experiments::golden;
 
 #[test]
 fn fig6_matrix_matches_committed_golden() {
-    let path = golden_path();
-    let fingerprint = trace_fingerprint();
-    let rows = compute_matrix();
-
-    if std::env::var("MRP_UPDATE_GOLDEN").is_ok() {
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent).expect("create results dir");
-        }
-        std::fs::write(&path, render(fingerprint, &rows)).expect("write golden");
-        eprintln!("golden regenerated at {}", path.display());
-        return;
-    }
-
-    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "missing golden file {} ({e}); regenerate it",
-            path.display()
-        )
-    });
-
-    let mut lines = committed
-        .lines()
-        .filter(|l| !l.trim().is_empty() && !l.starts_with('#'));
-    let fp_line = lines.next().expect("fingerprint line");
-    let committed_fp = u64::from_str_radix(
-        fp_line
-            .strip_prefix("fingerprint ")
-            .expect("fingerprint prefix"),
-        16,
-    )
-    .expect("fingerprint hex");
-    if committed_fp != fingerprint {
-        eprintln!(
-            "trace fingerprint mismatch ({committed_fp:016x} committed vs {fingerprint:016x} \
-             here): golden values were produced by a different rand/trace stream; \
-             skipping value comparison. Regenerate with MRP_UPDATE_GOLDEN=1 to pin \
-             this environment."
-        );
-        return;
-    }
-
-    let mut mismatches = Vec::new();
-    for (line, (w, p, mpki, ipc)) in lines.zip(rows.iter()) {
-        let mut fields = line.split_whitespace();
-        let (gw, gp) = (
-            fields.next().expect("workload field"),
-            fields.next().expect("policy field"),
-        );
-        let g_mpki = u64::from_str_radix(fields.next().expect("mpki bits"), 16).expect("mpki hex");
-        let g_ipc = u64::from_str_radix(fields.next().expect("ipc bits"), 16).expect("ipc hex");
-        assert_eq!(
-            (gw, gp),
-            (w.as_str(), p.as_str()),
-            "golden row order drifted"
-        );
-        if g_mpki != mpki.to_bits() || g_ipc != ipc.to_bits() {
-            mismatches.push(format!(
-                "{w}/{p}: mpki {} vs committed {}, ipc {} vs committed {}",
-                mpki,
-                f64::from_bits(g_mpki),
-                ipc,
-                f64::from_bits(g_ipc)
-            ));
-        }
-    }
-    assert!(
-        mismatches.is_empty(),
-        "fig6 golden matrix drifted (outputs are no longer bit-identical):\n{}",
-        mismatches.join("\n")
-    );
+    golden::check_against_committed("fig6_golden.txt", &golden::fig6_golden());
 }

@@ -1,0 +1,213 @@
+//! Crash-injection tests for the orchestrator: SIGKILL the control
+//! plane mid-campaign, abort a worker process, pre-seed manifests —
+//! then demand a byte-identical `campaign.jsonl` versus an
+//! uninterrupted baseline, with zero recomputation of journaled work.
+//!
+//! Scales are tiny (`cargo test` runs the debug profile) and every
+//! smoke cell carries `--spin-ms` padding so a kill reliably lands
+//! while the campaign is genuinely mid-flight.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 7;
+const WARMUP: u64 = 2_000;
+const MEASURE: u64 = 8_000;
+/// Worker padding; part of the spec hash, so every campaign in these
+/// tests must use the same value for aggregates to be comparable.
+const SPIN_MS: u64 = 150;
+/// Total cells in the smoke plan (3 workloads x 2 policies).
+const JOBS: usize = 6;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mrp-orch-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// `orchestrate run` with the shared smoke-plan flags.
+fn smoke_command(dir: &Path, procs: usize) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_orchestrate"));
+    cmd.arg("run")
+        .arg("--dir")
+        .arg(dir)
+        .args(["--plan", "smoke", "--name", "smoke"])
+        .args(["--procs", &procs.to_string()])
+        .args(["--seed", &SEED.to_string()])
+        .args(["--warmup", &WARMUP.to_string()])
+        .args(["--measure", &MEASURE.to_string()])
+        .args(["--spin-ms", &SPIN_MS.to_string()]);
+    cmd
+}
+
+/// Runs a campaign to completion and returns its stdout.
+fn run_to_completion(dir: &Path, procs: usize) -> String {
+    let out = smoke_command(dir, procs)
+        .output()
+        .expect("spawn orchestrate");
+    assert!(
+        out.status.success(),
+        "campaign failed:\nstdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+/// Extracts `key=N` from the `orchestrate summary:` line.
+fn summary_field(stdout: &str, key: &str) -> u64 {
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("orchestrate summary:"))
+        .unwrap_or_else(|| panic!("no summary line in:\n{stdout}"));
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("no {key}= in summary: {line}"))
+        .parse()
+        .unwrap()
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+#[test]
+fn sigkilled_orchestrator_resumes_bit_identical_with_no_recompute() {
+    let baseline = fresh_dir("crash-baseline");
+    run_to_completion(&baseline, 2);
+
+    // Launch serially (one worker at a time), wait until the journal
+    // records at least two completed jobs, then SIGKILL the
+    // orchestrator mid-campaign.
+    let killed = fresh_dir("crash-killed");
+    let mut child = smoke_command(&killed, 1)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn orchestrate");
+    let journal = killed.join("journal.jsonl");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let done = std::fs::read_to_string(&journal)
+            .map(|t| {
+                t.lines()
+                    .filter(|l| l.contains("\"type\":\"done\""))
+                    .count()
+            })
+            .unwrap_or(0);
+        if done >= 2 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "never reached 2 done jobs");
+        assert!(
+            child.try_wait().unwrap().is_none(),
+            "campaign finished before the kill landed; raise SPIN_MS"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    child.kill().expect("SIGKILL orchestrator");
+    child.wait().expect("reap orchestrator");
+    // The in-flight worker was orphaned by the kill and keeps running;
+    // give it time to finish writing its manifest so resume counters
+    // are deterministic (the aggregate is byte-stable either way).
+    std::thread::sleep(Duration::from_millis(2_000));
+
+    // Resume with the identical plan: journaled done-jobs must be
+    // re-verified and skipped, never recomputed, and the final
+    // aggregate must match the uninterrupted baseline byte for byte.
+    let out = smoke_command(&killed, 2).output().expect("resume");
+    assert!(
+        out.status.success(),
+        "resume failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let skipped = summary_field(&stdout, "skipped");
+    let deduped = summary_field(&stdout, "deduped");
+    let ran = summary_field(&stdout, "ran");
+    assert!(
+        skipped >= 2,
+        "journaled done-jobs were recomputed: {stdout}"
+    );
+    assert_eq!(
+        skipped + deduped + ran,
+        JOBS as u64,
+        "resume lost or duplicated jobs: {stdout}"
+    );
+    assert_eq!(summary_field(&stdout, "failed"), 0, "{stdout}");
+
+    assert_eq!(
+        read(&baseline.join("campaign.jsonl")),
+        read(&killed.join("campaign.jsonl")),
+        "killed-and-resumed aggregate is not bit-identical to the baseline"
+    );
+    // The resume left an audit trail.
+    let journal_text = read(&journal);
+    assert!(journal_text.contains("\"type\":\"resume\""));
+}
+
+#[test]
+fn crashed_worker_is_retried_and_aggregate_still_matches() {
+    let baseline = fresh_dir("worker-baseline");
+    run_to_completion(&baseline, 2);
+
+    // Crash knob: the named job's first worker writes the marker file
+    // and aborts (SIGABRT, no cleanup); with the marker present the
+    // retry runs normally. Exactly one induced worker death.
+    let dir = fresh_dir("worker-crash");
+    let marker = dir.join("crash-marker");
+    let out = smoke_command(&dir, 2)
+        .args(["--retries", "1"])
+        .env("MRP_ORCH_CRASH_JOB", "cell.loop.edge.lru")
+        .env("MRP_ORCH_CRASH_MARKER", &marker)
+        .output()
+        .expect("spawn orchestrate");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        out.status.success(),
+        "campaign failed despite retry:\nstdout:\n{stdout}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(marker.exists(), "crash knob never fired");
+    assert!(summary_field(&stdout, "retried") >= 1, "{stdout}");
+    assert_eq!(summary_field(&stdout, "done"), JOBS as u64, "{stdout}");
+    assert_eq!(summary_field(&stdout, "failed"), 0, "{stdout}");
+
+    let journal = read(&dir.join("journal.jsonl"));
+    assert!(
+        journal.contains("\"type\":\"fail\",\"job\":\"cell.loop.edge.lru\""),
+        "worker death was not journaled:\n{journal}"
+    );
+    assert_eq!(
+        read(&baseline.join("campaign.jsonl")),
+        read(&dir.join("campaign.jsonl")),
+        "aggregate after a crashed-and-retried worker must match the baseline"
+    );
+}
+
+#[test]
+fn preexisting_manifests_dedupe_without_recompute() {
+    let baseline = fresh_dir("dedupe-baseline");
+    run_to_completion(&baseline, 2);
+
+    // A fresh campaign directory whose runs/ is pre-seeded with the
+    // baseline's manifests: every job must dedupe by spec hash, with
+    // zero worker spawns, and aggregate identically.
+    let dir = fresh_dir("dedupe");
+    let runs = dir.join("runs");
+    std::fs::create_dir_all(&runs).unwrap();
+    for entry in std::fs::read_dir(baseline.join("runs")).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), runs.join(entry.file_name())).unwrap();
+    }
+    let stdout = run_to_completion(&dir, 2);
+    assert_eq!(summary_field(&stdout, "deduped"), JOBS as u64, "{stdout}");
+    assert_eq!(summary_field(&stdout, "ran"), 0, "{stdout}");
+    assert_eq!(
+        read(&baseline.join("campaign.jsonl")),
+        read(&dir.join("campaign.jsonl")),
+        "deduped aggregate must match the baseline"
+    );
+}

@@ -1,0 +1,140 @@
+//! Property tests for the orchestration state layer: journal entries
+//! round-trip bit-identically, full journal documents replay cleanly,
+//! a truncated final line (killed writer) is always tolerated, and the
+//! spec hash is invariant under argument reordering.
+
+use mrp_experiments::JobSpec;
+use mrp_obs::{read_journal, JournalEntry};
+use proptest::prelude::*;
+
+/// Any non-meta entry (meta is only legal on line 1 and is generated
+/// separately by the document strategies).
+fn arbitrary_entry() -> impl Strategy<Value = JournalEntry> {
+    (0usize..6, any::<u64>(), 0usize..8, any::<u64>()).prop_map(|(tag, n, i, m)| {
+        let job = format!("job-{i}");
+        match tag {
+            0 => JournalEntry::Resume { timestamp: n },
+            1 => JournalEntry::Enqueue {
+                job: job.clone(),
+                spec_hash: format!("{m:016x}"),
+                spec: JobSpec::new(job, "self")
+                    .arg("seed", n)
+                    .arg("warmup", m)
+                    .to_json(),
+            },
+            2 => JournalEntry::Running {
+                job,
+                pid: n,
+                attempt: m % 4 + 1,
+            },
+            3 => JournalEntry::Done {
+                job,
+                spec_hash: format!("{m:016x}"),
+                manifest: format!("orch-{}.jsonl", n % 16),
+                via: ["run", "dedupe", "journal"][(n % 3) as usize].to_string(),
+            },
+            4 => JournalEntry::Fail {
+                job,
+                attempt: m % 4 + 1,
+                reason: format!("worker exited with exit status: {}", n % 3),
+            },
+            _ => JournalEntry::Invalidate {
+                job,
+                reason: "manifest missing".into(),
+            },
+        }
+    })
+}
+
+/// A full journal text: meta line plus rendered entries.
+fn render_document(campaign: usize, timestamp: u64, entries: &[JournalEntry]) -> String {
+    let mut lines = vec![JournalEntry::Meta {
+        campaign: format!("camp-{campaign}"),
+        timestamp,
+    }
+    .render()];
+    lines.extend(entries.iter().map(JournalEntry::render));
+    let mut text = lines.join("\n");
+    text.push('\n');
+    text
+}
+
+proptest! {
+    #[test]
+    fn journal_entries_round_trip_bit_equal(entry in arbitrary_entry()) {
+        let line = entry.render();
+        let parsed = JournalEntry::parse(&line).unwrap();
+        prop_assert_eq!(&parsed, &entry);
+        prop_assert_eq!(parsed.render(), line);
+    }
+
+    #[test]
+    fn journal_documents_replay_cleanly(
+        entries in proptest::collection::vec(arbitrary_entry(), 0..24),
+        campaign in 0usize..4,
+        timestamp in any::<u64>(),
+    ) {
+        let text = render_document(campaign, timestamp, &entries);
+        let read = read_journal(&text).unwrap();
+        prop_assert!(read.truncated.is_none());
+        prop_assert_eq!(read.clean_len, text.len());
+        prop_assert_eq!(read.entries.len(), entries.len() + 1);
+        for (got, want) in read.entries[1..].iter().zip(&entries) {
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn truncated_final_line_is_tolerated(
+        entries in proptest::collection::vec(arbitrary_entry(), 1..10),
+        campaign in 0usize..4,
+        timestamp in any::<u64>(),
+        cut in any::<usize>(),
+    ) {
+        let full = render_document(campaign, timestamp, &entries);
+        // Cut strictly inside the final line: keep at least one of its
+        // bytes, lose at least one non-newline byte. Every such prefix
+        // of a JSON object line is unparseable (the brace never closes),
+        // which is exactly the killed-mid-append shape.
+        let last_start = full[..full.len() - 1].rfind('\n').unwrap() + 1;
+        let line_len = full.len() - last_start - 1;
+        prop_assert!(line_len > 1, "journal lines are always multi-byte JSON objects");
+        let keep = last_start + 1 + cut % (line_len - 1);
+        let text = &full[..keep];
+
+        let read = read_journal(text).unwrap();
+        prop_assert_eq!(read.truncated.as_deref(), Some(&full[last_start..keep]));
+        prop_assert_eq!(read.clean_len, last_start);
+        // Every entry before the partial line survives.
+        prop_assert_eq!(read.entries.len(), entries.len());
+        for (got, want) in read.entries[1..].iter().zip(&entries[..entries.len() - 1]) {
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn spec_hash_is_invariant_under_argument_rotation(
+        pairs in 0usize..6,
+        rotation in any::<usize>(),
+        seed in any::<u64>(),
+    ) {
+        let mut spec = JobSpec::new("prop", "self");
+        for i in 0..pairs {
+            spec = spec.arg(format!("k{i}"), seed.wrapping_add(i as u64));
+        }
+        let mut rotated = spec.clone();
+        if !rotated.args.is_empty() {
+            let len = rotated.args.len();
+            rotated.args.rotate_left(rotation % len);
+        }
+        prop_assert_eq!(spec.spec_hash(), rotated.spec_hash());
+        prop_assert_eq!(spec.spec_hash_hex(), rotated.spec_hash_hex());
+
+        // And it is NOT invariant under a changed value.
+        if pairs > 0 {
+            let mut changed = spec.clone();
+            changed.args[0].1.push('x');
+            prop_assert_ne!(spec.spec_hash(), changed.spec_hash());
+        }
+    }
+}
