@@ -11,12 +11,18 @@
 
 use mrp_cache::policies::Lru;
 use mrp_cache::{AccessInfo, CacheConfig, ReplacementPolicy};
+use mrp_core::simd::{self, ApplyScratch, GATHER_PAD};
 
 /// Entries per skewed table (the original uses 4K-entry tables).
 const TABLE_ENTRIES: usize = 4096;
 
 /// Number of skewed tables.
 const TABLES: usize = 3;
+
+/// Saturation bounds of the 2-bit counters, in the shared weight-update
+/// kernel's signed representation.
+const COUNTER_MIN: i8 = 0;
+const COUNTER_MAX: i8 = 3;
 
 /// Sampler associativity (reduced from the cache's 16, per the paper).
 const SAMPLER_ASSOC: usize = 12;
@@ -36,8 +42,10 @@ struct SamplerEntry {
 #[derive(Debug)]
 pub struct Sdbp {
     /// The three skewed tables flattened into one arena; table `t`
-    /// starts at `t * TABLE_ENTRIES`.
-    tables: Vec<u8>,
+    /// starts at `t * TABLE_ENTRIES`. Counters live in `0..=3` but are
+    /// stored signed (plus gather pad) so the shared saturating
+    /// weight-update kernel can apply training.
+    tables: Vec<i8>,
     sampler: Vec<[SamplerEntry; SAMPLER_ASSOC]>,
     sample_stride: u32,
     /// `(shift, mask)` when `sample_stride` is a power of two: replaces
@@ -50,6 +58,8 @@ pub struct Sdbp {
     /// Confidence of the most recent prediction (for ROC measurement).
     last_confidence: i32,
     measure_only: bool,
+    /// Scratch for the shared weight-update kernel.
+    apply_scratch: ApplyScratch,
 }
 
 #[inline]
@@ -80,7 +90,7 @@ impl Sdbp {
         );
         let sample_stride = (llc.sets() / sampler_sets).max(1);
         Sdbp {
-            tables: vec![0u8; TABLES * TABLE_ENTRIES],
+            tables: vec![0i8; TABLES * TABLE_ENTRIES + GATHER_PAD],
             sampler: vec![[SamplerEntry::default(); SAMPLER_ASSOC]; sampler_sets as usize],
             sample_stride,
             sample_pow2: sample_stride
@@ -92,6 +102,7 @@ impl Sdbp {
             threshold: DEFAULT_THRESHOLD,
             last_confidence: 0,
             measure_only: false,
+            apply_scratch: ApplyScratch::default(),
         }
     }
 
@@ -116,19 +127,26 @@ impl Sdbp {
     pub fn confidence(&self, pc: u64) -> u32 {
         let h = pc_hash(pc);
         (0..TABLES)
-            .map(|t| u32::from(self.tables[table_index(h, t)]))
+            .map(|t| u32::from(self.tables[table_index(h, t)] as u8))
             .sum()
     }
 
     fn train(&mut self, pc_hash_value: u32, dead: bool) {
-        for t in 0..TABLES {
-            let counter = &mut self.tables[table_index(pc_hash_value, t)];
-            if dead {
-                *counter = (*counter + 1).min(3);
-            } else {
-                *counter = counter.saturating_sub(1);
-            }
-        }
+        // One packed `(offset << 1) | sign` word per skewed table (the
+        // flat-arena offsets land in disjoint per-table ranges), applied
+        // through the shared saturating kernel with the 2-bit bounds:
+        // dead increments toward 3, live decrements toward 0.
+        let sign = u32::from(!dead);
+        let events: [u32; TABLES] =
+            std::array::from_fn(|t| ((table_index(pc_hash_value, t) as u32) << 1) | sign);
+        simd::apply_events_i8(
+            &mut self.tables,
+            &events,
+            COUNTER_MIN,
+            COUNTER_MAX,
+            simd::level(),
+            &mut self.apply_scratch,
+        );
     }
 
     fn sampler_access(&mut self, set: u32, block: u64, pc: u64) {

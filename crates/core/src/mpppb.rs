@@ -348,7 +348,15 @@ impl Mpppb {
                         is_insert,
                         last_miss,
                     );
-                    break 'confidence self.predictor.access_precomputed(
+                    // One offsets pass serves both halves: the patched
+                    // window slice feeds the confidence gather and is
+                    // stored verbatim by the sampler for later training.
+                    // Training defers into the predictor's SoA pending
+                    // buffer and applies in one batched kernel invocation
+                    // per drained window (flushed at the next announce,
+                    // or earlier if a confidence read might observe a
+                    // pending delta — see the predictor's overlap guard).
+                    break 'confidence self.predictor.access_precomputed_deferred(
                         &self.window.offsets[start..start + len],
                         info.set,
                         info.block,
@@ -415,6 +423,11 @@ impl ReplacementPolicy for Mpppb {
         // demand entry's PC is written one slot to the left of the
         // previous one, so entry k's most-recent-first history is simply
         // `buf[pos_k..pos_k + depth_k]` — no per-entry history clones.
+        //
+        // Window boundary: apply the previous window's deferred training
+        // events in one batched kernel invocation before the new window
+        // begins.
+        self.predictor.flush_training();
         self.window.clear();
         self.window.announced.extend_from_slice(window);
         self.spec_pos.clear();

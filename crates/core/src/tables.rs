@@ -8,8 +8,10 @@
 //! the `(table, index)` API remains for tests, ablations, and storage
 //! accounting.
 
+use std::sync::OnceLock;
+
 use crate::feature::Feature;
-use crate::simd::{self, SimdLevel, GATHER_PAD};
+use crate::simd::{self, ApplyScratch, SimdLevel, GATHER_PAD};
 
 /// Weight bounds: "We find that 6 bit weights ranging from -32 to +31
 /// provide a good trade-off between accuracy and area" (§3.4).
@@ -33,6 +35,23 @@ pub struct WeightTables {
     bases: Vec<u32>,
     weight_min: i8,
     weight_max: i8,
+    /// Sort-coalesce buffers for the batched weight-update kernel, owned
+    /// here so steady-state training never allocates.
+    scratch: ApplyScratch,
+}
+
+/// Telemetry for the train-kernel dispatch: how many event-buffer applies
+/// took the vectorized path vs the sequential scalar fold. No-ops unless
+/// a driver enables `--metrics`; production runs use the pair to spot a
+/// dispatch regression (e.g. an unexpectedly scalar fleet).
+fn apply_dispatch_counters() -> &'static (mrp_obs::Counter, mrp_obs::Counter) {
+    static COUNTERS: OnceLock<(mrp_obs::Counter, mrp_obs::Counter)> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        (
+            mrp_obs::counter("predictor.train.apply.vector"),
+            mrp_obs::counter("predictor.train.apply.scalar"),
+        )
+    })
 }
 
 impl WeightTables {
@@ -68,6 +87,7 @@ impl WeightTables {
             bases,
             weight_min: (-half) as i8,
             weight_max: (half - 1) as i8,
+            scratch: ApplyScratch::default(),
         }
     }
 
@@ -157,6 +177,44 @@ impl WeightTables {
         let w = &mut self.weights[usize::from(offset)];
         *w = (*w).saturating_sub(1).max(self.weight_min);
         debug_assert!(*w >= self.weight_min && *w <= self.weight_max);
+    }
+
+    /// Applies a packed SoA training-event buffer (words of
+    /// `(arena_offset << 1) | sign` in the low 17 bits, as emitted by
+    /// [`crate::sampler::Sampler::access`] when fed precombined arena
+    /// offsets) with the same saturating semantics as a sequential
+    /// [`Self::increment_at`]/[`Self::decrement_at`] fold, through the
+    /// batched kernel family selected by [`crate::simd::level`].
+    #[inline]
+    pub fn apply_events(&mut self, events: &[u32]) {
+        self.apply_events_with(simd::level(), events);
+    }
+
+    /// [`Self::apply_events`] with an explicit kernel level, for the
+    /// kernel-equivalence sweeps in `mrp-verify` and the benches.
+    pub fn apply_events_with(&mut self, level: SimdLevel, events: &[u32]) {
+        debug_assert!(
+            events
+                .iter()
+                .all(|&e| ((e >> 1) as usize & 0xffff) < self.arena),
+            "event offset beyond arena"
+        );
+        let vectorized = simd::apply_events_i8(
+            &mut self.weights,
+            events,
+            self.weight_min,
+            self.weight_max,
+            level,
+            &mut self.scratch,
+        );
+        if !events.is_empty() {
+            let (vector, scalar) = apply_dispatch_counters();
+            if vectorized {
+                vector.incr();
+            } else {
+                scalar.incr();
+            }
+        }
     }
 
     /// Total storage in bits (for the overhead accounting test against the
@@ -264,6 +322,46 @@ mod tests {
         assert_eq!(t.storage_bits(6), 259 * 6);
         // The gather pad is excluded from the modeled arena.
         assert_eq!(t.arena_len(), 259);
+    }
+
+    #[test]
+    fn apply_events_matches_sequential_updates() {
+        use crate::sampler::{event_decrement, event_increment};
+        let mut batched = WeightTables::new(&features());
+        let mut sequential = WeightTables::new(&features());
+        // A long buffer with duplicate offsets and mixed signs, crossing
+        // the vector threshold; feature ids are irrelevant to the apply.
+        let events: Vec<u32> = (0..300u32)
+            .map(|i| {
+                let offset = (i * 13 % 259) as u16;
+                if i % 3 == 0 {
+                    event_decrement(0, offset)
+                } else {
+                    event_increment(0, offset)
+                }
+            })
+            .collect();
+        for &e in &events {
+            let offset = crate::sampler::event_index(e);
+            if crate::sampler::event_is_decrement(e) {
+                sequential.decrement_at(offset);
+            } else {
+                sequential.increment_at(offset);
+            }
+        }
+        for &l in crate::simd::available_levels() {
+            let mut t = batched.clone();
+            t.apply_events_with(l, &events);
+            for o in 0..t.arena_len() as u16 {
+                assert_eq!(
+                    t.weights[usize::from(o)],
+                    sequential.weights[usize::from(o)],
+                    "offset {o} at {l:?}"
+                );
+            }
+        }
+        batched.apply_events(&events);
+        assert_eq!(batched.weights, sequential.weights);
     }
 
     #[test]

@@ -113,9 +113,11 @@ fn bench_confidence_and_train(samples: usize, iters: u64) -> f64 {
     const LLC_SETS: u32 = 2048;
     let mut predictor = MultiperspectivePredictor::new(feature_sets::table_1a(), LLC_SETS, 64, 18);
     let history: Vec<u64> = (0..18).map(|i| 0x40_0000 + i * 1357).collect();
-    let mut indices = Vec::with_capacity(16);
     let mut pc = 0x40_0000u64;
     let mut block = 0u64;
+    // The fused per-access entry point: one offsets pass feeding both the
+    // confidence gather and sampler training, as the production policies
+    // drive it (the unbatched fallback path of the MPPPB window).
     median_ns_per_op(samples, iters, || {
         pc = pc.wrapping_add(4);
         block = block.wrapping_add(0x61c8_8646_80b5_83eb);
@@ -127,11 +129,40 @@ fn bench_confidence_and_train(samples: usize, iters: u64) -> f64 {
             is_insert: pc.is_multiple_of(3),
             last_miss: pc.is_multiple_of(5),
         };
-        predictor.compute_indices(&ctx, &mut indices);
-        let confidence = predictor.confidence(&indices);
-        predictor.train(block as u32 % LLC_SETS, block, &indices, confidence);
+        let confidence = predictor.access(&ctx, block as u32 % LLC_SETS, block);
         std::hint::black_box(confidence);
     })
+}
+
+/// Ns/event of the batched saturating weight-update kernel at the
+/// dispatched SIMD level, on a 4096-event buffer with duplicate offsets
+/// and mixed signs (one full sort-coalesce chunk).
+fn bench_train_apply_batch(samples: usize, iters: u64) -> f64 {
+    use mrp_core::simd::{self, ApplyScratch, GATHER_PAD};
+    use mrp_core::tables::{WeightTables, WEIGHT_MAX, WEIGHT_MIN};
+
+    const EVENTS: usize = 4096;
+    let arena = WeightTables::new(&feature_sets::table_1a()).arena_len();
+    let mut weights = vec![0i8; arena + GATHER_PAD];
+    let mut scratch = ApplyScratch::default();
+    let events: Vec<u32> = (0..EVENTS as u32)
+        .map(|i| {
+            let offset = (i.wrapping_mul(2654435761) >> 8) as usize % arena;
+            ((offset as u32) << 1) | ((i / 7) & 1)
+        })
+        .collect();
+    let batches = (iters / EVENTS as u64).max(1);
+    median_ns_per_op(samples, batches, || {
+        simd::apply_events_i8(
+            &mut weights,
+            &events,
+            WEIGHT_MIN,
+            WEIGHT_MAX,
+            simd::level(),
+            &mut scratch,
+        );
+        std::hint::black_box(weights[0]);
+    }) / EVENTS as f64
 }
 
 /// Median instructions/second simulating `instructions` under `kind`.
@@ -238,6 +269,8 @@ fn main() {
     eprintln!("  predictor_hot_path/index_16_features: {index_ns:.1} ns/op");
     let train_ns = bench_confidence_and_train(samples, iters);
     eprintln!("  predictor_hot_path/confidence_and_train: {train_ns:.1} ns/op");
+    let apply_ns = bench_train_apply_batch(samples, iters);
+    eprintln!("  predictor_hot_path/train_apply_batch: {apply_ns:.2} ns/event");
 
     // Batched hot path: the scalar-vs-SIMD lane kernel pair and the
     // per-access cost of the batch front-end at widths 1/4/8. The
@@ -278,7 +311,11 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "    \"confidence_and_train\": {{ \"median_ns_per_op\": {train_ns:.3} }}"
+        "    \"confidence_and_train\": {{ \"median_ns_per_op\": {train_ns:.3} }},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"train_apply_batch\": {{ \"median_ns_per_event\": {apply_ns:.3} }}"
     );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"batched_hot_path\": {{");
@@ -356,6 +393,10 @@ fn main() {
         m.scalar(
             "predictor_hot_path.confidence_and_train.median_ns_per_op",
             train_ns,
+        );
+        m.scalar(
+            "predictor_hot_path.train_apply_batch.median_ns_per_event",
+            apply_ns,
         );
         m.meta("simd_level", Json::Str(detected.name().to_string()));
         m.scalar(

@@ -25,7 +25,9 @@
 use mrp_cache::{AccessInfo, AccessResult, CacheConfig, CacheStats, ReplacementPolicy};
 use mrp_core::context::FeatureContext;
 use mrp_core::feature::Feature;
-use mrp_core::sampler::{clamp_confidence, partial_tag, Sampler, TrainingEvent};
+use mrp_core::sampler::{
+    clamp_confidence, event_feature, event_index, event_is_decrement, partial_tag, Sampler,
+};
 use mrp_core::tables::{WEIGHT_MAX, WEIGHT_MIN};
 use mrp_trace::MemoryAccess;
 
@@ -219,17 +221,18 @@ impl ReferencePredictor {
             clamp_confidence(confidence),
             &mut events,
         );
-        for event in &events {
-            match *event {
-                TrainingEvent::Decrement { feature, index } => {
-                    let w = &mut self.tables[usize::from(feature)][usize::from(index)];
-                    *w = (*w).saturating_sub(1).max(WEIGHT_MIN);
-                }
-                TrainingEvent::Increment { feature, index } => {
-                    let w = &mut self.tables[usize::from(feature)][usize::from(index)];
-                    *w = (*w).saturating_add(1).min(WEIGHT_MAX);
-                }
-            }
+        // The packed event words carry the feature id in their high bits
+        // precisely for this consumer: the reference stores per-table
+        // indices, so it needs the feature to pick the table where the
+        // optimized predictor's precombined arena offsets don't.
+        for &event in &events {
+            let w = &mut self.tables[usize::from(event_feature(event))]
+                [usize::from(event_index(event))];
+            *w = if event_is_decrement(event) {
+                (*w).saturating_sub(1).max(WEIGHT_MIN)
+            } else {
+                (*w).saturating_add(1).min(WEIGHT_MAX)
+            };
         }
     }
 

@@ -7,7 +7,7 @@ use mrp_cache::{AccessResult, Cache, CacheConfig};
 use mrp_core::context::PcHistory;
 use mrp_core::feature::{Feature, FeatureKind};
 use mrp_core::mpppb::{Mpppb, MpppbConfig};
-use mrp_core::sampler::{clamp_confidence, partial_tag, Sampler, TrainingEvent};
+use mrp_core::sampler::{clamp_confidence, partial_tag, Sampler};
 use mrp_trace::generators::ZipfSampler;
 use mrp_trace::MemoryAccess;
 
@@ -216,10 +216,9 @@ proptest! {
             events.clear();
             let indices: Vec<u16> = (0..features).map(|f| (f as u16 + tag) % 4).collect();
             let _ = sampler.access((i % 2) as u32, tag, &indices, 0, &mut events);
-            for e in &events {
-                let (TrainingEvent::Increment { feature, .. }
-                | TrainingEvent::Decrement { feature, .. }) = e;
-                prop_assert!((*feature as usize) < features);
+            for &e in &events {
+                prop_assert!(usize::from(mrp_core::sampler::event_feature(e)) < features);
+                prop_assert!(mrp_core::sampler::event_index(e) < 4);
             }
             prop_assert!(sampler.set_len((i % 2) as u32) <= 18);
         }
@@ -410,6 +409,84 @@ proptest! {
                 tables.confidence_with(level, &offsets),
                 expected,
                 "{} gather-sum diverged from per-table weight sum", level.name()
+            );
+        }
+    }
+
+    #[test]
+    fn batched_apply_equals_sequential_saturating_updates(
+        features in proptest::collection::vec(arbitrary_feature(), 1..8),
+        raw_events in proptest::collection::vec((any::<u16>(), any::<bool>()), 1..300),
+        pool_cap in 1u32..=u16::MAX as u32,
+    ) {
+        // The batched weight-update kernel must resolve duplicate-offset
+        // conflicts exactly as a sequential increment_at/decrement_at
+        // fold, at every level. `pool_cap` sometimes squeezes all events
+        // into a handful of offsets, making same- and mixed-sign
+        // duplicate runs common.
+        use mrp_core::tables::WeightTables;
+        let arena = WeightTables::new(&features).arena_len() as u32;
+        let pool = arena.min(pool_cap);
+        let events: Vec<u32> = raw_events
+            .iter()
+            .map(|&(o, dec)| ((u32::from(o) % pool) << 1) | u32::from(dec))
+            .collect();
+        let mut reference = WeightTables::new(&features);
+        for &e in &events {
+            let offset = (e >> 1) as u16;
+            if e & 1 == 1 {
+                reference.decrement_at(offset);
+            } else {
+                reference.increment_at(offset);
+            }
+        }
+        for &level in mrp_core::simd::available_levels() {
+            let mut tables = WeightTables::new(&features);
+            tables.apply_events_with(level, &events);
+            for (t, f) in features.iter().enumerate() {
+                for i in 0..f.table_size() as u16 {
+                    prop_assert_eq!(
+                        tables.weight(t, i), reference.weight(t, i),
+                        "{} batched apply diverged at table {} index {}",
+                        level.name(), t, i
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn saturating_runs_round_trip_through_every_level(
+        m in 1usize..200,
+        initial in i32::from(mrp_core::tables::WEIGHT_MIN)..=i32::from(mrp_core::tables::WEIGHT_MAX),
+    ) {
+        // m increments followed by m decrements on one offset: the
+        // increment run may pin at WEIGHT_MAX, making the round trip
+        // order-dependent — ending at clamp(clamp(initial + m) - m),
+        // not back at `initial`. The kernel's mixed-sign replay must
+        // preserve exactly that.
+        use mrp_core::simd::{self, ApplyScratch, GATHER_PAD};
+        use mrp_core::tables::{WEIGHT_MAX, WEIGHT_MIN};
+        let mut base = vec![0i8; 1 + GATHER_PAD];
+        base[0] = initial as i8;
+        let events: Vec<u32> = (0..2 * m).map(|i| u32::from(i >= m)).collect();
+        let up = (initial + m as i32).clamp(i32::from(WEIGHT_MIN), i32::from(WEIGHT_MAX));
+        let expected = (up - m as i32).clamp(i32::from(WEIGHT_MIN), i32::from(WEIGHT_MAX));
+        let mut scratch = ApplyScratch::default();
+        for &level in simd::available_levels() {
+            let mut weights = base.clone();
+            simd::apply_events_i8(
+                &mut weights,
+                &events,
+                WEIGHT_MIN,
+                WEIGHT_MAX,
+                level,
+                &mut scratch,
+            );
+            prop_assert_eq!(
+                i32::from(weights[0]), expected,
+                "{} saturation round-trip diverged (m={}, initial={})",
+                level.name(), m, initial
             );
         }
     }
