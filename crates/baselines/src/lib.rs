@@ -20,16 +20,20 @@
 //!   in the paper).
 //!
 //! All policies implement [`mrp_cache::ReplacementPolicy`], so they drop
-//! into the same hierarchy as MPPPB.
+//! into the same hierarchy as MPPPB. [`policy_kind::PolicyKind`] is the
+//! shared name→policy factory over all of them (plus the MPPPB variants
+//! from `mrp-core`), feeding the `PredictionEngine` facade.
 
 pub mod hawkeye;
 pub mod min;
 pub mod perceptron;
+pub mod policy_kind;
 pub mod sdbp;
 pub mod ship;
 
 pub use hawkeye::Hawkeye;
 pub use min::MinPolicy;
 pub use perceptron::PerceptronPolicy;
+pub use policy_kind::PolicyKind;
 pub use sdbp::Sdbp;
 pub use ship::Ship;

@@ -77,6 +77,10 @@ impl ReplacementPolicy for Ship {
         self.rrip.victim(info.set)
     }
 
+    fn uses_victim_occupants(&self) -> bool {
+        false
+    }
+
     fn on_evict(&mut self, set: u32, way: u32, _block: u64) {
         let slot = self.slot(set, way);
         if !self.outcome[slot] {

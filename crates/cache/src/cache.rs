@@ -51,6 +51,10 @@ pub struct Cache {
     /// `(1 << assoc) - 1`: the bitmask of a full set.
     full_mask: u64,
     policy: Box<dyn ReplacementPolicy + Send>,
+    /// Cached [`ReplacementPolicy::uses_victim_occupants`] (the
+    /// capability is constant); misses skip the occupant snapshot when
+    /// the policy never reads it.
+    policy_wants_occupants: bool,
     stats: CacheStats,
     /// Victim-scan scratch, reused across accesses so a full-set miss
     /// does not allocate. Only meaningful within one `access` call.
@@ -87,6 +91,7 @@ impl Cache {
             } else {
                 (1u64 << assoc) - 1
             },
+            policy_wants_occupants: policy.uses_victim_occupants(),
             policy,
             stats: CacheStats::default(),
             occupants: Vec::with_capacity(assoc as usize),
@@ -207,7 +212,7 @@ impl Cache {
                     break;
                 }
             }
-            if hit_way.is_none() {
+            if hit_way.is_none() && self.policy_wants_occupants {
                 self.occupants.extend_from_slice(set_tags);
             }
         } else {
@@ -251,7 +256,7 @@ impl Cache {
             None => {
                 let victim = self.policy.choose_victim(&info, &self.occupants);
                 assert!(victim < assoc, "policy chose way {victim} of {assoc}");
-                let block = self.occupants[victim as usize];
+                let block = self.tags[base + victim as usize];
                 self.policy.on_evict(info.set, victim, block);
                 self.stats.evictions += 1;
                 evicted = Some(block);

@@ -123,9 +123,25 @@ impl fmt::Debug for Hierarchy {
 impl Hierarchy {
     /// Builds the hierarchy; `llc_policy` manages the last level.
     pub fn new(config: HierarchyConfig, llc_policy: Box<dyn ReplacementPolicy + Send>) -> Self {
+        Hierarchy::with_llc(config, Cache::new(config.llc, llc_policy))
+    }
+
+    /// Builds the hierarchy around an already-constructed LLC — the
+    /// facade route (`PredictionEngine::into_llc`), which keeps policy
+    /// construction in one place while the hierarchy drives the cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `llc`'s geometry differs from `config.llc`.
+    pub fn with_llc(config: HierarchyConfig, llc: Cache) -> Self {
+        assert_eq!(
+            llc.config(),
+            &config.llc,
+            "LLC geometry must match the hierarchy config"
+        );
         Hierarchy {
             private: CorePrivate::new(&config),
-            llc: Cache::new(config.llc, llc_policy),
+            llc,
             latencies: config.latencies,
             batch_ops: Vec::new(),
             batch_window: Vec::new(),

@@ -68,6 +68,10 @@ impl ReplacementPolicy for Lru {
         self.lru_way(info.set)
     }
 
+    fn uses_victim_occupants(&self) -> bool {
+        false
+    }
+
     fn on_fill(&mut self, info: &AccessInfo, way: u32) {
         self.touch(info.set, way);
     }

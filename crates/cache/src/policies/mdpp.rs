@@ -83,6 +83,10 @@ impl ReplacementPolicy for Mdpp {
         self.tree.victim(info.set)
     }
 
+    fn uses_victim_occupants(&self) -> bool {
+        false
+    }
+
     fn on_fill(&mut self, info: &AccessInfo, way: u32) {
         self.tree
             .set_position(info.set, way, self.config.insert_position);

@@ -153,6 +153,10 @@ impl ReplacementPolicy for TreePlru {
         self.tree.victim(info.set)
     }
 
+    fn uses_victim_occupants(&self) -> bool {
+        false
+    }
+
     fn on_fill(&mut self, info: &AccessInfo, way: u32) {
         self.tree.touch(info.set, way);
     }

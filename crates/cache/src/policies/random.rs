@@ -35,6 +35,10 @@ impl ReplacementPolicy for RandomPolicy {
         self.rng.gen_range(0..self.assoc)
     }
 
+    fn uses_victim_occupants(&self) -> bool {
+        false
+    }
+
     fn on_fill(&mut self, _info: &AccessInfo, _way: u32) {}
 }
 

@@ -101,6 +101,10 @@ impl ReplacementPolicy for Srrip {
         self.state.victim(info.set)
     }
 
+    fn uses_victim_occupants(&self) -> bool {
+        false
+    }
+
     fn on_fill(&mut self, info: &AccessInfo, way: u32) {
         self.state.set(info.set, way, RRIP_MAX - 1);
     }
@@ -137,6 +141,10 @@ impl ReplacementPolicy for Brrip {
 
     fn choose_victim(&mut self, info: &AccessInfo, _occupants: &[u64]) -> u32 {
         self.state.victim(info.set)
+    }
+
+    fn uses_victim_occupants(&self) -> bool {
+        false
     }
 
     fn on_fill(&mut self, info: &AccessInfo, way: u32) {

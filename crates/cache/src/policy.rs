@@ -141,6 +141,24 @@ pub trait ReplacementPolicy {
         false
     }
 
+    /// Switches per-decision confidence accounting on or off. Predictive
+    /// policies that can attribute a confidence value to each decision
+    /// (MPPPB, perceptron-family) may maintain a histogram when enabled;
+    /// the default is a no-op, and tracking must default to *off* so the
+    /// hot path pays nothing unless a serving/telemetry front-end asks.
+    fn set_confidence_tracking(&mut self, enabled: bool) {
+        let _ = enabled;
+    }
+
+    /// The per-decision confidence histogram accumulated since tracking
+    /// was enabled ([`ReplacementPolicy::set_confidence_tracking`]), in
+    /// fixed bins from strongly-reuse-predicted to strongly-bypass-
+    /// predicted. `None` when the policy has no confidence notion or
+    /// tracking is off.
+    fn confidence_histogram(&self) -> Option<Vec<u64>> {
+        None
+    }
+
     /// The access hit in `way`.
     fn on_hit(&mut self, info: &AccessInfo, way: u32);
 
@@ -153,8 +171,20 @@ pub trait ReplacementPolicy {
 
     /// Chooses the victim way for a fill into a full set. `occupants[w]` is
     /// the block currently in way `w`; every way is valid when this is
-    /// called.
+    /// called. When [`ReplacementPolicy::uses_victim_occupants`] is
+    /// `false`, the cache may pass an empty slice instead.
     fn choose_victim(&mut self, info: &AccessInfo, occupants: &[u64]) -> u32;
+
+    /// Whether [`ReplacementPolicy::choose_victim`] reads its `occupants`
+    /// argument. Policies that pick victims purely from their own state
+    /// (recency trees, RRPV arrays, predictor metadata) return `false`
+    /// so the cache can skip snapshotting the set's tags on every miss —
+    /// a measurable saving on the per-access serving path. Must be
+    /// constant for the lifetime of the policy. Default: `true`
+    /// (conservative).
+    fn uses_victim_occupants(&self) -> bool {
+        true
+    }
 
     /// `block` is being evicted from (`set`, `way`). Default: no-op.
     fn on_evict(&mut self, set: u32, way: u32, block: u64) {

@@ -120,6 +120,14 @@ impl ReplacementPolicy for AdaptiveMpppb {
         self.inner.uses_upcoming_accesses()
     }
 
+    fn set_confidence_tracking(&mut self, enabled: bool) {
+        self.inner.set_confidence_tracking(enabled);
+    }
+
+    fn confidence_histogram(&self) -> Option<Vec<u64>> {
+        self.inner.confidence_histogram()
+    }
+
     fn on_hit(&mut self, info: &AccessInfo, way: u32) {
         self.apply_mode(info.set);
         self.inner.on_hit(info, way);
@@ -133,6 +141,10 @@ impl ReplacementPolicy for AdaptiveMpppb {
 
     fn choose_victim(&mut self, info: &AccessInfo, occupants: &[u64]) -> u32 {
         self.inner.choose_victim(info, occupants)
+    }
+
+    fn uses_victim_occupants(&self) -> bool {
+        self.inner.uses_victim_occupants()
     }
 
     fn on_evict(&mut self, set: u32, way: u32, block: u64) {

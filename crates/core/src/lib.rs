@@ -24,6 +24,12 @@
 //!   a static-MDPP or an SRRIP default policy (§3.7).
 //! * [`feature_sets`] — the published feature sets (Tables 1(a), 1(b), 2)
 //!   and tuned threshold/position parameters.
+//! * [`options`] — typed [`RuntimeOptions`] for the process-wide
+//!   execution knobs (SIMD dispatch, window delivery, thread count),
+//!   with the legacy environment variables as fallback.
+//! * [`engine`] — the [`PredictionEngine`] facade: one typed front door
+//!   ([`EngineConfig`] builder, batch submission, stats snapshots) that
+//!   every driver, replay loop, and serving shard constructs through.
 //!
 //! # Example
 //!
@@ -42,9 +48,11 @@
 
 pub mod adaptive;
 pub mod context;
+pub mod engine;
 pub mod feature;
 pub mod feature_sets;
 pub mod mpppb;
+pub mod options;
 pub mod plan;
 pub mod predictor;
 pub mod sampler;
@@ -52,8 +60,10 @@ pub mod simd;
 pub mod tables;
 
 pub use adaptive::AdaptiveMpppb;
+pub use engine::{Access, Decisions, EngineConfig, EngineStats, PredictionEngine};
 pub use feature::{Feature, FeatureKind};
 pub use mpppb::{DefaultPolicyKind, Mpppb, MpppbConfig};
+pub use options::RuntimeOptions;
 pub use plan::FeaturePlan;
 pub use predictor::MultiperspectivePredictor;
 pub use simd::SimdLevel;

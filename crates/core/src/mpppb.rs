@@ -23,6 +23,54 @@ use crate::feature_sets;
 use crate::plan::MAX_BATCH;
 use crate::predictor::MultiperspectivePredictor;
 
+/// Typed override for announced-window delivery, installed by
+/// `RuntimeOptions::install` (`crate::options`): `0` = unset (the
+/// `MRP_NO_WINDOW` environment variable decides), `1` = disabled, `2` =
+/// enabled.
+static WINDOW_OVERRIDE: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+/// Installs (or with `None` clears) the typed window-delivery override.
+/// `Some(false)` disables the announced-window pipeline (the fused
+/// per-access fallback runs instead); `Some(true)` forces it on; `None`
+/// restores the `MRP_NO_WINDOW` fallback. Purely a throughput knob —
+/// results are bit-identical either way (the window hook is advisory).
+pub fn set_window_override(enabled: Option<bool>) {
+    let encoded = match enabled {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    WINDOW_OVERRIDE.store(encoded, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Whether MPPPB policies subscribe to announced windows right now: the
+/// typed override when installed, otherwise the once-per-process
+/// `MRP_NO_WINDOW` decision.
+pub fn window_delivery_enabled() -> bool {
+    match WINDOW_OVERRIDE.load(std::sync::atomic::Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => {
+            static DISABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+            !*DISABLED.get_or_init(
+                || matches!(std::env::var("MRP_NO_WINDOW"), Ok(v) if !v.is_empty() && v != "0"),
+            )
+        }
+    }
+}
+
+/// Number of fixed bins in the per-decision confidence histogram
+/// ([`ReplacementPolicy::confidence_histogram`]).
+pub const CONFIDENCE_BINS: usize = 16;
+
+/// Maps a confidence sum to its histogram bin: the span `[-128, 127]`
+/// (which covers the thresholds both paper configurations use) split
+/// into [`CONFIDENCE_BINS`] equal bins, saturating at the ends. Bin 0 is
+/// strongly reuse-predicted, the last bin strongly bypass-predicted.
+pub fn confidence_bin(confidence: i32) -> usize {
+    ((confidence.clamp(-128, 127) + 128) >> 4) as usize
+}
+
 /// Which default replacement policy backs MPPPB.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DefaultPolicyKind {
@@ -207,6 +255,11 @@ pub struct Mpppb {
     batch_buf: Vec<u16>,
     /// Confidence of the most recent prediction (for ROC measurement).
     last_confidence: i32,
+    /// Per-decision confidence histogram ([`CONFIDENCE_BINS`] fixed
+    /// bins), allocated only while tracking is enabled through
+    /// [`ReplacementPolicy::set_confidence_tracking`] so the default hot
+    /// path pays a single `Option` test.
+    confidence_hist: Option<Box<[u64]>>,
     /// Neutral mode: predict and train, but manage the cache exactly as
     /// the default policy would (no bypass, default placement/promotion).
     /// Toggled per access by [`crate::adaptive::AdaptiveMpppb`].
@@ -273,6 +326,7 @@ impl Mpppb {
             spec_pos: Vec::new(),
             batch_buf: Vec::new(),
             last_confidence: 0,
+            confidence_hist: None,
             neutral: false,
             name,
         }
@@ -386,6 +440,9 @@ impl Mpppb {
         };
         self.set_state.record(info.set, info.block, is_insert);
         self.last_confidence = confidence;
+        if let Some(hist) = self.confidence_hist.as_deref_mut() {
+            hist[confidence_bin(confidence)] += 1;
+        }
         confidence
     }
 
@@ -499,13 +556,23 @@ impl ReplacementPolicy for Mpppb {
     }
 
     fn uses_upcoming_accesses(&self) -> bool {
-        // MRP_NO_WINDOW=1 opts out of window delivery for A/B perf
-        // comparison of the split vs fused pipeline; results are
-        // bit-identical either way (the hook is advisory).
-        static DISABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-        !*DISABLED.get_or_init(
-            || matches!(std::env::var("MRP_NO_WINDOW"), Ok(v) if !v.is_empty() && v != "0"),
-        )
+        // MRP_NO_WINDOW=1 (or the typed RuntimeOptions override) opts
+        // out of window delivery for A/B perf comparison of the split
+        // vs fused pipeline; results are bit-identical either way (the
+        // hook is advisory).
+        window_delivery_enabled()
+    }
+
+    fn set_confidence_tracking(&mut self, enabled: bool) {
+        self.confidence_hist = if enabled {
+            Some(vec![0; CONFIDENCE_BINS].into_boxed_slice())
+        } else {
+            None
+        };
+    }
+
+    fn confidence_histogram(&self) -> Option<Vec<u64>> {
+        self.confidence_hist.as_ref().map(|h| h.to_vec())
     }
 
     fn on_hit(&mut self, info: &AccessInfo, way: u32) {
@@ -554,6 +621,10 @@ impl ReplacementPolicy for Mpppb {
             DefaultState::Mdpp { tree, .. } => tree.victim(info.set),
             DefaultState::Srrip(state) => state.victim(info.set),
         }
+    }
+
+    fn uses_victim_occupants(&self) -> bool {
+        false
     }
 
     fn on_fill(&mut self, info: &AccessInfo, way: u32) {

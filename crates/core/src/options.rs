@@ -1,0 +1,181 @@
+//! Typed runtime options replacing the environment-knob sprawl.
+//!
+//! Three process-wide knobs used to be reachable only through
+//! environment variables read at scattered call sites:
+//!
+//! | knob | legacy env var | effect |
+//! |---|---|---|
+//! | SIMD dispatch | `MRP_NO_SIMD` | pin kernels to scalar |
+//! | window delivery | `MRP_NO_WINDOW` | disable the announced-window pipeline |
+//! | worker threads | `MRP_THREADS` | parallel fan-out width |
+//!
+//! [`RuntimeOptions`] is the typed front door: binaries parse explicit
+//! flags (`--no-simd`, `--no-window`, `--threads`) into one struct,
+//! [`RuntimeOptions::install`] publishes the SIMD and window choices to
+//! the dispatchers in this crate, and callers that link `mrp-runtime`
+//! pass [`RuntimeOptions::thread_request`] to its `set_threads`. Every
+//! field is an `Option`: `None` defers to the environment variable, so
+//! existing scripts, the CI kernel-dispatch matrix, and A/B recipes keep
+//! working unchanged. An explicit option always wins over the
+//! environment.
+//!
+//! All three knobs are throughput devices, never semantics: results are
+//! bit-identical at every setting (held to that by `mrp-verify`'s
+//! kernel-identity and lockstep passes).
+
+use crate::{mpppb, simd};
+
+/// Typed overrides for the process-wide execution knobs.
+///
+/// Construct with [`RuntimeOptions::from_env`] (pure env-var defaults)
+/// or [`RuntimeOptions::default`] (all `None`, also env-deferring), then
+/// refine with the builder methods and call [`install`].
+///
+/// [`install`]: RuntimeOptions::install
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeOptions {
+    /// `Some(true)` pins every kernel to the scalar form;
+    /// `Some(false)` dispatches to the widest level the hardware
+    /// offers; `None` defers to `MRP_NO_SIMD`.
+    pub no_simd: Option<bool>,
+    /// `Some(true)` disables announced-window delivery (the fused
+    /// per-access fallback runs instead); `Some(false)` forces it on;
+    /// `None` defers to `MRP_NO_WINDOW`.
+    pub no_window: Option<bool>,
+    /// Requested worker-thread count; `None` or `Some(0)` defers to
+    /// `MRP_THREADS`, then the machine's available parallelism.
+    pub threads: Option<usize>,
+}
+
+impl RuntimeOptions {
+    /// Options resolved purely from the legacy environment variables —
+    /// the exact behavior of a binary that predates typed options.
+    pub fn from_env() -> Self {
+        RuntimeOptions::default()
+    }
+
+    /// Pins (or un-pins) kernel dispatch to scalar.
+    pub fn no_simd(mut self, no_simd: bool) -> Self {
+        self.no_simd = Some(no_simd);
+        self
+    }
+
+    /// Disables (or re-enables) announced-window delivery.
+    pub fn no_window(mut self, no_window: bool) -> Self {
+        self.no_window = Some(no_window);
+        self
+    }
+
+    /// Requests a worker-thread count (`0` = automatic).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Merges the shared command-line flags on top of the environment
+    /// defaults: a present `--no-simd`/`--no-window` switch or a nonzero
+    /// `--threads` overrides; absent flags leave the env fallback in
+    /// place. One-liner glue for every driver:
+    ///
+    /// ```ignore
+    /// RuntimeOptions::from_env().with_cli(
+    ///     args.get_flag("no-simd", false),
+    ///     args.get_flag("no-window", false),
+    ///     args.get_usize("threads", 0),
+    /// ).install();
+    /// ```
+    pub fn with_cli(mut self, no_simd: bool, no_window: bool, threads: usize) -> Self {
+        if no_simd {
+            self.no_simd = Some(true);
+        }
+        if no_window {
+            self.no_window = Some(true);
+        }
+        if threads > 0 {
+            self.threads = Some(threads);
+        }
+        self
+    }
+
+    /// The thread count to hand to `mrp_runtime::set_threads` (`0` keeps
+    /// its own `MRP_THREADS`-then-hardware resolution).
+    pub fn thread_request(&self) -> usize {
+        self.threads.unwrap_or(0)
+    }
+
+    /// Publishes the SIMD and window choices to the in-crate
+    /// dispatchers. `None` fields *clear* any previous override, so the
+    /// environment variables decide again — installing
+    /// [`RuntimeOptions::from_env`] restores legacy behavior exactly.
+    ///
+    /// Thread-count installation is the caller's job (this crate does
+    /// not link the thread pool): pass [`Self::thread_request`] to
+    /// `mrp_runtime::set_threads`.
+    pub fn install(&self) -> &Self {
+        simd::set_scalar_override(self.no_simd);
+        mpppb::set_window_override(self.no_window.map(|off| !off));
+        self
+    }
+
+    /// The SIMD level submissions will dispatch to once installed
+    /// (introspection for logs and manifests).
+    pub fn effective_simd(&self) -> simd::SimdLevel {
+        match self.no_simd {
+            Some(true) => simd::SimdLevel::Scalar,
+            _ => simd::level(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_set_fields() {
+        let o = RuntimeOptions::from_env()
+            .no_simd(true)
+            .no_window(true)
+            .threads(3);
+        assert_eq!(o.no_simd, Some(true));
+        assert_eq!(o.no_window, Some(true));
+        assert_eq!(o.thread_request(), 3);
+        assert_eq!(RuntimeOptions::default().thread_request(), 0);
+    }
+
+    #[test]
+    fn with_cli_only_overrides_present_flags() {
+        let o = RuntimeOptions::from_env().with_cli(false, false, 0);
+        assert_eq!(o, RuntimeOptions::default());
+        let o = RuntimeOptions::from_env().with_cli(true, false, 2);
+        assert_eq!(o.no_simd, Some(true));
+        assert_eq!(o.no_window, None);
+        assert_eq!(o.threads, Some(2));
+    }
+
+    #[test]
+    fn install_round_trips_the_window_override() {
+        // Sole owner of the process-global overrides in this test
+        // binary's options tests: installing and clearing must leave
+        // the env-deferred default behind.
+        RuntimeOptions::from_env().no_window(true).install();
+        assert!(!mpppb::window_delivery_enabled());
+        RuntimeOptions::from_env().no_window(false).install();
+        assert!(mpppb::window_delivery_enabled());
+        RuntimeOptions::from_env().install();
+        // Back to env fallback (unset in the test environment).
+        assert!(mpppb::window_delivery_enabled());
+    }
+
+    #[test]
+    fn install_pins_simd_to_scalar() {
+        RuntimeOptions::from_env().no_simd(true).install();
+        assert_eq!(simd::level(), simd::SimdLevel::Scalar);
+        assert_eq!(
+            RuntimeOptions::from_env().no_simd(true).effective_simd(),
+            simd::SimdLevel::Scalar
+        );
+        RuntimeOptions::from_env().install();
+        assert_eq!(simd::level(), simd::env_level());
+    }
+}

@@ -20,6 +20,7 @@
 //! operations, no floating point); `mrp-verify`'s kernel-identity pass
 //! and the property tests in `tests/properties.rs` hold them to that.
 
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
 
 /// Which kernel family the hot paths dispatch to.
@@ -73,16 +74,51 @@ pub fn available_levels() -> &'static [SimdLevel] {
     &[SimdLevel::Scalar]
 }
 
-/// The level the hot paths dispatch to, decided once per process from
-/// hardware detection and `MRP_NO_SIMD`.
-pub fn level() -> SimdLevel {
+/// Typed override installed by `RuntimeOptions::install`
+/// (`crate::options`): `0` = unset (the environment decides), `1` =
+/// force scalar, `2` = dispatch to the widest hardware level regardless
+/// of `MRP_NO_SIMD`.
+static SCALAR_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Installs (or with `None` clears) the typed scalar-dispatch override.
+/// `Some(true)` pins [`level`] to scalar, `Some(false)` to the widest
+/// hardware level; `None` restores the `MRP_NO_SIMD` fallback.
+pub fn set_scalar_override(force_scalar: Option<bool>) {
+    let encoded = match force_scalar {
+        None => 0,
+        Some(true) => 1,
+        Some(false) => 2,
+    };
+    SCALAR_OVERRIDE.store(encoded, Ordering::Relaxed);
+}
+
+/// The level `MRP_NO_SIMD` and hardware detection alone would pick
+/// (cached once per process; the typed override is layered on top by
+/// [`level`]).
+pub fn env_level() -> SimdLevel {
     static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
     *LEVEL.get_or_init(|| {
         if simd_disabled_by_env() {
             return SimdLevel::Scalar;
         }
-        *available_levels().last().expect("at least scalar")
+        hardware_level()
     })
+}
+
+fn hardware_level() -> SimdLevel {
+    *available_levels().last().expect("at least scalar")
+}
+
+/// The level the hot paths dispatch to: the typed override when one is
+/// installed ([`set_scalar_override`]), otherwise the once-per-process
+/// `MRP_NO_SIMD`-plus-hardware decision.
+#[inline]
+pub fn level() -> SimdLevel {
+    match SCALAR_OVERRIDE.load(Ordering::Relaxed) {
+        1 => SimdLevel::Scalar,
+        2 => hardware_level(),
+        _ => env_level(),
+    }
 }
 
 /// Extra zeroed entries every i8 weight arena allocates past its logical

@@ -98,6 +98,21 @@ impl MulticoreSim {
         llc_policy: Box<dyn ReplacementPolicy + Send>,
         mix: &Mix,
     ) -> Self {
+        MulticoreSim::with_llc(config, Cache::new(config.llc, llc_policy), mix)
+    }
+
+    /// Creates the simulation around an already-constructed shared LLC —
+    /// the facade route (`PredictionEngine::into_llc`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the LLC's geometry differs from `config.llc`.
+    pub fn with_llc(config: HierarchyConfig, llc: Cache, mix: &Mix) -> Self {
+        assert_eq!(
+            llc.config(),
+            &config.llc,
+            "LLC geometry must match the hierarchy config"
+        );
         let workloads = mix.workloads();
         let seed = mix.seed();
         let cores = workloads
@@ -113,7 +128,7 @@ impl MulticoreSim {
             .collect();
         MulticoreSim {
             cores,
-            llc: Cache::new(config.llc, llc_policy),
+            llc,
             latencies: config.latencies,
         }
     }

@@ -65,6 +65,20 @@ impl<T: Iterator<Item = MemoryAccess>> SingleCoreSim<T> {
         }
     }
 
+    /// Creates the simulation around an already-constructed LLC — the
+    /// facade route (`PredictionEngine::into_llc`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the LLC's geometry differs from `config.llc`.
+    pub fn with_llc(config: HierarchyConfig, llc: mrp_cache::Cache, trace: T) -> Self {
+        SingleCoreSim {
+            hierarchy: Hierarchy::with_llc(config, llc),
+            core: CoreModel::new(CoreModelConfig::default()),
+            trace,
+        }
+    }
+
     /// Runs `warmup` instructions to warm microarchitectural state, then
     /// measures for `measure` instructions (the paper warms for 500M and
     /// measures 1B; scale to taste).

@@ -104,7 +104,7 @@ fn feature_code(f: &Feature) -> String {
 
 fn main() {
     let args = Args::parse();
-    args.init_threads();
+    args.init_runtime_options();
     args.init_replay();
     let rounds = args.get_usize("rounds", 2);
     let combos = args.get_usize("combos", 100);

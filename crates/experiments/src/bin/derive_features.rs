@@ -95,7 +95,7 @@ fn search_half(
 
 fn main() {
     let args = Args::parse();
-    args.init_threads();
+    args.init_runtime_options();
     let candidates = args.get_usize("candidates", 120);
     let instructions = args.get_u64("instructions", 2_000_000);
     let moves = args.get_u64("moves", 250) as u32;

@@ -16,7 +16,7 @@ use mrp_obs::Json;
 
 fn main() {
     let args = Args::parse();
-    args.init_threads();
+    args.init_runtime_options();
     let workload_count = args.get_usize("workloads", 14);
     let instructions = args.get_u64("instructions", 2_000_000);
     let seed = args.get_u64("seed", 17);

@@ -13,7 +13,7 @@ use mrp_experiments::{finish_manifest, Args};
 
 fn main() {
     let args = Args::parse();
-    args.init_threads();
+    args.init_runtime_options();
     let params = StParams {
         warmup: args.get_u64("warmup", 300_000),
         measure: args.get_u64("measure", 1_500_000),

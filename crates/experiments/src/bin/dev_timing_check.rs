@@ -15,7 +15,7 @@ use mrp_trace::workloads;
 
 fn main() {
     let args = Args::parse();
-    args.init_threads();
+    args.init_runtime_options();
     let params = StParams {
         warmup: args.get_u64("warmup", 600_000),
         measure: args.get_u64("measure", 2_500_000),

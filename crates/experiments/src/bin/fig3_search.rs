@@ -11,7 +11,7 @@ use mrp_obs::Json;
 
 fn main() {
     let args = Args::parse();
-    let threads = args.init_threads();
+    let threads = args.init_runtime_options();
     args.init_replay();
     let params = SearchParams {
         candidates: args.get_usize("candidates", 80),

@@ -11,7 +11,7 @@ use mrp_obs::Json;
 
 fn main() {
     let args = Args::parse();
-    let threads = args.init_threads();
+    let threads = args.init_runtime_options();
     let scale = args.run_scale(RunScale::multi_core());
     let mut manifest = args.init_metrics("fig4_mp_speedup", scale.seed);
     let mixes = args.get_usize("mixes", 32);

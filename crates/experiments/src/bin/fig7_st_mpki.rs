@@ -14,7 +14,7 @@ use mrp_obs::Json;
 
 fn main() {
     let args = Args::parse();
-    let threads = args.init_threads();
+    let threads = args.init_runtime_options();
     let replay = args.init_replay();
     let scale = args.run_scale(RunScale::single_thread());
     let mut manifest = args.init_metrics("fig7_st_mpki", scale.seed);

@@ -14,7 +14,7 @@ use mrp_obs::Json;
 
 fn main() {
     let args = Args::parse();
-    let threads = args.init_threads();
+    let threads = args.init_runtime_options();
     args.init_replay();
     let scale = args.run_scale(RunScale::multi_core().warmup(1_000_000).measure(5_000_000));
     let mut manifest = args.init_metrics("fig9_assoc", scale.seed);

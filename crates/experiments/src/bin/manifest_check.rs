@@ -14,6 +14,10 @@
 //! **Campaign mode** (`--campaign FILE`): validates an aggregated
 //! campaign manifest against the `mrp-campaign-manifest-v1` schema.
 //!
+//! **Fleet mode** (`--fleet FILE`): validates a serving-fleet manifest
+//! against the `mrp-fleet-manifest-v1` schema and fails if any shard
+//! processed no accesses (the `serve --smoke` CI contract).
+//!
 //! **Bench-gate mode** (`--bench-gate FRESH.json`): diffs a freshly
 //! measured `bench_snapshot` document against the committed baseline
 //! (`--bench-baseline`, default `results/bench_snapshot.json`) and exits
@@ -33,6 +37,7 @@
 //! the gate passes, for intentional perf-profile changes.
 //!
 //! Usage: `manifest_check [--dir runs]`
+//!        `manifest_check --fleet runs/fleet.json`
 //!        `manifest_check --journal runs/ci-campaign/journal.jsonl`
 //!        `manifest_check --campaign runs/ci-campaign/campaign.jsonl`
 //!        `manifest_check --bench-gate results/bench_fresh.json
@@ -50,6 +55,13 @@ use mrp_obs::Json;
 /// faster than 13 full simulations. The floor (not the committed ratio,
 /// which drifts with machine noise) is the design claim CI enforces.
 const REPLAY_SPEEDUP_FLOOR: f64 = 4.0;
+
+/// Minimum acceptable `serve_fleet.drain_accesses_per_sec` in a fresh
+/// snapshot. The recorded capability on this host is ≥10M accesses/sec
+/// aggregate; the CI floor sits 20% under it so one noisy shared-host
+/// run doesn't flake the build, while a real regression of the serving
+/// drain path still trips it.
+const SERVE_DRAIN_FLOOR: f64 = 8.0e6;
 
 /// One gated metric: where it lives and which direction is a regression.
 struct GatedMetric {
@@ -174,6 +186,28 @@ fn bench_gate(baseline: &Json, fresh: &Json, tolerance_pct: f64) -> Result<Vec<S
             ));
         }
     }
+    // Same shape for the serving fleet: an absolute floor on the drain
+    // rate, applied whenever the baseline records the serve_fleet row.
+    let drain_path = [
+        "serve_fleet".to_string(),
+        "drain_accesses_per_sec".to_string(),
+    ];
+    if metric(baseline, &drain_path).is_some() {
+        let drain = metric(fresh, &drain_path).ok_or_else(|| {
+            "fresh snapshot missing numeric field serve_fleet.drain_accesses_per_sec".to_string()
+        })?;
+        let ok = drain >= SERVE_DRAIN_FLOOR;
+        println!(
+            "serve_fleet.drain_accesses_per_sec: {drain:.0} (floor {SERVE_DRAIN_FLOOR:.0}) {}",
+            if ok { "ok" } else { "REGRESSED" }
+        );
+        if !ok {
+            failures.push(format!(
+                "serve_fleet.drain_accesses_per_sec {drain:.0} fell below the \
+                 {SERVE_DRAIN_FLOOR:.0} floor"
+            ));
+        }
+    }
     Ok(failures)
 }
 
@@ -229,6 +263,44 @@ fn run_bench_gate(args: &Args, fresh_path: &str) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `--fleet` mode: schema-check one serving-fleet manifest and require
+/// every shard to have made progress (the serve smoke contract).
+fn run_fleet_check(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("manifest_check: read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let manifest = match mrp_obs::fleet::validate(&text) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("manifest_check: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(idle) = manifest.shards.iter().find(|s| s.processed == 0) {
+        eprintln!(
+            "manifest_check: {path}: shard {} processed no accesses",
+            idle.shard
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{path}: ok ({} for seed {}: {} tenants / {} shards, {} rounds, {} accesses, \
+         {:.1}M/s drain aggregate)",
+        mrp_obs::FLEET_SCHEMA,
+        manifest.seed,
+        manifest.tenants,
+        manifest.shards.len(),
+        manifest.rounds,
+        manifest.processed(),
+        manifest.accesses_per_sec() / 1e6,
+    );
+    ExitCode::SUCCESS
 }
 
 /// `--journal` mode: schema-check one campaign journal.
@@ -293,6 +365,10 @@ fn main() -> ExitCode {
     let bench_gate_path = args.get_str("bench-gate", "");
     if !bench_gate_path.is_empty() {
         return run_bench_gate(&args, &bench_gate_path);
+    }
+    let fleet_path = args.get_str("fleet", "");
+    if !fleet_path.is_empty() {
+        return run_fleet_check(&fleet_path);
     }
     let journal_path = args.get_str("journal", "");
     if !journal_path.is_empty() {
@@ -429,6 +505,39 @@ mod tests {
         let f = bench_gate(&base, &below, 15.0).unwrap();
         assert_eq!(f.len(), 1, "{f:?}");
         assert!(f[0].contains("floor"), "{f:?}");
+    }
+
+    /// A snapshot with a serve_fleet row at the given drain rate.
+    fn snapshot_with_serve(drain: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{
+              "predictor_hot_path": {{
+                "index_16_features": {{ "median_ns_per_op": 40.0 }},
+                "confidence_and_train": {{ "median_ns_per_op": 80.0 }}
+              }},
+              "hierarchy_throughput": {{
+                "MPPPB": {{ "instructions_per_sec": 35e6 }}
+              }},
+              "serve_fleet": {{ "drain_accesses_per_sec": {drain} }}
+            }}"#
+        ))
+        .expect("valid test snapshot")
+    }
+
+    #[test]
+    fn serve_drain_is_gated_against_the_absolute_floor() {
+        let base = snapshot_with_serve(10.5e6);
+        // Below the committed measurement but above the floor: clean —
+        // the floor absorbs shared-host noise.
+        let noisy = snapshot_with_serve(SERVE_DRAIN_FLOOR + 1.0);
+        assert!(bench_gate(&base, &noisy, 15.0).unwrap().is_empty());
+        let below = snapshot_with_serve(SERVE_DRAIN_FLOOR * 0.8);
+        let f = bench_gate(&base, &below, 15.0).unwrap();
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].contains("serve_fleet"), "{f:?}");
+        // Baselines without the row don't require it (pre-bless).
+        let old = snapshot(40.0, 80.0, 30e6, 35e6);
+        assert!(bench_gate(&old, &old, 15.0).unwrap().is_empty());
     }
 
     #[test]

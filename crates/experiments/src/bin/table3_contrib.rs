@@ -17,7 +17,7 @@ use mrp_obs::Json;
 
 fn main() -> ExitCode {
     let args = Args::parse();
-    let threads = args.init_threads();
+    let threads = args.init_runtime_options();
     args.init_replay();
     if args.get_flag("bless", false) {
         let path = golden::results_path("table3_golden.txt");

@@ -42,7 +42,7 @@ fn mean_mpki_ratio(evaluator: &FastEvaluator, lru: &[f64], config: &MpppbConfig)
 
 fn main() {
     let args = Args::parse();
-    args.init_threads();
+    args.init_runtime_options();
     args.init_replay();
     let combos = args.get_usize("combos", 200);
     let workload_count = args.get_usize("workloads", 12);

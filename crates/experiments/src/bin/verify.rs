@@ -53,7 +53,7 @@ fn spec(name: &str) -> PolicySpec {
 
 fn main() -> ExitCode {
     let args = Args::parse();
-    let threads = args.init_threads();
+    let threads = args.init_runtime_options();
     let cfg = VerifyConfig {
         seed: args.get_u64("seed", 42),
         accesses: args.get_usize("accesses", 1_000_000),

@@ -11,8 +11,9 @@ use mrp_core::{feature_sets, Feature};
 use mrp_search::LlcTrace;
 use mrp_trace::workloads;
 
-use mrp_cache::{Cache, CacheConfig};
+use mrp_cache::CacheConfig;
 use mrp_core::mpppb::{Mpppb, MpppbConfig};
+use mrp_core::EngineConfig;
 
 /// One row of the Table 3 reproduction.
 #[derive(Debug, Clone)]
@@ -57,8 +58,11 @@ pub fn run(workload_count: usize, instructions: u64, seed: u64) -> Vec<Contribut
 
     let evaluate = |features: &[Feature], trace: &LlcTrace| -> f64 {
         let config = base.clone().with_features(features.to_vec());
-        let mut cache = Cache::new(llc, Box::new(Mpppb::new(config, &llc)));
-        trace.replay(&mut cache)
+        let mut engine = EngineConfig::new(llc)
+            .policy_with(move |llc| Box::new(Mpppb::new(config, llc)))
+            .label("table3")
+            .build();
+        trace.replay(engine.cache_mut())
     };
 
     // MPKI with the full set, per workload.

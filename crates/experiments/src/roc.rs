@@ -111,6 +111,10 @@ impl<P: ConfidenceSource> ReplacementPolicy for RocProbe<P> {
         self.inner.choose_victim(info, occupants)
     }
 
+    fn uses_victim_occupants(&self) -> bool {
+        self.inner.uses_victim_occupants()
+    }
+
     fn on_evict(&mut self, set: u32, way: u32, block: u64) {
         // Evicted without reuse since its last prediction: dead.
         self.resolve(block, true);

@@ -7,7 +7,8 @@ use std::sync::OnceLock;
 
 use mrp_baselines::MinPolicy;
 use mrp_cache::replay::LlcRecording;
-use mrp_cache::{Cache, HierarchyConfig, ReplacementPolicy};
+use mrp_cache::{CacheConfig, HierarchyConfig, ReplacementPolicy};
+use mrp_core::{EngineConfig, PredictionEngine};
 use mrp_cpu::{replay_single, MulticoreResult, MulticoreSim, SingleCoreResult, SingleCoreSim};
 use mrp_trace::{Mix, Workload};
 
@@ -179,15 +180,28 @@ pub fn run_single(
     params: StParams,
 ) -> SingleCoreResult {
     let config = HierarchyConfig::single_thread();
+    let mut engine = single_engine(config.llc, workload, policy);
     if recording::replay_enabled() {
         let rec = recording::recording_for(workload, params.seed, params.warmup, params.measure);
         let _phase = mrp_obs::phase("replay");
-        let mut cache = Cache::new(config.llc, policy);
-        return replay_single(&rec, &mut cache, &config.latencies);
+        return replay_single(&rec, engine.cache_mut(), &config.latencies);
     }
     let _phase = mrp_obs::phase("simulate");
-    let mut sim = SingleCoreSim::new(config, policy, workload.trace(params.seed));
+    let mut sim = SingleCoreSim::with_llc(config, engine.into_llc(), workload.trace(params.seed));
     sim.run(params.warmup, params.measure)
+}
+
+/// Builds the facade engine every single-thread run drives: the policy
+/// under test over the LLC geometry, labelled with the workload.
+fn single_engine(
+    llc: CacheConfig,
+    workload: &Workload,
+    policy: Box<dyn ReplacementPolicy + Send>,
+) -> PredictionEngine {
+    EngineConfig::new(llc)
+        .policy(policy)
+        .label(workload.name())
+        .build()
 }
 
 /// Runs one workload under a named policy.
@@ -286,8 +300,8 @@ pub fn run_single_min(workload: &Workload, params: StParams) -> SingleCoreResult
         let rec = recording::recording_for(workload, params.seed, params.warmup, params.measure);
         let _phase = mrp_obs::phase("replay");
         let min = MinPolicy::new(&config.llc, &rec.llc_blocks());
-        let mut cache = Cache::new(config.llc, Box::new(min));
-        return replay_single(&rec, &mut cache, &config.latencies);
+        let mut engine = single_engine(config.llc, workload, Box::new(min));
+        return replay_single(&rec, engine.cache_mut(), &config.latencies);
     }
     let _phase = mrp_obs::phase("simulate");
     let rec = LlcRecording::record(
@@ -298,7 +312,8 @@ pub fn run_single_min(workload: &Workload, params: StParams) -> SingleCoreResult
         params.measure,
     );
     let min = MinPolicy::new(&config.llc, &rec.llc_blocks());
-    let mut sim = SingleCoreSim::new(config, Box::new(min), workload.trace(params.seed));
+    let engine = single_engine(config.llc, workload, Box::new(min));
+    let mut sim = SingleCoreSim::with_llc(config, engine.into_llc(), workload.trace(params.seed));
     sim.run(params.warmup, params.measure)
 }
 
@@ -322,7 +337,11 @@ pub fn run_mix_policy(
 ) -> MulticoreResult {
     let _phase = mrp_obs::phase("simulate");
     let config = HierarchyConfig::multi_core();
-    let mut sim = MulticoreSim::new(config, policy, mix);
+    let engine = EngineConfig::new(config.llc)
+        .policy(policy)
+        .label(mix.label())
+        .build();
+    let mut sim = MulticoreSim::with_llc(config, engine.into_llc(), mix);
     sim.run(params.warmup, params.measure)
 }
 
@@ -338,13 +357,12 @@ pub fn standalone_ipcs(workloads: &[Workload], params: MpParams, seed: u64) -> V
             // replays here against the standalone 8MB LLC.
             let rec = recording::recording_for(w, seed, params.warmup, params.measure);
             let _phase = mrp_obs::phase("replay");
-            let policy = PolicyKind::Lru.build(&config.llc);
-            let mut cache = Cache::new(config.llc, policy);
-            return replay_single(&rec, &mut cache, &config.latencies).ipc;
+            let mut engine = PolicyKind::Lru.engine(config.llc).label(w.name()).build();
+            return replay_single(&rec, engine.cache_mut(), &config.latencies).ipc;
         }
         let _phase = mrp_obs::phase("simulate");
-        let policy = PolicyKind::Lru.build(&config.llc);
-        let mut sim = SingleCoreSim::new(config, policy, w.trace(seed));
+        let engine = PolicyKind::Lru.engine(config.llc).label(w.name()).build();
+        let mut sim = SingleCoreSim::with_llc(config, engine.into_llc(), w.trace(seed));
         sim.run(params.warmup, params.measure).ipc
     })
 }
@@ -424,6 +442,32 @@ mod tests {
         }
         let h = run_single_hawkeye(w, tiny());
         assert!(h.ipc > 0.0);
+    }
+
+    #[test]
+    fn facade_replay_matches_legacy_cache_construction_bit_for_bit() {
+        // The PredictionEngine facade must be a zero-cost re-plumbing of
+        // the legacy driver path: same recording replayed through an
+        // engine-built cache and through a hand-built `Cache` must agree
+        // on every counter, for a fig6 baseline and the MPPPB row alike.
+        let suite = workloads::suite();
+        let params = tiny();
+        let config = HierarchyConfig::single_thread();
+        let w = suite
+            .iter()
+            .find(|w| w.name() == "loop.edge")
+            .expect("fig6 fingerprint workload");
+        let rec = recording::recording_for(w, params.seed, params.warmup, params.measure);
+        for kind in [PolicyKind::Lru, PolicyKind::Srrip, PolicyKind::MpppbSingle] {
+            let facade = run_single(w, kind.build(&config.llc), params);
+            let mut cache = mrp_cache::Cache::new(config.llc, kind.build(&config.llc));
+            let legacy = replay_single(&rec, &mut cache, &config.latencies);
+            assert_eq!(facade.stats, legacy.stats, "{kind:?} stats diverge");
+            assert_eq!(facade.instructions, legacy.instructions, "{kind:?}");
+            assert_eq!(facade.cycles, legacy.cycles, "{kind:?}");
+            assert_eq!(facade.ipc.to_bits(), legacy.ipc.to_bits(), "{kind:?}");
+            assert_eq!(facade.mpki.to_bits(), legacy.mpki.to_bits(), "{kind:?}");
+        }
     }
 
     #[test]

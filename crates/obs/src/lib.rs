@@ -30,12 +30,14 @@
 //! value type — no serde, keeping the crate std-only per the repo's
 //! dependency policy.
 
+pub mod fleet;
 pub mod journal;
 pub mod json;
 pub mod manifest;
 pub mod phase;
 pub mod registry;
 
+pub use fleet::{FleetManifest, ShardTelemetry, FLEET_SCHEMA};
 pub use journal::{
     read_journal, validate_campaign, validate_journal, CampaignSummary, Journal, JournalEntry,
     JournalRead, JournalSummary, CAMPAIGN_SCHEMA, JOURNAL_SCHEMA,

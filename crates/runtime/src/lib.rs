@@ -43,8 +43,10 @@
 //! when telemetry is off, so the scheduling and results are untouched
 //! either way.
 
+pub mod cli;
 pub mod process;
 
+pub use cli::Args;
 pub use process::{run_processes, ProcessEvent, ProcessJob};
 
 use std::cell::Cell;

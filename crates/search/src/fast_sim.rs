@@ -7,7 +7,7 @@ use mrp_cache::policies::Lru;
 use mrp_cache::replay::LlcRecording;
 use mrp_cache::{Cache, CacheConfig, HierarchyConfig, ReplacementPolicy};
 use mrp_core::mpppb::{Mpppb, MpppbConfig};
-use mrp_core::Feature;
+use mrp_core::{EngineConfig, Feature};
 use mrp_trace::Workload;
 
 /// The LLC-filtered access stream of one workload, recorded once and
@@ -139,8 +139,11 @@ impl FastEvaluator {
         assert!(!traces.is_empty(), "need at least one trace");
         let llc = CacheConfig::llc_single();
         let lru_mpkis = mrp_runtime::par_map(&traces, |t| {
-            let mut cache = Cache::new(llc, Box::new(Lru::new(llc.sets(), llc.associativity())));
-            t.replay(&mut cache)
+            let mut engine = EngineConfig::new(llc)
+                .policy_with(|llc| Box::new(Lru::new(llc.sets(), llc.associativity())))
+                .label("lru-reference")
+                .build();
+            t.replay(engine.cache_mut())
         });
         FastEvaluator {
             traces,
@@ -175,9 +178,11 @@ impl FastEvaluator {
         // see `mrp_runtime` on nesting.)
         let scores: Vec<(f64, f64)> = mrp_runtime::map_indexed(self.traces.len(), |i| {
             let config = self.base_config.clone().with_features(features.to_vec());
-            let policy = Mpppb::new(config, &self.llc);
-            let mut cache = Cache::new(self.llc, Box::new(policy));
-            let mpki = self.traces[i].replay(&mut cache);
+            let mut engine = EngineConfig::new(self.llc)
+                .policy_with(move |llc| Box::new(Mpppb::new(config, llc)))
+                .label("candidate")
+                .build();
+            let mpki = self.traces[i].replay(engine.cache_mut());
             (mpki, (mpki + RATIO_EPS) / (self.lru_mpkis[i] + RATIO_EPS))
         });
         let mut total_mpki = 0.0;
@@ -217,8 +222,11 @@ impl FastEvaluator {
         F: Fn(&CacheConfig, &LlcTrace) -> Box<dyn ReplacementPolicy + Send> + Sync,
     {
         let mpkis = mrp_runtime::par_map(&self.traces, |t| {
-            let mut cache = Cache::new(self.llc, make_policy(&self.llc, t));
-            t.replay(&mut cache)
+            let mut engine = EngineConfig::new(self.llc)
+                .policy(make_policy(&self.llc, t))
+                .label("reference")
+                .build();
+            t.replay(engine.cache_mut())
         });
         mpkis.iter().sum::<f64>() / self.traces.len() as f64
     }

@@ -64,6 +64,19 @@ use crate::record::MemoryAccess;
 pub trait AccessPattern {
     /// Produces the next access in the stream.
     fn next_access(&mut self) -> MemoryAccess;
+
+    /// Appends the next `n` accesses to `out`.
+    ///
+    /// The default body is monomorphized per implementor, so even through
+    /// `dyn AccessPattern` the per-access `next_access` calls inside are
+    /// direct — batch consumers (the serving fleet's round fill) pay one
+    /// virtual dispatch per batch instead of one per access.
+    fn fill(&mut self, n: usize, out: &mut Vec<MemoryAccess>) {
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(self.next_access());
+        }
+    }
 }
 
 /// Adapter exposing any [`AccessPattern`] as an [`Iterator`].
@@ -95,6 +108,10 @@ impl<P: AccessPattern> Iterator for PatternIter<P> {
 impl AccessPattern for Box<dyn AccessPattern + Send> {
     fn next_access(&mut self) -> MemoryAccess {
         (**self).next_access()
+    }
+
+    fn fill(&mut self, n: usize, out: &mut Vec<MemoryAccess>) {
+        (**self).fill(n, out);
     }
 }
 

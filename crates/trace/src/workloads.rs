@@ -83,6 +83,15 @@ pub struct Trace {
     pattern: Box<dyn AccessPattern + Send>,
 }
 
+impl Trace {
+    /// Appends the next `n` accesses to `out` through the pattern's
+    /// batched [`AccessPattern::fill`] — one virtual dispatch per batch
+    /// rather than per access.
+    pub fn fill(&mut self, n: usize, out: &mut Vec<MemoryAccess>) {
+        self.pattern.fill(n, out);
+    }
+}
+
 impl fmt::Debug for Trace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("Trace { .. }")
